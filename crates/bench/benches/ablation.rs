@@ -1,0 +1,58 @@
+//! E14 — ablations: what DA's ingredients (saving-reads, the availability
+//! core, history-awareness) each buy, on regular vs chaotic workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doma_algorithms::baselines::{DaNoSave, SlidingWindowConvergent, WriteInvalidateCache};
+use doma_algorithms::{DynamicAllocation, StaticAllocation};
+use doma_core::{run_online, CostModel, OnlineDom, ProcSet, ProcessorId, Schedule};
+use doma_workload::{ChaoticWorkload, HotspotWorkload, ScheduleGen};
+
+fn cost(algo: &mut dyn OnlineDom, s: &Schedule, m: &CostModel) -> f64 {
+    run_online(algo, s).expect("valid").costed.total_cost(m)
+}
+
+fn bench(c: &mut Criterion) {
+    let model = CostModel::stationary(0.25, 1.0).expect("valid");
+    let regular = HotspotWorkload::new(5, 40, 0.85)
+        .expect("valid")
+        .generate(2_000, 7);
+    let chaotic = ChaoticWorkload::new(5, 10).expect("valid").generate(2_000, 7);
+    let init = ProcSet::from_iter([0, 1]);
+
+    println!("\nE14: total cost, 2000 requests (SC, cc=0.25, cd=1.0)");
+    println!("  algorithm             | hotspot | chaotic");
+    let f = ProcSet::from_iter([0]);
+    let p1 = ProcessorId::new(1);
+    let mut rows: Vec<(&str, Box<dyn OnlineDom>)> = vec![
+        ("SA", Box::new(StaticAllocation::new(init).expect("valid"))),
+        ("DA", Box::new(DynamicAllocation::new(f, p1).expect("valid"))),
+        ("DA-nosave", Box::new(DaNoSave::new(f, p1).expect("valid"))),
+        (
+            "Convergent",
+            Box::new(SlidingWindowConvergent::new(5, 2, init, 40, 20).expect("valid")),
+        ),
+        (
+            "WriteInvalidate t=1",
+            Box::new(WriteInvalidateCache::new(init).expect("valid")),
+        ),
+    ];
+    for (name, algo) in &mut rows {
+        println!(
+            "  {name:<21} | {:>7.0} | {:>7.0}",
+            cost(algo.as_mut(), &regular, &model),
+            cost(algo.as_mut(), &chaotic, &model)
+        );
+    }
+    println!();
+
+    let mut group = c.benchmark_group("ablation");
+    for (name, algo) in &mut rows {
+        group.bench_function(format!("{name}/hotspot"), |b| {
+            b.iter(|| cost(algo.as_mut(), &regular, &model))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

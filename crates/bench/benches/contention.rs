@@ -1,0 +1,58 @@
+//! E15 — shared-bus contention: read-burst response time under the two
+//! media, and how DA's saving-reads collapse repeat-burst contention.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use doma_core::{ProcSet, ProcessorId};
+use doma_protocol::ProtocolSim;
+use doma_sim::NetworkConfig;
+
+fn readers(k: usize) -> Vec<ProcessorId> {
+    (2..2 + k).map(ProcessorId::new).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let n = 24;
+    let q = ProcSet::from_iter([0, 1]);
+
+    println!("\nE15: burst response time (ticks), SA, point-to-point vs shared bus");
+    for k in [1usize, 2, 4, 8, 16] {
+        let mut p2p = ProtocolSim::new_sa(n, q).expect("valid");
+        let a = p2p.execute_read_burst(&readers(k)).expect("burst");
+        let mut bus =
+            ProtocolSim::new_sa_with(n, q, NetworkConfig::shared_bus(1, 3)).expect("valid");
+        let b = bus.execute_read_burst(&readers(k)).expect("burst");
+        println!(
+            "  burst {k:>2}: p2p {:>5.1}, bus {:>5.1} (queue wait {})",
+            a.mean_response, b.mean_response, b.bus_queue_wait
+        );
+    }
+    println!();
+
+    let mut group = c.benchmark_group("contention");
+    for k in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("sa_bus_burst", k), &k, |bch, &k| {
+            bch.iter(|| {
+                let mut bus = ProtocolSim::new_sa_with(n, q, NetworkConfig::shared_bus(1, 3))
+                    .expect("valid");
+                bus.execute_read_burst(&readers(k)).expect("burst")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("da_double_burst", k), &k, |bch, &k| {
+            bch.iter(|| {
+                let mut bus = ProtocolSim::new_da_with(
+                    n,
+                    ProcSet::from_iter([0]),
+                    ProcessorId::new(1),
+                    NetworkConfig::shared_bus(1, 3),
+                )
+                .expect("valid");
+                let _ = bus.execute_read_burst(&readers(k)).expect("burst");
+                bus.execute_read_burst(&readers(k)).expect("burst")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

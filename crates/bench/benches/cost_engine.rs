@@ -1,0 +1,48 @@
+//! Core-engine throughput: costing allocation schedules and running the
+//! online algorithms, in requests per second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use doma_algorithms::{DynamicAllocation, StaticAllocation};
+use doma_core::{cost_of_schedule, run_online, ProcSet, ProcessorId, Schedule};
+use doma_workload::{ScheduleGen, UniformWorkload, ZipfWorkload};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_engine");
+    for len in [1_000usize, 10_000, 100_000] {
+        let schedule: Schedule = UniformWorkload::new(16, 0.7)
+            .expect("valid")
+            .generate(len, 7);
+        group.throughput(Throughput::Elements(len as u64));
+
+        group.bench_with_input(BenchmarkId::new("run_sa", len), &schedule, |b, s| {
+            let mut sa = StaticAllocation::new(ProcSet::from_iter([0, 1])).expect("valid");
+            b.iter(|| run_online(&mut sa, s).expect("valid run").costed.total)
+        });
+        group.bench_with_input(BenchmarkId::new("run_da", len), &schedule, |b, s| {
+            let mut da = DynamicAllocation::new(ProcSet::from_iter([0]), ProcessorId::new(1))
+                .expect("valid");
+            b.iter(|| run_online(&mut da, s).expect("valid run").costed.total)
+        });
+        group.bench_with_input(BenchmarkId::new("recost_schedule", len), &schedule, |b, s| {
+            let mut da = DynamicAllocation::new(ProcSet::from_iter([0]), ProcessorId::new(1))
+                .expect("valid");
+            let alloc = run_online(&mut da, s).expect("valid run").alloc;
+            b.iter(|| cost_of_schedule(&alloc, 2).expect("valid").total)
+        });
+    }
+
+    // Skewed access: the Zipf path (sampling included, as a workload-
+    // generation throughput number).
+    {
+        let len = 10_000usize;
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_function(BenchmarkId::new("generate_zipf", len), |b| {
+            let gen = ZipfWorkload::new(16, 1.1, 0.7).expect("valid");
+            b.iter(|| gen.generate(len, 3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

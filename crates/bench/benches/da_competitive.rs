@@ -1,0 +1,79 @@
+//! E4/E5/E6/E8 — DA's competitive behaviour: battery worst case against
+//! the Theorem 2/3 bounds (SC), the Theorem 4 bound (MC), and the
+//! exhaustive lower-bound search behind Proposition 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use doma_algorithms::search::{exhaustive_worst_case, SearchConfig};
+use doma_algorithms::DynamicAllocation;
+use doma_analysis::battery::standard_battery;
+use doma_analysis::ratio::summarize;
+use doma_core::{CostModel, ProcSet, ProcessorId};
+
+fn da() -> DynamicAllocation {
+    DynamicAllocation::new(ProcSet::from_iter([0]), ProcessorId::new(1)).expect("valid")
+}
+
+fn bench(c: &mut Criterion) {
+    // Print the series the tables in EXPERIMENTS.md record.
+    println!("\nE4/E5: DA worst battery ratio vs bound");
+    for (cc, cd) in [(0.1, 0.5), (0.3, 0.8), (0.2, 1.5), (0.8, 2.0)] {
+        let model = CostModel::stationary(cc, cd).expect("valid");
+        let battery = standard_battery(5, 48, 2);
+        let mut algo = da();
+        let s = summarize(&mut algo, &model, 5, &battery).expect("measure");
+        println!(
+            "  cc={cc:.1} cd={cd:.1}: worst {:.3} vs bound {:.3} (witness {})",
+            s.worst,
+            model.da_bound().expect("SC"),
+            s.worst_witness
+        );
+    }
+    println!("\nE8: DA worst battery ratio in MC vs bound 2+3cc/cd");
+    for r in [0.25, 0.5, 1.0] {
+        let model = CostModel::mobile(r, 1.0).expect("valid");
+        let battery = standard_battery(5, 48, 2);
+        let mut algo = da();
+        let s = summarize(&mut algo, &model, 5, &battery).expect("measure");
+        println!(
+            "  cc/cd={r:.2}: worst {:.3} vs bound {:.3}",
+            s.worst,
+            model.da_bound().expect("cd>0")
+        );
+    }
+    println!();
+
+    let mut group = c.benchmark_group("da_competitive");
+    group.sample_size(10);
+    let model = CostModel::stationary(0.3, 0.8).expect("valid");
+    let battery = standard_battery(5, 48, 2);
+    group.bench_function("battery_summary", |b| {
+        let mut algo = da();
+        b.iter(|| summarize(&mut algo, &model, 5, &battery).expect("measure"))
+    });
+    for len in [4usize, 5, 6] {
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive_search", len),
+            &len,
+            |b, &len| {
+                let small = CostModel::stationary(0.01, 0.01).expect("valid");
+                let mut algo = da();
+                b.iter(|| {
+                    exhaustive_worst_case(
+                        &mut algo,
+                        &SearchConfig {
+                            n: 3,
+                            t: 2,
+                            len,
+                            model: small,
+                        },
+                    )
+                    .expect("search")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

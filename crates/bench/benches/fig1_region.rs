@@ -1,0 +1,43 @@
+//! E1 — Figure 1 (stationary-computing region map).
+//!
+//! `cargo bench -p doma-bench --bench fig1_region` regenerates the
+//! measured Figure 1 (printed once before timing) and benchmarks the cost
+//! of producing it at smoke and paper resolutions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doma_analysis::region::{empirical_region_map, RegionConfig};
+use doma_core::Environment;
+
+fn fast_config() -> RegionConfig {
+    RegionConfig {
+        n: 5,
+        step: 0.5,
+        max: 2.0,
+        schedule_len: 24,
+        seeds: 1,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    // Print the figure once, so `cargo bench` output contains the artifact.
+    let map = empirical_region_map(Environment::Stationary, &fast_config())
+        .expect("region map");
+    println!("\n{}", map.render(false));
+    println!("{}", map.render(true));
+    println!(
+        "agreement with paper: {:.0}%\n",
+        100.0 * map.agreement_with_paper()
+    );
+
+    let mut group = c.benchmark_group("fig1_region");
+    group.sample_size(10);
+    group.bench_function("map_4x4_grid", |b| {
+        b.iter(|| {
+            empirical_region_map(Environment::Stationary, &fast_config()).expect("region map")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E2 — Figure 2 (mobile-computing region map): DA dominates everywhere
+//! feasible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doma_analysis::region::{empirical_region_map, Region, RegionConfig};
+use doma_core::Environment;
+
+fn bench(c: &mut Criterion) {
+    let config = RegionConfig {
+        n: 5,
+        step: 0.5,
+        max: 2.0,
+        schedule_len: 24,
+        seeds: 1,
+    };
+    let map = empirical_region_map(Environment::Mobile, &config).expect("region map");
+    println!("\n{}", map.render(false));
+    let sa_wins = map
+        .points
+        .iter()
+        .filter(|p| p.measured == Region::SaSuperior)
+        .count();
+    println!("cells where SA measured superior (paper predicts 0): {sa_wins}\n");
+
+    let mut group = c.benchmark_group("fig2_region");
+    group.sample_size(10);
+    group.bench_function("map_4x4_grid", |b| {
+        b.iter(|| empirical_region_map(Environment::Mobile, &config).expect("region map"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

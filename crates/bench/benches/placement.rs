@@ -1,0 +1,44 @@
+//! E18 — multi-object core placement: load hotspot vs policy, plus
+//! catalog throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use doma_algorithms::multi::{run_multi, Placement};
+use doma_workload::MultiMobileWorkload;
+
+fn bench(c: &mut Criterion) {
+    let workload = MultiMobileWorkload::new(24, 5, 6, 0.3, 0.7).expect("valid");
+    let n = workload.universe();
+    let schedule = workload.generate_multi(3000, 17);
+
+    println!("\nE18: placement policy vs hotspot load ({} requests, {} users)", schedule.len(), 24);
+    for (name, placement) in [
+        ("same-core", Placement::SameCore),
+        ("round-robin", Placement::RoundRobin),
+        ("load-aware", Placement::LoadAware),
+    ] {
+        let r = run_multi(n, 2, placement, &schedule).expect("run");
+        println!(
+            "  {name:<11}: max load {:>5}, imbalance {:.2}x, tallies {}",
+            r.max_load(),
+            r.imbalance(),
+            r.total
+        );
+    }
+    println!();
+
+    let mut group = c.benchmark_group("placement");
+    group.throughput(Throughput::Elements(schedule.len() as u64));
+    for (name, placement) in [
+        ("same_core", Placement::SameCore),
+        ("round_robin", Placement::RoundRobin),
+        ("load_aware", Placement::LoadAware),
+    ] {
+        group.bench_with_input(BenchmarkId::new("run_multi", name), &placement, |b, &p| {
+            b.iter(|| run_multi(n, 2, p, &schedule).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

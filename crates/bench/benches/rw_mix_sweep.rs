@@ -1,0 +1,44 @@
+//! E9 — the read/write-mix sweep: prints the SA/DA/Convergent cost curves
+//! and the DA-beats-SA crossover, and benchmarks the sweep machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doma_analysis::sweep::{da_crossover, read_write_mix_sweep, SweepConfig};
+use doma_core::CostModel;
+
+fn bench(c: &mut Criterion) {
+    let model = CostModel::stationary(0.25, 1.0).expect("valid");
+    let config = SweepConfig::default_for(model);
+    let points = read_write_mix_sweep(&config).expect("sweep");
+    println!("\nE9: mean cost per request vs read fraction (cc=0.25, cd=1.0, SC)");
+    println!("  read%  |    SA |    DA | Convergent");
+    for p in &points {
+        println!(
+            "  {:>5.0}% | {:>5.2} | {:>5.2} | {:>10.2}",
+            100.0 * p.read_fraction,
+            p.sa,
+            p.da,
+            p.convergent
+        );
+    }
+    match da_crossover(&points) {
+        Some(x) => println!("  DA overtakes SA at read fraction ~{x:.2}\n"),
+        None => println!("  no crossover in range\n"),
+    }
+
+    let mut group = c.benchmark_group("rw_mix_sweep");
+    group.sample_size(10);
+    let quick = SweepConfig {
+        n: 5,
+        len: 120,
+        seeds: 3,
+        model,
+        read_fractions: vec![0.1, 0.3, 0.5, 0.7, 0.9],
+    };
+    group.bench_function("five_point_sweep", |b| {
+        b.iter(|| read_write_mix_sweep(&quick).expect("sweep"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

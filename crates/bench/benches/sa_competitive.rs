@@ -1,0 +1,50 @@
+//! E3 — Theorem 1 / Proposition 1: SA's competitive ratio on the
+//! remote-reader adversary (printed series) and the cost of measuring it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use doma_algorithms::{adversary, OfflineOptimal, StaticAllocation};
+use doma_core::{run_online, CostModel, ProcSet, ProcessorId};
+
+fn bench(c: &mut Criterion) {
+    let model = CostModel::stationary(0.5, 1.5).expect("valid");
+    let bound = model.sa_bound().expect("SC");
+    let q = ProcSet::from_iter([0, 1]);
+    let opt = OfflineOptimal::new(5, 2, q, model).expect("valid");
+
+    println!("\nE3: SA/OPT ratio vs schedule length (bound = {bound:.2})");
+    for len in [8usize, 32, 128, 512] {
+        let schedule = adversary::remote_reader(ProcessorId::new(2), len);
+        let mut sa = StaticAllocation::new(q).expect("valid");
+        let sa_cost = run_online(&mut sa, &schedule)
+            .expect("valid run")
+            .costed
+            .total_cost(&model);
+        let opt_cost = opt.optimal_cost(&schedule).expect("valid");
+        println!(
+            "  len {len:>4}: ratio {:.4} ({:.1}% of bound)",
+            sa_cost / opt_cost,
+            100.0 * sa_cost / opt_cost / bound
+        );
+    }
+    println!();
+
+    let mut group = c.benchmark_group("sa_competitive");
+    for len in [32usize, 128, 512] {
+        let schedule = adversary::remote_reader(ProcessorId::new(2), len);
+        group.bench_with_input(BenchmarkId::new("sa_vs_opt", len), &schedule, |b, s| {
+            let mut sa = StaticAllocation::new(q).expect("valid");
+            b.iter(|| {
+                let sa_cost = run_online(&mut sa, s)
+                    .expect("valid run")
+                    .costed
+                    .total_cost(&model);
+                let opt_cost = opt.optimal_cost(s).expect("valid");
+                sa_cost / opt_cost
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Analytic lower bounds on the offline-optimal cost.
+//!
+//! Used as sanity oracles in property tests (OPT must never beat them) and
+//! as cheap denominators when the exact DP is too large to run.
+
+use doma_core::{CostModel, Op, Schedule};
+
+/// A per-request lower bound on the cost of *any* legal, t-available
+/// allocation schedule for `schedule`:
+///
+/// * every read inputs the object from at least one local database
+///   (`≥ cio`);
+/// * every write must ship the object to and store it at at least `t`
+///   processors (`≥ (t-1)·cd + t·cio` — the writer's own copy needs no
+///   data message when the writer stores locally, hence `t-1`).
+///
+/// In the mobile model (`cio = 0`) the read term vanishes, matching the
+/// fact that a read local to the scheme is free there.
+pub fn per_request_lower_bound(schedule: &Schedule, model: &CostModel, t: usize) -> f64 {
+    let read_lb = model.cio();
+    let write_lb = (t as f64 - 1.0) * model.cd() + t as f64 * model.cio();
+    schedule
+        .iter()
+        .map(|r| match r.op {
+            Op::Read => read_lb,
+            Op::Write => write_lb,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OfflineOptimal;
+    use doma_core::ProcSet;
+
+    fn ps(v: &[usize]) -> ProcSet {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn bound_is_exact_for_all_local_stationary_reads() {
+        let m = CostModel::stationary(0.1, 0.5).unwrap();
+        let s: Schedule = "r0 r1 r0".parse().unwrap();
+        assert!((per_request_lower_bound(&s, &m, 2) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bound_never_exceeds_opt() {
+        let m = CostModel::stationary(0.4, 0.9).unwrap();
+        let opt = OfflineOptimal::new(4, 2, ps(&[0, 1]), m).unwrap();
+        for s in ["r2 w3 r1 w0 r3 r3", "w0 w1 w2 w3", "r3 r3 r3 w3 r0"] {
+            let schedule: Schedule = s.parse().unwrap();
+            let lb = per_request_lower_bound(&schedule, &m, 2);
+            let oc = opt.optimal_cost(&schedule).unwrap();
+            assert!(lb <= oc + 1e-9, "lb {lb} > OPT {oc} on {s}");
+        }
+    }
+
+    #[test]
+    fn mobile_reads_contribute_zero() {
+        let m = CostModel::mobile(0.2, 0.8).unwrap();
+        let s: Schedule = "r0 r1 r2 w0".parse().unwrap();
+        // Only the write contributes: (t-1)·cd = 0.8.
+        assert!((per_request_lower_bound(&s, &m, 2) - 0.8).abs() < 1e-12);
+    }
+}

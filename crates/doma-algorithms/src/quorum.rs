@@ -1,0 +1,233 @@
+//! Quorum-consensus allocation — the classic alternative the paper cites
+//! ([14] Gifford's weighted voting, [25] Thomas's majority consensus) and
+//! falls back to on failures (§2).
+//!
+//! Reads access a *read quorum* of `qr` copies and take the newest; writes
+//! install the object at a *write quorum* of `qw` processors. With
+//! `qr + qw > n` every read quorum intersects every write quorum, so reads
+//! always see the latest version — this is the one algorithm in the crate
+//! that exercises the cost model's multi-member read execution sets
+//! (footnote 1 of the paper: "a read request does not necessarily access a
+//! single copy").
+
+use doma_core::{
+    Decision, DomAlgorithm, DomaError, OnlineDom, ProcSet, ProcessorId, Request, Result,
+};
+
+/// Majority-style quorum consensus over a fixed universe of `n`
+/// processors.
+///
+/// The allocation scheme after a write is its write quorum (`qw ≥ t`
+/// keeps the availability constraint); a read's execution set is a read
+/// quorum chosen to overlap the current scheme (deterministically: the
+/// scheme members first, then low-numbered fillers — in the homogeneous
+/// cost model any choice costs the same).
+#[derive(Debug, Clone)]
+pub struct QuorumConsensus {
+    n: usize,
+    qr: usize,
+    qw: usize,
+    initial: ProcSet,
+    scheme: ProcSet,
+}
+
+impl QuorumConsensus {
+    /// Creates the algorithm. Requirements: `qr + qw > n` (intersection),
+    /// `qw ≥ 2` (the paper's `t ≥ 2` availability), `|initial| ≥ qw`, and
+    /// quorums within the universe.
+    pub fn new(n: usize, qr: usize, qw: usize, initial: ProcSet) -> Result<Self> {
+        if n == 0 || n > doma_core::MAX_PROCESSORS {
+            return Err(DomaError::InvalidConfig(format!("bad universe {n}")));
+        }
+        if qr == 0 || qw < 2 || qr > n || qw > n {
+            return Err(DomaError::InvalidConfig(format!(
+                "bad quorums qr={qr}, qw={qw} for n={n}"
+            )));
+        }
+        if qr + qw <= n {
+            return Err(DomaError::InvalidConfig(format!(
+                "qr + qw = {} must exceed n = {n} so quorums intersect",
+                qr + qw
+            )));
+        }
+        if initial.len() < qw || !initial.is_subset(ProcSet::universe(n)) {
+            return Err(DomaError::InvalidConfig(format!(
+                "initial scheme {initial} must hold at least qw={qw} copies within the universe"
+            )));
+        }
+        Ok(QuorumConsensus {
+            n,
+            qr,
+            qw,
+            initial,
+            scheme: initial,
+        })
+    }
+
+    /// Majority quorums: `qr = qw = ⌊n/2⌋ + 1` (Thomas, paper ref 25).
+    pub fn majority(n: usize, initial: ProcSet) -> Result<Self> {
+        let q = n / 2 + 1;
+        Self::new(n, q, q, initial)
+    }
+
+    /// The read-quorum size.
+    pub fn qr(&self) -> usize {
+        self.qr
+    }
+
+    /// The write-quorum size.
+    pub fn qw(&self) -> usize {
+        self.qw
+    }
+
+    /// Picks `size` processors, preferring `preferred` members first and
+    /// including `must` (the issuer of a write, so its own copy is fresh),
+    /// filling with the lowest-numbered remaining processors.
+    fn pick(&self, size: usize, preferred: ProcSet, must: Option<ProcessorId>) -> ProcSet {
+        let mut chosen = ProcSet::EMPTY;
+        if let Some(m) = must {
+            chosen.insert(m);
+        }
+        for p in preferred.iter() {
+            if chosen.len() >= size {
+                break;
+            }
+            chosen.insert(p);
+        }
+        for i in 0..self.n {
+            if chosen.len() >= size {
+                break;
+            }
+            chosen.insert(ProcessorId::new(i));
+        }
+        chosen
+    }
+}
+
+impl DomAlgorithm for QuorumConsensus {
+    fn name(&self) -> &str {
+        "Quorum"
+    }
+
+    fn t(&self) -> usize {
+        self.qw
+    }
+
+    fn initial_scheme(&self) -> ProcSet {
+        self.initial
+    }
+}
+
+impl OnlineDom for QuorumConsensus {
+    fn decide(&mut self, request: Request) -> Decision {
+        let i = request.issuer;
+        if request.is_read() {
+            // A read quorum that overlaps the scheme (it must, since
+            // |scheme| >= qw and qr + qw > n, but preferring scheme
+            // members keeps the choice deterministic and legal even
+            // before any write). Include the issuer when it helps: its
+            // own copy is free of the data-message charge.
+            let preferred = if self.scheme.contains(i) {
+                self.scheme.with(i)
+            } else {
+                self.scheme
+            };
+            Decision::exec(self.pick(self.qr, preferred, None))
+        } else {
+            let exec = self.pick(self.qw, self.scheme, Some(i));
+            self.scheme = exec;
+            Decision::exec(exec)
+        }
+    }
+
+    fn reset(&mut self) {
+        self.scheme = self.initial;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doma_core::{run_online, CostModel, CostVector, Schedule};
+
+    fn ps(v: &[usize]) -> ProcSet {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(QuorumConsensus::new(5, 2, 2, ps(&[0, 1])).is_err()); // qr+qw <= n
+        assert!(QuorumConsensus::new(5, 3, 3, ps(&[0, 1])).is_err()); // |I| < qw
+        assert!(QuorumConsensus::new(5, 0, 5, ps(&[0, 1, 2, 3, 4])).is_err());
+        assert!(QuorumConsensus::new(5, 5, 1, ps(&[0])).is_err()); // qw < 2
+        assert!(QuorumConsensus::new(5, 3, 3, ps(&[0, 1, 2])).is_ok());
+        let m = QuorumConsensus::majority(5, ps(&[0, 1, 2])).unwrap();
+        assert_eq!((m.qr(), m.qw()), (3, 3));
+    }
+
+    #[test]
+    fn always_legal_and_available() {
+        let mut q = QuorumConsensus::majority(5, ps(&[0, 1, 2])).unwrap();
+        let schedule: Schedule = "r4 w3 r0 r1 w0 r2 w4 r3 r3".parse().unwrap();
+        // run_online validates legality + qw-availability throughout.
+        let out = run_online(&mut q, &schedule).unwrap();
+        assert!(out.costed.final_scheme.len() >= 3);
+    }
+
+    #[test]
+    fn reads_see_latest_version_through_intersection() {
+        // After a write with quorum {3,0,1}, a read quorum of size 3 must
+        // intersect it — legality is exactly that intersection.
+        let mut q = QuorumConsensus::majority(5, ps(&[0, 1, 2])).unwrap();
+        let schedule: Schedule = "w3 r4".parse().unwrap();
+        let out = run_online(&mut q, &schedule).unwrap();
+        let write_exec = out.alloc.steps[0].exec;
+        let read_exec = out.alloc.steps[1].exec;
+        assert!(write_exec.intersects(read_exec));
+    }
+
+    #[test]
+    fn multi_member_read_cost() {
+        // Reads pay for the whole quorum: qr=3, issuer outside →
+        // 3 control + 3 data + 3 io (the paper's footnote-1 accounting).
+        let mut q = QuorumConsensus::new(5, 3, 3, ps(&[0, 1, 2])).unwrap();
+        let schedule: Schedule = "r4".parse().unwrap();
+        let out = run_online(&mut q, &schedule).unwrap();
+        assert_eq!(out.costed.total, CostVector::new(3, 3, 3));
+        // Issuer inside the quorum saves one request + one transfer.
+        let mut q = QuorumConsensus::new(5, 3, 3, ps(&[0, 1, 2])).unwrap();
+        let schedule: Schedule = "r0".parse().unwrap();
+        let out = run_online(&mut q, &schedule).unwrap();
+        assert_eq!(out.costed.total, CostVector::new(2, 2, 3));
+    }
+
+    #[test]
+    fn quorum_is_dearer_than_da_on_read_heavy_workloads() {
+        // Quorum reads touch ⌈(n+1)/2⌉ copies every time; DA reads are
+        // local after the first. The paper's §2 uses quorums only as the
+        // failure fallback — this shows why.
+        let model = CostModel::stationary(0.2, 0.8).unwrap();
+        let schedule: Schedule = "r3 r3 r3 r3 r3 r3 w0 r3 r3 r3".parse().unwrap();
+        let mut q = QuorumConsensus::majority(5, ps(&[0, 1, 2])).unwrap();
+        let q_cost = run_online(&mut q, &schedule).unwrap().costed.total_cost(&model);
+        let mut da = crate::DynamicAllocation::new(ps(&[0]), ProcessorId::new(1)).unwrap();
+        let da_cost = run_online(&mut da, &schedule).unwrap().costed.total_cost(&model);
+        assert!(da_cost < q_cost, "DA {da_cost} should beat quorum {q_cost}");
+    }
+
+    #[test]
+    fn write_quorum_includes_writer() {
+        let mut q = QuorumConsensus::majority(5, ps(&[0, 1, 2])).unwrap();
+        let d = q.decide(Request::write(4usize));
+        assert!(d.exec.contains(ProcessorId::new(4)));
+        assert_eq!(d.exec.len(), 3);
+    }
+
+    #[test]
+    fn reset_restores_scheme() {
+        let mut q = QuorumConsensus::majority(5, ps(&[0, 1, 2])).unwrap();
+        q.decide(Request::write(4usize));
+        q.reset();
+        assert_eq!(q.scheme, ps(&[0, 1, 2]));
+    }
+}

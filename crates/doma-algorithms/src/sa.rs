@@ -1,0 +1,141 @@
+//! Static Allocation (SA) — §4.2.1.
+//!
+//! SA keeps a fixed allocation scheme `Q` of size `t` and performs
+//! read-one-write-all: a write by any processor is propagated to every
+//! member of `Q`; a read by a member of `Q` is served locally; a read by
+//! any other processor is served by one member of `Q`.
+
+use doma_core::{Decision, DomAlgorithm, DomaError, OnlineDom, ProcSet, Request, Result};
+
+/// The read-one-write-all static allocation algorithm over a fixed scheme
+/// `Q` (the paper's *SAOS* online step, §3.4/§4.2.1).
+///
+/// ```
+/// use doma_algorithms::StaticAllocation;
+/// use doma_core::{run_online, ProcSet, Schedule};
+///
+/// let mut sa = StaticAllocation::new(ProcSet::from_iter([0, 1])).unwrap();
+/// let schedule: Schedule = "r2 w0 r1".parse().unwrap();
+/// let out = run_online(&mut sa, &schedule).unwrap();
+/// assert_eq!(out.costed.final_scheme, ProcSet::from_iter([0, 1]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StaticAllocation {
+    q: ProcSet,
+}
+
+impl StaticAllocation {
+    /// Creates SA with fixed scheme `q`; `|q| ≥ 2` (the paper assumes
+    /// `t ≥ 2`).
+    pub fn new(q: ProcSet) -> Result<Self> {
+        if q.len() < 2 {
+            return Err(DomaError::InvalidConfig(format!(
+                "SA requires |Q| >= 2, got Q={q}"
+            )));
+        }
+        Ok(StaticAllocation { q })
+    }
+
+    /// The fixed allocation scheme `Q`.
+    pub fn q(&self) -> ProcSet {
+        self.q
+    }
+}
+
+impl DomAlgorithm for StaticAllocation {
+    fn name(&self) -> &str {
+        "SA"
+    }
+
+    fn t(&self) -> usize {
+        self.q.len()
+    }
+
+    fn initial_scheme(&self) -> ProcSet {
+        self.q
+    }
+}
+
+impl OnlineDom for StaticAllocation {
+    fn decide(&mut self, request: Request) -> Decision {
+        if request.is_write() {
+            // Write-all: the execution set is Q.
+            Decision::exec(self.q)
+        } else if self.q.contains(request.issuer) {
+            // Member read: local.
+            Decision::exec(ProcSet::singleton(request.issuer))
+        } else {
+            // Non-member read: read-one from an arbitrary member of Q.
+            // SA never converts reads into saving-reads — the scheme is
+            // static by definition.
+            Decision::exec(ProcSet::singleton(
+                self.q.any_member().expect("Q is non-empty"),
+            ))
+        }
+    }
+
+    fn reset(&mut self) {
+        // SA is stateless between requests.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doma_core::{run_online, CostVector, Schedule};
+
+    fn ps(v: &[usize]) -> ProcSet {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn rejects_tiny_scheme() {
+        assert!(StaticAllocation::new(ps(&[1])).is_err());
+        assert!(StaticAllocation::new(ProcSet::EMPTY).is_err());
+        assert!(StaticAllocation::new(ps(&[1, 2])).is_ok());
+    }
+
+    #[test]
+    fn scheme_never_changes() {
+        let mut sa = StaticAllocation::new(ps(&[1, 3])).unwrap();
+        let schedule: Schedule = "r0 w2 r1 w3 r4 w0".parse().unwrap();
+        let out = run_online(&mut sa, &schedule).unwrap();
+        for k in 0..=schedule.len() {
+            assert_eq!(out.alloc.scheme_at(k), ps(&[1, 3]));
+        }
+    }
+
+    #[test]
+    fn costs_match_read_one_write_all() {
+        let mut sa = StaticAllocation::new(ps(&[1, 2])).unwrap();
+        // Member read: 1 io. Non-member read: cc + io + cd.
+        // Write by member: (t-1) data + t io, 0 invalidations (Y == Q ⊆ X).
+        // Write by non-member: t data + t io, 0 invalidations.
+        let schedule: Schedule = "r1 r5 w1 w5".parse().unwrap();
+        let out = run_online(&mut sa, &schedule).unwrap();
+        let c = &out.costed.per_request;
+        assert_eq!(c[0].cost, CostVector::new(0, 0, 1));
+        assert_eq!(c[1].cost, CostVector::new(1, 1, 1));
+        assert_eq!(c[2].cost, CostVector::new(0, 1, 2));
+        assert_eq!(c[3].cost, CostVector::new(0, 2, 2));
+        assert_eq!(out.costed.total, CostVector::new(1, 4, 6));
+    }
+
+    #[test]
+    fn never_saves_reads() {
+        let mut sa = StaticAllocation::new(ps(&[0, 1])).unwrap();
+        let schedule: Schedule = "r5 r5 r5".parse().unwrap();
+        let out = run_online(&mut sa, &schedule).unwrap();
+        assert!(out.alloc.steps.iter().all(|s| !s.saving));
+    }
+
+    #[test]
+    fn larger_q_write_all() {
+        let mut sa = StaticAllocation::new(ps(&[0, 1, 2, 3])).unwrap();
+        assert_eq!(sa.t(), 4);
+        let schedule: Schedule = "w7".parse().unwrap();
+        let out = run_online(&mut sa, &schedule).unwrap();
+        // Non-member write: 4 data messages, 4 I/Os.
+        assert_eq!(out.costed.total, CostVector::new(0, 4, 4));
+    }
+}

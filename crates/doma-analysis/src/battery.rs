@@ -1,0 +1,107 @@
+//! Schedule batteries: the fixed mix of adversarial and random schedules
+//! the region maps and bound checks are measured over.
+
+use doma_algorithms::adversary;
+use doma_core::{ProcessorId, Schedule};
+use doma_workload::{ScheduleGen, UniformWorkload, ZipfWorkload};
+
+/// A named schedule (for witness reporting).
+#[derive(Debug, Clone)]
+pub struct NamedSchedule {
+    /// Where the schedule came from ("remote-reader", "uniform-0.5/seed3"…).
+    pub name: String,
+    /// The schedule itself.
+    pub schedule: Schedule,
+}
+
+/// The standard battery over `n` processors (`n ≥ 4`): the paper's
+/// adversarial patterns plus seeded uniform/Zipf workloads at several
+/// read fractions.
+///
+/// Conventions (shared with the experiments): SA's scheme is `{0, 1}`,
+/// DA's core is `{0}` with floater `1`, so processors `2..n` are the
+/// "outsiders" the adversaries exercise.
+pub fn standard_battery(n: usize, len: usize, seeds: u64) -> Vec<NamedSchedule> {
+    battery_with_outsiders(n, len, seeds, 2)
+}
+
+/// Like [`standard_battery`], but with the adversarial "outsider"
+/// processors starting at `first_outsider` — used by the t-independence
+/// experiment, where the scheme is `{0..t}` and outsiders must start at
+/// `t`.
+pub fn battery_with_outsiders(
+    n: usize,
+    len: usize,
+    seeds: u64,
+    first_outsider: usize,
+) -> Vec<NamedSchedule> {
+    assert!(n >= 4, "battery needs at least 4 processors");
+    assert!(
+        first_outsider + 1 < n,
+        "need two outsiders within the universe"
+    );
+    let outsider = ProcessorId::new(first_outsider);
+    let outsider2 = ProcessorId::new(first_outsider + 1);
+    let insider = ProcessorId::new(0);
+    let mut battery = vec![
+        NamedSchedule {
+            name: "remote-reader".into(),
+            schedule: adversary::remote_reader(outsider, len),
+        },
+        NamedSchedule {
+            name: "read-write-ping-pong".into(),
+            schedule: adversary::read_write_ping_pong(outsider, insider, len / 2),
+        },
+        NamedSchedule {
+            name: "rotating-reader".into(),
+            schedule: adversary::rotating_reader(&[outsider, outsider2], insider, len / 3),
+        },
+        NamedSchedule {
+            name: "bursty-reader".into(),
+            schedule: adversary::bursty_reader(outsider, insider, 4, len / 5),
+        },
+        NamedSchedule {
+            name: "write-heavy-outsider".into(),
+            schedule: adversary::bursty_reader(outsider, outsider2, 1, len / 2),
+        },
+    ];
+    for seed in 0..seeds {
+        for read_fraction in [0.25, 0.5, 0.9] {
+            let g = UniformWorkload::new(n, read_fraction).expect("valid");
+            battery.push(NamedSchedule {
+                name: format!("uniform-{read_fraction}/seed{seed}"),
+                schedule: g.generate(len, seed),
+            });
+        }
+        let g = ZipfWorkload::new(n, 1.0, 0.8).expect("valid");
+        battery.push(NamedSchedule {
+            name: format!("zipf-0.8/seed{seed}"),
+            schedule: g.generate(len, seed),
+        });
+    }
+    battery
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn battery_composition() {
+        let b = standard_battery(5, 30, 2);
+        assert_eq!(b.len(), 5 + 2 * 4);
+        assert!(b.iter().all(|s| !s.schedule.is_empty()));
+        assert!(b.iter().all(|s| s.schedule.min_processors() <= 5));
+        // Names are unique.
+        let mut names: Vec<&str> = b.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), b.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn battery_needs_four_processors() {
+        let _ = standard_battery(3, 30, 1);
+    }
+}

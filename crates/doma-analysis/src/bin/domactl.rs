@@ -1,0 +1,325 @@
+//! `domactl` — command-line front end for the library.
+//!
+//! ```text
+//! domactl cost     --schedule "r1 r1 w2 r2" [--algo sa|da|opt|all]
+//!                  [--model sc|mc] [--cc 0.25] [--cd 1.0] [--t 2]
+//!                  [--verbose]
+//! domactl stats    --schedule "r1 r1 w2 r2"
+//! domactl simulate --schedule "..." [--algo sa|da] [--n 6]
+//! domactl generate --workload uniform|zipf|hotspot|chaotic|mobile|append
+//!                  [--n 6] [--len 50] [--seed 0] [--read-fraction 0.7]
+//! ```
+//!
+//! Schedules use the paper's notation: whitespace-separated `r<i>` / `w<i>`
+//! tokens. `--file <path>` reads the schedule from a file instead.
+
+use doma_algorithms::{DynamicAllocation, OfflineOptimal, StaticAllocation};
+use doma_core::{
+    run_offline, run_online, schedule_stats, CostModel, ProcSet,
+    ProcessorId, RunOutcome, Schedule,
+};
+use doma_protocol::ProtocolSim;
+use doma_workload::{
+    AppendOnlyWorkload, ChaoticWorkload, HotspotWorkload, MobileWorkload, ScheduleGen,
+    UniformWorkload, ZipfWorkload,
+};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Parsed command-line options: positional command + `--key value` flags
+/// (`--verbose` is a bare flag).
+#[derive(Debug, Default)]
+struct Opts {
+    command: String,
+    flags: BTreeMap<String, String>,
+    verbose: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts::default();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        if arg == "--verbose" {
+            opts.verbose = true;
+        } else if let Some(key) = arg.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            opts.flags.insert(key.to_string(), value.clone());
+        } else if opts.command.is_empty() {
+            opts.command = arg.clone();
+        } else {
+            return Err(format!("unexpected argument '{arg}'"));
+        }
+    }
+    if opts.command.is_empty() {
+        return Err("missing command (cost | stats | simulate | generate)".to_string());
+    }
+    Ok(opts)
+}
+
+impl Opts {
+    fn get(&self, key: &str, default: &str) -> String {
+        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad number '{v}'")),
+        }
+    }
+
+    fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad integer '{v}'")),
+        }
+    }
+
+    fn schedule(&self) -> Result<Schedule, String> {
+        let text = if let Some(path) = self.flags.get("file") {
+            std::fs::read_to_string(path).map_err(|e| format!("--file {path}: {e}"))?
+        } else if let Some(s) = self.flags.get("schedule") {
+            s.clone()
+        } else {
+            return Err("need --schedule \"r1 w2 ...\" or --file <path>".to_string());
+        };
+        text.parse::<Schedule>().map_err(|e| e.to_string())
+    }
+
+    fn model(&self) -> Result<CostModel, String> {
+        let cc = self.get_f64("cc", 0.25)?;
+        let cd = self.get_f64("cd", 1.0)?;
+        match self.get("model", "sc").as_str() {
+            "sc" => CostModel::stationary(cc, cd).map_err(|e| e.to_string()),
+            "mc" => CostModel::mobile(cc, cd).map_err(|e| e.to_string()),
+            other => Err(format!("--model must be sc or mc, got '{other}'")),
+        }
+    }
+}
+
+fn universe_for(schedule: &Schedule, opts: &Opts) -> Result<usize, String> {
+    let min = schedule.min_processors().max(3);
+    let n = opts.get_usize("n", min)?;
+    if n < min {
+        return Err(format!("--n {n} too small; the schedule uses {min} processors"));
+    }
+    Ok(n)
+}
+
+fn print_outcome(name: &str, outcome: &RunOutcome, model: &CostModel, verbose: bool) {
+    let t = &outcome.costed.total;
+    println!(
+        "{name:>4}: cost {:.3}  ({} control, {} data, {} I/O)  final scheme {}",
+        outcome.costed.total_cost(model),
+        t.control,
+        t.data,
+        t.io,
+        outcome.costed.final_scheme
+    );
+    if verbose {
+        for pr in &outcome.costed.per_request {
+            println!(
+                "        {}  scheme {}  cost {}",
+                pr.step, pr.scheme, pr.cost
+            );
+        }
+    }
+}
+
+fn cmd_cost(opts: &Opts) -> Result<(), String> {
+    let schedule = opts.schedule()?;
+    let model = opts.model()?;
+    let t = opts.get_usize("t", 2)?;
+    let n = universe_for(&schedule, opts)?;
+    if t < 2 || t >= n {
+        return Err(format!("need 2 <= t < n (t={t}, n={n})"));
+    }
+    let algo = opts.get("algo", "all");
+    let q: ProcSet = (0..t).collect();
+    let f: ProcSet = (0..t - 1).collect();
+    let p = ProcessorId::new(t - 1);
+    println!(
+        "schedule: {schedule}\nmodel: {} cc={} cd={} cio={}  t={t}  n={n}  initial scheme {q}",
+        model.environment(),
+        model.cc(),
+        model.cd(),
+        model.cio()
+    );
+    let err = |e: doma_core::DomaError| e.to_string();
+    if algo == "sa" || algo == "all" {
+        let mut sa = StaticAllocation::new(q).map_err(err)?;
+        print_outcome("SA", &run_online(&mut sa, &schedule).map_err(err)?, &model, opts.verbose);
+    }
+    if algo == "da" || algo == "all" {
+        let mut da = DynamicAllocation::new(f, p).map_err(err)?;
+        print_outcome("DA", &run_online(&mut da, &schedule).map_err(err)?, &model, opts.verbose);
+    }
+    if algo == "opt" || algo == "all" {
+        let opt = OfflineOptimal::new(n, t, q, model).map_err(err)?;
+        print_outcome("OPT", &run_offline(&opt, &schedule).map_err(err)?, &model, opts.verbose);
+    }
+    if !["sa", "da", "opt", "all"].contains(&algo.as_str()) {
+        return Err(format!("--algo must be sa, da, opt or all, got '{algo}'"));
+    }
+    Ok(())
+}
+
+fn cmd_stats(opts: &Opts) -> Result<(), String> {
+    let schedule = opts.schedule()?;
+    let stats = schedule_stats(&schedule);
+    println!(
+        "{} requests ({} reads / {} writes), read fraction {:.2}",
+        schedule.len(),
+        schedule.read_count(),
+        schedule.write_count(),
+        stats.read_fraction
+    );
+    println!(
+        "mean read-run length {:.2}; mean distinct readers per write interval {:.2}",
+        stats.mean_read_run(),
+        stats.mean_readers_per_interval
+    );
+    println!("active processors: {}", stats.active_processors());
+    for (i, a) in stats.per_processor.iter().enumerate() {
+        if a.total() > 0 {
+            println!("  P{i}: {} reads, {} writes", a.reads, a.writes);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_simulate(opts: &Opts) -> Result<(), String> {
+    let schedule = opts.schedule()?;
+    let n = universe_for(&schedule, opts)?;
+    let algo = opts.get("algo", "da");
+    let err = |e: doma_core::DomaError| e.to_string();
+    let mut sim = match algo.as_str() {
+        "sa" => ProtocolSim::new_sa(n, ProcSet::from_iter([0usize, 1])).map_err(err)?,
+        "da" => ProtocolSim::new_da(n, ProcSet::from_iter([0usize]), ProcessorId::new(1))
+            .map_err(err)?,
+        other => return Err(format!("--algo must be sa or da, got '{other}'")),
+    };
+    let report = sim.execute(&schedule).map_err(err)?;
+    println!(
+        "{} protocol on {n} simulated nodes: {} control msgs, {} data msgs, {} I/Os",
+        algo.to_uppercase(),
+        report.cost.control,
+        report.cost.data,
+        report.cost.io
+    );
+    println!(
+        "final replica set {}; {} reads completed, mean latency {:.1} ticks",
+        report.final_holders, report.reads_completed, report.mean_read_latency
+    );
+    Ok(())
+}
+
+fn cmd_generate(opts: &Opts) -> Result<(), String> {
+    let n = opts.get_usize("n", 6)?;
+    let len = opts.get_usize("len", 50)?;
+    let seed = opts.get_usize("seed", 0)? as u64;
+    let rf = opts.get_f64("read-fraction", 0.7)?;
+    let kind = opts.get("workload", "uniform");
+    let err = |e: doma_core::DomaError| e.to_string();
+    let gen: Box<dyn ScheduleGen> = match kind.as_str() {
+        "uniform" => Box::new(UniformWorkload::new(n, rf).map_err(err)?),
+        "zipf" => Box::new(ZipfWorkload::new(n, 1.0, rf).map_err(err)?),
+        "hotspot" => Box::new(HotspotWorkload::new(n, 20, rf).map_err(err)?),
+        "chaotic" => Box::new(ChaoticWorkload::new(n, 8).map_err(err)?),
+        "mobile" => Box::new(MobileWorkload::new(n / 2, n - n / 2 - 1, 0.3, rf).map_err(err)?),
+        "append" => Box::new(AppendOnlyWorkload::new(n, 2, 3.0).map_err(err)?),
+        other => return Err(format!("unknown --workload '{other}'")),
+    };
+    println!("{}", gen.generate(len, seed));
+    Ok(())
+}
+
+fn usage() -> String {
+    "usage: domactl <cost|stats|simulate|generate> [--flags]\n\
+     try: domactl cost --schedule \"r1 r1 r2 w2 r2 r2 r2\" --cc 0.5 --cd 1.0"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = parse_args(&args).and_then(|opts| match opts.command.as_str() {
+        "cost" => cmd_cost(&opts),
+        "stats" => cmd_stats(&opts),
+        "simulate" => cmd_simulate(&opts),
+        "generate" => cmd_generate(&opts),
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parser_accepts_flags_and_command() {
+        let o = parse_args(&args(&["cost", "--cc", "0.5", "--verbose", "--algo", "da"])).unwrap();
+        assert_eq!(o.command, "cost");
+        assert!(o.verbose);
+        assert_eq!(o.get("algo", "all"), "da");
+        assert_eq!(o.get_f64("cc", 0.0).unwrap(), 0.5);
+        assert_eq!(o.get_f64("cd", 1.25).unwrap(), 1.25);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(parse_args(&args(&[])).is_err());
+        assert!(parse_args(&args(&["cost", "--cc"])).is_err());
+        assert!(parse_args(&args(&["cost", "stray"])).is_err());
+        let o = parse_args(&args(&["cost", "--cc", "abc"])).unwrap();
+        assert!(o.get_f64("cc", 0.0).is_err());
+    }
+
+    #[test]
+    fn schedule_and_model_extraction() {
+        let o = parse_args(&args(&[
+            "cost", "--schedule", "r1 w2", "--model", "mc", "--cc", "0.2", "--cd", "0.9",
+        ]))
+        .unwrap();
+        let s = o.schedule().unwrap();
+        assert_eq!(s.len(), 2);
+        let m = o.model().unwrap();
+        assert_eq!(m.cio(), 0.0);
+        let bad = parse_args(&args(&["cost", "--model", "xy", "--schedule", "r1"])).unwrap();
+        assert!(bad.model().is_err());
+        let none = parse_args(&args(&["cost"])).unwrap();
+        assert!(none.schedule().is_err());
+    }
+
+    #[test]
+    fn commands_run_end_to_end() {
+        let o = parse_args(&args(&["cost", "--schedule", "r1 r1 r2 w2 r2"])).unwrap();
+        cmd_cost(&o).unwrap();
+        let o = parse_args(&args(&["stats", "--schedule", "r1 r1 w0 r2"])).unwrap();
+        cmd_stats(&o).unwrap();
+        let o = parse_args(&args(&["simulate", "--schedule", "r2 w3 r2", "--algo", "da"])).unwrap();
+        cmd_simulate(&o).unwrap();
+        let o = parse_args(&args(&["generate", "--workload", "zipf", "--len", "10"])).unwrap();
+        cmd_generate(&o).unwrap();
+    }
+
+    #[test]
+    fn cost_rejects_bad_t_and_algo() {
+        let o = parse_args(&args(&["cost", "--schedule", "r1", "--t", "9"])).unwrap();
+        assert!(cmd_cost(&o).is_err());
+        let o = parse_args(&args(&["cost", "--schedule", "r1", "--algo", "zzz"])).unwrap();
+        assert!(cmd_cost(&o).is_err());
+    }
+}

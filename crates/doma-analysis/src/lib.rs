@@ -1,0 +1,35 @@
+//! # doma-analysis
+//!
+//! The experiment harness that regenerates every figure and claim of the
+//! paper's evaluation:
+//!
+//! * [`ratio`] — empirical competitive-ratio measurement of an online
+//!   algorithm against the exact offline optimum, over schedule batteries
+//!   (adversarial constructions + seeded random workloads).
+//! * [`region`] — the `(cd, cc)` plane partitions of **Figure 1**
+//!   (stationary computing) and **Figure 2** (mobile computing), both the
+//!   paper's analytic boundaries and our measured winners, with an ASCII
+//!   renderer that mirrors the figures.
+//! * [`sweep`] — average-case cost sweeps (read/write mix, E9) run in
+//!   parallel with crossbeam scoped threads.
+//! * [`experiments`] — one driver per experiment id (E1–E21 in DESIGN.md),
+//!   returning structured reports the `repro` binary prints and the
+//!   integration tests assert on.
+//! * [`report`] — markdown/CSV table rendering.
+//! * [`stats`] — summary statistics (means, deviations, percentiles,
+//!   confidence intervals) for the latency and sweep reports.
+//!
+//! Two binaries ship with the crate: `repro` (regenerates every paper
+//! artifact) and `domactl` (a CLI for costing, simulating, generating and
+//! inspecting schedules).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod battery;
+pub mod experiments;
+pub mod ratio;
+pub mod region;
+pub mod report;
+pub mod stats;
+pub mod sweep;

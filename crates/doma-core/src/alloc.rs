@@ -1,0 +1,202 @@
+//! Execution schedules and allocation schedules (§3.1).
+
+use crate::{ProcSet, Request, Schedule};
+use std::fmt;
+
+/// The per-request output of a DOM algorithm: which processors execute the
+/// request, and — for reads — whether the read is converted into a
+/// *saving-read* (the reader stores the object in its local database and
+/// joins the allocation scheme).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decision {
+    /// The execution set of the request.
+    pub exec: ProcSet,
+    /// For reads: store the object at the issuer after reading. Ignored for
+    /// writes (a write's issuer relationship is captured by the execution
+    /// set itself).
+    pub saving: bool,
+}
+
+impl Decision {
+    /// A non-saving decision with execution set `exec`.
+    pub fn exec(exec: ProcSet) -> Self {
+        Decision { exec, saving: false }
+    }
+
+    /// A saving-read decision with execution set `exec`.
+    pub fn saving(exec: ProcSet) -> Self {
+        Decision { exec, saving: true }
+    }
+}
+
+/// One request together with its allocation decision — an element of an
+/// allocation schedule (the paper's `oᵢXᵢ`, possibly underlined).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllocatedRequest {
+    /// The request itself.
+    pub request: Request,
+    /// The execution set `X` of the request.
+    pub exec: ProcSet,
+    /// Whether a read was converted to a saving-read (underlined in the
+    /// paper's notation). Always `false` for writes.
+    pub saving: bool,
+}
+
+impl AllocatedRequest {
+    /// Pairs a request with a decision, normalizing `saving` to `false`
+    /// for writes.
+    pub fn new(request: Request, decision: Decision) -> Self {
+        AllocatedRequest {
+            request,
+            exec: decision.exec,
+            saving: decision.saving && request.is_read(),
+        }
+    }
+}
+
+impl fmt::Display for AllocatedRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.saving {
+            // Mark saving-reads with a trailing '!' (the paper underlines).
+            write!(f, "{}!{}", self.request, self.exec)
+        } else {
+            write!(f, "{}{}", self.request, self.exec)
+        }
+    }
+}
+
+/// An allocation schedule: an initial allocation scheme plus a sequence of
+/// requests with execution sets, where some reads are saving-reads.
+///
+/// This is the object whose cost `COST(I, τ)` the paper analyzes; see
+/// [`crate::cost_of_schedule`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AllocationSchedule {
+    /// The initial allocation scheme `I`.
+    pub initial: ProcSet,
+    /// The allocated requests, in order.
+    pub steps: Vec<AllocatedRequest>,
+}
+
+impl AllocationSchedule {
+    /// Creates an empty allocation schedule starting from scheme `initial`.
+    pub fn new(initial: ProcSet) -> Self {
+        AllocationSchedule {
+            initial,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Number of allocated requests.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether there are no requests.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Appends a request with its decision.
+    pub fn push(&mut self, request: Request, decision: Decision) {
+        self.steps.push(AllocatedRequest::new(request, decision));
+    }
+
+    /// The schedule this allocation schedule *corresponds to* (§3.1):
+    /// execution sets erased and saving-reads demoted to plain reads.
+    pub fn corresponding_schedule(&self) -> Schedule {
+        self.steps.iter().map(|s| s.request).collect()
+    }
+
+    /// The allocation scheme right before step `k` (0-based), i.e. after
+    /// steps `0..k` have executed. `scheme_at(0)` is the initial scheme.
+    ///
+    /// O(k); use [`crate::cost_of_schedule`] to walk the whole schedule once.
+    pub fn scheme_at(&self, k: usize) -> ProcSet {
+        let mut scheme = self.initial;
+        for step in &self.steps[..k.min(self.steps.len())] {
+            scheme = crate::scheme_after(scheme, step);
+        }
+        scheme
+    }
+
+    /// The allocation scheme after all steps.
+    pub fn final_scheme(&self) -> ProcSet {
+        self.scheme_at(self.steps.len())
+    }
+}
+
+impl fmt::Display for AllocationSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "I={}", self.initial)?;
+        for s in &self.steps {
+            write!(f, " {s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Request;
+
+    fn ps(v: &[usize]) -> ProcSet {
+        v.iter().copied().collect()
+    }
+
+    /// The τ̄0 example of §3.1: w2{2,3} r4{1,2} w3{2,3} r̲1{1,2} r2{2}
+    /// with initial scheme {3,4}.
+    fn tau0() -> AllocationSchedule {
+        let mut t = AllocationSchedule::new(ps(&[3, 4]));
+        t.push(Request::write(2usize), Decision::exec(ps(&[2, 3])));
+        t.push(Request::read(4usize), Decision::exec(ps(&[1, 2])));
+        t.push(Request::write(3usize), Decision::exec(ps(&[2, 3])));
+        t.push(Request::read(1usize), Decision::saving(ps(&[1, 2])));
+        t.push(Request::read(2usize), Decision::exec(ps(&[2])));
+        t
+    }
+
+    #[test]
+    fn schemes_match_paper_walkthrough() {
+        let t = tau0();
+        // "the allocation scheme at the first request w2 is {3,4}; at the
+        //  second, third, and fourth requests it is {2,3}; at the fifth
+        //  request it is {1,2,3}".
+        assert_eq!(t.scheme_at(0), ps(&[3, 4]));
+        assert_eq!(t.scheme_at(1), ps(&[2, 3]));
+        assert_eq!(t.scheme_at(2), ps(&[2, 3]));
+        assert_eq!(t.scheme_at(3), ps(&[2, 3]));
+        assert_eq!(t.scheme_at(4), ps(&[1, 2, 3]));
+        assert_eq!(t.final_scheme(), ps(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn corresponding_schedule_erases_decisions() {
+        let t = tau0();
+        assert_eq!(t.corresponding_schedule().to_string(), "w2 r4 w3 r1 r2");
+    }
+
+    #[test]
+    fn saving_is_normalized_for_writes() {
+        let a = AllocatedRequest::new(Request::write(1usize), Decision::saving(ps(&[1, 2])));
+        assert!(!a.saving);
+        let b = AllocatedRequest::new(Request::read(1usize), Decision::saving(ps(&[2])));
+        assert!(b.saving);
+    }
+
+    #[test]
+    fn display_marks_saving_reads() {
+        let t = tau0();
+        let s = t.to_string();
+        assert!(s.starts_with("I={3,4}"));
+        assert!(s.contains("r1!{1,2}"), "saving-read must be marked: {s}");
+        assert!(s.contains("r4{1,2}"));
+    }
+
+    #[test]
+    fn scheme_at_clamps_past_end() {
+        let t = tau0();
+        assert_eq!(t.scheme_at(100), t.final_scheme());
+    }
+}

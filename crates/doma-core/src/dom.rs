@@ -1,0 +1,186 @@
+//! Distributed object management (DOM) algorithms (§3.4).
+//!
+//! A DOM algorithm maps a schedule and an initial allocation scheme to a
+//! corresponding *legal* allocation schedule. An **online** algorithm does
+//! so one request at a time with no knowledge of the future (§3.4's "online
+//! step"); an **offline** algorithm sees the whole schedule (the optimal
+//! offline algorithm OPT is the yardstick of competitive analysis, §4.1).
+
+use crate::{
+    cost_of_schedule, AllocationSchedule, CostedSchedule, Decision, ProcSet, Request, Result,
+    Schedule,
+};
+
+/// Common metadata of any DOM algorithm.
+pub trait DomAlgorithm {
+    /// Human-readable algorithm name ("SA", "DA", "OPT", …).
+    fn name(&self) -> &str;
+
+    /// The availability threshold `t` the algorithm is constrained by.
+    fn t(&self) -> usize;
+
+    /// The initial allocation scheme the algorithm starts from.
+    fn initial_scheme(&self) -> ProcSet;
+}
+
+/// An online DOM algorithm: consumes requests one at a time, producing each
+/// request's execution set (and saving-read conversion) without seeing
+/// future requests.
+///
+/// Implementations keep whatever internal state they need (e.g. DA tracks
+/// the current allocation scheme and conceptually the join-lists);
+/// [`reset`](OnlineDom::reset) returns them to their initial state so one
+/// instance can be reused across schedules in sweeps.
+pub trait OnlineDom: DomAlgorithm {
+    /// The online step: decide the execution set (and saving flag) for the
+    /// next request.
+    fn decide(&mut self, request: Request) -> Decision;
+
+    /// Returns the algorithm to its initial state (as freshly constructed).
+    fn reset(&mut self);
+}
+
+/// An offline DOM algorithm: sees the whole schedule before allocating.
+pub trait OfflineDom: DomAlgorithm {
+    /// Produces a legal allocation schedule for `schedule`.
+    fn allocate(&self, schedule: &Schedule) -> Result<AllocationSchedule>;
+}
+
+/// The outcome of running an algorithm on a schedule: the allocation
+/// schedule it produced and its validated, exact cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// The produced allocation schedule.
+    pub alloc: AllocationSchedule,
+    /// Its validated cost (legality and t-availability were checked).
+    pub costed: CostedSchedule,
+}
+
+/// Feeds a schedule through an online algorithm (resetting it first) and
+/// validates + costs the result.
+///
+/// Returns an error if the algorithm produced an illegal or
+/// availability-violating allocation schedule — by Theorem obligations this
+/// must never happen for correct implementations, and the property tests
+/// rely on this function to enforce it.
+pub fn run_online<A: OnlineDom + ?Sized>(algo: &mut A, schedule: &Schedule) -> Result<RunOutcome> {
+    algo.reset();
+    let mut alloc = AllocationSchedule::new(algo.initial_scheme());
+    for request in schedule.iter() {
+        let decision = algo.decide(request);
+        alloc.push(request, decision);
+    }
+    let costed = cost_of_schedule(&alloc, algo.t())?;
+    Ok(RunOutcome { alloc, costed })
+}
+
+/// Runs an offline algorithm on a schedule and validates + costs the result.
+pub fn run_offline<A: OfflineDom + ?Sized>(algo: &A, schedule: &Schedule) -> Result<RunOutcome> {
+    let alloc = algo.allocate(schedule)?;
+    let costed = cost_of_schedule(&alloc, algo.t())?;
+    Ok(RunOutcome { alloc, costed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostVector, ProcessorId};
+
+    /// A toy online algorithm: keeps the initial scheme fixed and serves
+    /// everything read-one-write-all style (a miniature SA used to test the
+    /// driver without depending on doma-algorithms).
+    #[derive(Debug, Clone)]
+    struct ToySa {
+        q: ProcSet,
+        steps_seen: usize,
+    }
+
+    impl DomAlgorithm for ToySa {
+        fn name(&self) -> &str {
+            "ToySA"
+        }
+        fn t(&self) -> usize {
+            self.q.len()
+        }
+        fn initial_scheme(&self) -> ProcSet {
+            self.q
+        }
+    }
+
+    impl OnlineDom for ToySa {
+        fn decide(&mut self, request: Request) -> Decision {
+            self.steps_seen += 1;
+            if request.is_write() {
+                Decision::exec(self.q)
+            } else if self.q.contains(request.issuer) {
+                Decision::exec(ProcSet::singleton(request.issuer))
+            } else {
+                Decision::exec(ProcSet::singleton(self.q.any_member().unwrap()))
+            }
+        }
+        fn reset(&mut self) {
+            self.steps_seen = 0;
+        }
+    }
+
+    #[test]
+    fn run_online_produces_costed_valid_schedule() {
+        let mut algo = ToySa {
+            q: ProcSet::from_iter([0usize, 1]),
+            steps_seen: 0,
+        };
+        let schedule: Schedule = "r2 w0 r1".parse().unwrap();
+        let out = run_online(&mut algo, &schedule).unwrap();
+        assert_eq!(out.alloc.len(), 3);
+        assert_eq!(out.alloc.corresponding_schedule(), schedule);
+        // r2 remote: (1,1,1); w0 on {0,1}: (0,1,2); r1 local: (0,0,1).
+        assert_eq!(out.costed.total, CostVector::new(1, 2, 4));
+        assert_eq!(out.costed.final_scheme, ProcSet::from_iter([0usize, 1]));
+    }
+
+    #[test]
+    fn run_online_resets_state() {
+        let mut algo = ToySa {
+            q: ProcSet::from_iter([0usize, 1]),
+            steps_seen: 99,
+        };
+        let schedule: Schedule = "r0".parse().unwrap();
+        run_online(&mut algo, &schedule).unwrap();
+        assert_eq!(algo.steps_seen, 1, "reset must run before stepping");
+    }
+
+    /// An offline algorithm that returns a deliberately illegal schedule,
+    /// to check the driver rejects it.
+    struct Broken;
+    impl DomAlgorithm for Broken {
+        fn name(&self) -> &str {
+            "Broken"
+        }
+        fn t(&self) -> usize {
+            2
+        }
+        fn initial_scheme(&self) -> ProcSet {
+            ProcSet::from_iter([0usize, 1])
+        }
+    }
+    impl OfflineDom for Broken {
+        fn allocate(&self, schedule: &Schedule) -> Result<AllocationSchedule> {
+            let mut alloc = AllocationSchedule::new(self.initial_scheme());
+            for request in schedule.iter() {
+                // Execute everything at processor 9, which is never in the
+                // scheme — reads become illegal.
+                alloc.push(
+                    request,
+                    Decision::exec(ProcSet::singleton(ProcessorId::new(9))),
+                );
+            }
+            Ok(alloc)
+        }
+    }
+
+    #[test]
+    fn run_offline_rejects_illegal_output() {
+        let schedule: Schedule = "r0".parse().unwrap();
+        assert!(run_offline(&Broken, &schedule).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Error types shared across the workspace.
+
+use crate::ProcSet;
+use std::fmt;
+
+/// Result alias using [`DomaError`].
+pub type Result<T> = std::result::Result<T, DomaError>;
+
+/// Everything that can go wrong when validating or costing allocation
+/// schedules, or when configuring an algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DomaError {
+    /// A read's execution set does not intersect the allocation scheme at
+    /// the read — the schedule is not *legal* (§3.1).
+    IllegalRead {
+        /// 0-based request position.
+        position: usize,
+        /// The read's execution set.
+        exec: ProcSet,
+        /// The allocation scheme at the read.
+        scheme: ProcSet,
+    },
+    /// The allocation scheme at some request (or after the last request)
+    /// has fewer than `t` members.
+    AvailabilityViolation {
+        /// 0-based request position (`len` means "after the last request").
+        position: usize,
+        /// Observed scheme size.
+        scheme_size: usize,
+        /// The availability threshold.
+        t: usize,
+    },
+    /// A request was allocated an empty execution set.
+    EmptyExecutionSet {
+        /// 0-based request position.
+        position: usize,
+    },
+    /// An algorithm or experiment was configured inconsistently (message
+    /// explains what).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for DomaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomaError::IllegalRead {
+                position,
+                exec,
+                scheme,
+            } => write!(
+                f,
+                "illegal read at position {position}: execution set {exec} \
+                 does not intersect allocation scheme {scheme}"
+            ),
+            DomaError::AvailabilityViolation {
+                position,
+                scheme_size,
+                t,
+            } => write!(
+                f,
+                "t-availability violated at position {position}: scheme has \
+                 {scheme_size} member(s), threshold t={t}"
+            ),
+            DomaError::EmptyExecutionSet { position } => {
+                write!(f, "empty execution set at position {position}")
+            }
+            DomaError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DomaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DomaError::IllegalRead {
+            position: 3,
+            exec: ProcSet::from_iter([4usize]),
+            scheme: ProcSet::from_iter([1usize, 2]),
+        };
+        let s = e.to_string();
+        assert!(s.contains("position 3"));
+        assert!(s.contains("{4}"));
+        assert!(s.contains("{1,2}"));
+
+        let e = DomaError::AvailabilityViolation {
+            position: 0,
+            scheme_size: 1,
+            t: 2,
+        };
+        assert!(e.to_string().contains("t=2"));
+
+        let e = DomaError::InvalidConfig("F must not contain p".into());
+        assert!(e.to_string().contains("F must not contain p"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Identifier newtypes for processors and objects.
+
+use std::fmt;
+
+/// Identifies one processor (site) in the distributed system.
+///
+/// The paper's model is a homogeneous set of interconnected processors; we
+/// number them `0..n`. The bitset representation of allocation schemes
+/// ([`crate::ProcSet`]) bounds ids to `0..64`
+/// ([`crate::MAX_PROCESSORS`]), which is far beyond what the worst-case
+/// analyses or the exact offline optimum can use anyway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessorId(u8);
+
+impl ProcessorId {
+    /// Creates a processor id.
+    ///
+    /// # Panics
+    /// Panics if `id >= MAX_PROCESSORS` (64); schemes are 64-bit bitsets.
+    pub fn new(id: usize) -> Self {
+        assert!(
+            id < crate::MAX_PROCESSORS,
+            "processor id {id} out of range (max {})",
+            crate::MAX_PROCESSORS
+        );
+        ProcessorId(id as u8)
+    }
+
+    /// The numeric index of this processor.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for ProcessorId {
+    fn from(id: usize) -> Self {
+        ProcessorId::new(id)
+    }
+}
+
+impl From<ProcessorId> for usize {
+    fn from(p: ProcessorId) -> usize {
+        p.index()
+    }
+}
+
+impl fmt::Display for ProcessorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifies a logical object (the paper analyzes the allocation of a
+/// single object; the storage and protocol crates support many).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u64);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processor_roundtrip() {
+        let p = ProcessorId::new(7);
+        assert_eq!(p.index(), 7);
+        assert_eq!(usize::from(p), 7);
+        assert_eq!(ProcessorId::from(7usize), p);
+        assert_eq!(p.to_string(), "P7");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn processor_out_of_range() {
+        let _ = ProcessorId::new(64);
+    }
+
+    #[test]
+    fn processor_ordering_follows_index() {
+        assert!(ProcessorId::new(1) < ProcessorId::new(2));
+    }
+
+    #[test]
+    fn object_display() {
+        assert_eq!(ObjectId(3).to_string(), "obj3");
+    }
+}

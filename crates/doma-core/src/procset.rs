@@ -1,0 +1,355 @@
+//! Sets of processors as 64-bit bitsets.
+//!
+//! Allocation schemes and execution sets are small subsets of a small
+//! universe of processors, and the offline-optimal dynamic program iterates
+//! over *all* subsets; a `u64` bitset makes those loops branch-free and
+//! allocation-free.
+
+use crate::ProcessorId;
+use std::fmt;
+
+/// Maximum number of processors supported by [`ProcSet`].
+pub const MAX_PROCESSORS: usize = 64;
+
+/// An immutable-by-value set of processors (allocation scheme or execution
+/// set), represented as a 64-bit bitmask.
+///
+/// ```
+/// use doma_core::ProcSet;
+/// let a = ProcSet::from_iter([1, 2, 3]);
+/// let b = ProcSet::from_iter([3, 4]);
+/// assert_eq!(a.union(b).len(), 4);
+/// assert_eq!(a.difference(b), ProcSet::from_iter([1, 2]));
+/// assert!(a.intersects(b));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ProcSet(u64);
+
+impl ProcSet {
+    /// The empty set.
+    pub const EMPTY: ProcSet = ProcSet(0);
+
+    /// Builds a set from a raw bitmask (bit `i` ⇔ processor `i`).
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Self {
+        ProcSet(bits)
+    }
+
+    /// The raw bitmask.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// The set `{0, 1, …, n-1}` of all processors in an `n`-processor system.
+    ///
+    /// # Panics
+    /// Panics if `n > MAX_PROCESSORS`.
+    #[inline]
+    pub fn universe(n: usize) -> Self {
+        assert!(n <= MAX_PROCESSORS, "universe of {n} exceeds {MAX_PROCESSORS}");
+        if n == MAX_PROCESSORS {
+            ProcSet(u64::MAX)
+        } else {
+            ProcSet((1u64 << n) - 1)
+        }
+    }
+
+    /// The singleton set `{p}`.
+    #[inline]
+    pub fn singleton(p: ProcessorId) -> Self {
+        ProcSet(1u64 << p.index())
+    }
+
+    /// Number of processors in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, p: ProcessorId) -> bool {
+        self.0 & (1u64 << p.index()) != 0
+    }
+
+    /// Returns the set with `p` added.
+    #[inline]
+    #[must_use]
+    pub fn with(self, p: ProcessorId) -> Self {
+        ProcSet(self.0 | (1u64 << p.index()))
+    }
+
+    /// Returns the set with `p` removed.
+    #[inline]
+    #[must_use]
+    pub fn without(self, p: ProcessorId) -> Self {
+        ProcSet(self.0 & !(1u64 << p.index()))
+    }
+
+    /// Inserts `p` in place.
+    #[inline]
+    pub fn insert(&mut self, p: ProcessorId) {
+        self.0 |= 1u64 << p.index();
+    }
+
+    /// Removes `p` in place.
+    #[inline]
+    pub fn remove(&mut self, p: ProcessorId) {
+        self.0 &= !(1u64 << p.index());
+    }
+
+    /// Set union.
+    #[inline]
+    #[must_use]
+    pub fn union(self, other: Self) -> Self {
+        ProcSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    #[must_use]
+    pub fn intersection(self, other: Self) -> Self {
+        ProcSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    #[must_use]
+    pub fn difference(self, other: Self) -> Self {
+        ProcSet(self.0 & !other.0)
+    }
+
+    /// Whether the two sets share at least one processor.
+    #[inline]
+    pub fn intersects(self, other: Self) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Whether `self ⊆ other`.
+    #[inline]
+    pub fn is_subset(self, other: Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// An arbitrary-but-deterministic member (the lowest-indexed one), or
+    /// `None` if empty. Used where the paper says "some processor `y ∈ Q`";
+    /// in the homogeneous cost model the choice is cost-irrelevant.
+    #[inline]
+    pub fn any_member(self) -> Option<ProcessorId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(ProcessorId::new(self.0.trailing_zeros() as usize))
+        }
+    }
+
+    /// Iterates over members in increasing index order.
+    #[inline]
+    pub fn iter(self) -> ProcSetIter {
+        ProcSetIter(self.0)
+    }
+
+    /// Enumerates every subset of `self` (including the empty set and
+    /// `self` itself), in an arbitrary but deterministic order.
+    ///
+    /// This is the workhorse of the offline-optimal dynamic program, which
+    /// must consider every possible execution set for a write.
+    pub fn subsets(self) -> Subsets {
+        Subsets {
+            mask: self.0,
+            current: 0,
+            done: false,
+        }
+    }
+}
+
+impl FromIterator<usize> for ProcSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = ProcSet::EMPTY;
+        for p in iter {
+            s.insert(ProcessorId::new(p));
+        }
+        s
+    }
+}
+
+impl FromIterator<ProcessorId> for ProcSet {
+    fn from_iter<I: IntoIterator<Item = ProcessorId>>(iter: I) -> Self {
+        let mut s = ProcSet::EMPTY;
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl IntoIterator for ProcSet {
+    type Item = ProcessorId;
+    type IntoIter = ProcSetIter;
+    fn into_iter(self) -> ProcSetIter {
+        self.iter()
+    }
+}
+
+impl fmt::Debug for ProcSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProcSet{self}")
+    }
+}
+
+impl fmt::Display for ProcSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", p.index())?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over the members of a [`ProcSet`].
+#[derive(Debug, Clone)]
+pub struct ProcSetIter(u64);
+
+impl Iterator for ProcSetIter {
+    type Item = ProcessorId;
+
+    #[inline]
+    fn next(&mut self) -> Option<ProcessorId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let idx = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(ProcessorId::new(idx))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for ProcSetIter {}
+
+/// Iterator over all subsets of a set (see [`ProcSet::subsets`]).
+#[derive(Debug, Clone)]
+pub struct Subsets {
+    mask: u64,
+    current: u64,
+    done: bool,
+}
+
+impl Iterator for Subsets {
+    type Item = ProcSet;
+
+    fn next(&mut self) -> Option<ProcSet> {
+        if self.done {
+            return None;
+        }
+        let result = ProcSet(self.current);
+        if self.current == self.mask {
+            self.done = true;
+        } else {
+            // Standard trick: enumerate sub-masks of `mask`.
+            self.current = (self.current.wrapping_sub(self.mask)) & self.mask;
+        }
+        Some(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(v: &[usize]) -> ProcSet {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn basic_ops() {
+        let a = ps(&[0, 2, 5]);
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(ProcessorId::new(2)));
+        assert!(!a.contains(ProcessorId::new(1)));
+        assert_eq!(a.with(ProcessorId::new(1)), ps(&[0, 1, 2, 5]));
+        assert_eq!(a.without(ProcessorId::new(0)), ps(&[2, 5]));
+        assert!(!a.is_empty());
+        assert!(ProcSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = ps(&[1, 2, 3]);
+        let b = ps(&[3, 4]);
+        assert_eq!(a.union(b), ps(&[1, 2, 3, 4]));
+        assert_eq!(a.intersection(b), ps(&[3]));
+        assert_eq!(a.difference(b), ps(&[1, 2]));
+        assert!(a.intersects(b));
+        assert!(!a.intersects(ps(&[0, 9])));
+        assert!(ps(&[1, 2]).is_subset(a));
+        assert!(!a.is_subset(b));
+    }
+
+    #[test]
+    fn universe_and_singleton() {
+        assert_eq!(ProcSet::universe(3), ps(&[0, 1, 2]));
+        assert_eq!(ProcSet::universe(0), ProcSet::EMPTY);
+        assert_eq!(ProcSet::universe(64).len(), 64);
+        assert_eq!(ProcSet::singleton(ProcessorId::new(5)), ps(&[5]));
+    }
+
+    #[test]
+    fn any_member_is_lowest() {
+        assert_eq!(ps(&[4, 7]).any_member(), Some(ProcessorId::new(4)));
+        assert_eq!(ProcSet::EMPTY.any_member(), None);
+    }
+
+    #[test]
+    fn iteration_order_and_exact_size() {
+        let a = ps(&[9, 1, 4]);
+        let v: Vec<usize> = a.iter().map(|p| p.index()).collect();
+        assert_eq!(v, vec![1, 4, 9]);
+        assert_eq!(a.iter().len(), 3);
+    }
+
+    #[test]
+    fn subset_enumeration_is_complete() {
+        let a = ps(&[0, 3, 6]);
+        let subs: Vec<ProcSet> = a.subsets().collect();
+        assert_eq!(subs.len(), 8);
+        for s in &subs {
+            assert!(s.is_subset(a));
+        }
+        // All distinct.
+        let mut bits: Vec<u64> = subs.iter().map(|s| s.bits()).collect();
+        bits.sort_unstable();
+        bits.dedup();
+        assert_eq!(bits.len(), 8);
+        assert!(subs.contains(&ProcSet::EMPTY));
+        assert!(subs.contains(&a));
+    }
+
+    #[test]
+    fn subsets_of_empty() {
+        let subs: Vec<ProcSet> = ProcSet::EMPTY.subsets().collect();
+        assert_eq!(subs, vec![ProcSet::EMPTY]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ps(&[1, 3]).to_string(), "{1,3}");
+        assert_eq!(ProcSet::EMPTY.to_string(), "{}");
+    }
+}

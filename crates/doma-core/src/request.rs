@@ -1,0 +1,103 @@
+//! Read/write requests.
+
+use crate::ProcessorId;
+use std::fmt;
+
+/// The operation kind of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// A read of the latest version of the object.
+    Read,
+    /// A write creating a new version of the object.
+    Write,
+}
+
+impl Op {
+    /// `true` for [`Op::Read`].
+    #[inline]
+    pub fn is_read(self) -> bool {
+        matches!(self, Op::Read)
+    }
+
+    /// `true` for [`Op::Write`].
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, Op::Write)
+    }
+}
+
+/// One access request: an operation issued by a processor.
+///
+/// The paper's notation `r3` (read by processor 3) and `w2` (write by
+/// processor 2) is mirrored by the `Display` impl and parsed by
+/// [`crate::Schedule`]'s `FromStr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Request {
+    /// Read or write.
+    pub op: Op,
+    /// The processor that issued the request.
+    pub issuer: ProcessorId,
+}
+
+impl Request {
+    /// A read issued by processor `p`.
+    #[inline]
+    pub fn read(p: impl Into<ProcessorId>) -> Self {
+        Request {
+            op: Op::Read,
+            issuer: p.into(),
+        }
+    }
+
+    /// A write issued by processor `p`.
+    #[inline]
+    pub fn write(p: impl Into<ProcessorId>) -> Self {
+        Request {
+            op: Op::Write,
+            issuer: p.into(),
+        }
+    }
+
+    /// `true` if this is a read.
+    #[inline]
+    pub fn is_read(self) -> bool {
+        self.op.is_read()
+    }
+
+    /// `true` if this is a write.
+    #[inline]
+    pub fn is_write(self) -> bool {
+        self.op.is_write()
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self.op {
+            Op::Read => 'r',
+            Op::Write => 'w',
+        };
+        write!(f, "{c}{}", self.issuer.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_predicates() {
+        let r = Request::read(3usize);
+        let w = Request::write(2usize);
+        assert!(r.is_read() && !r.is_write());
+        assert!(w.is_write() && !w.is_read());
+        assert_eq!(r.issuer.index(), 3);
+        assert_eq!(w.issuer.index(), 2);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Request::read(4usize).to_string(), "r4");
+        assert_eq!(Request::write(0usize).to_string(), "w0");
+    }
+}

@@ -1,0 +1,228 @@
+//! Schedules: finite sequences of read/write requests (§3.1).
+
+use crate::{Op, ProcessorId, Request};
+use std::fmt;
+use std::str::FromStr;
+
+/// A finite sequence of read-write requests to the object, each issued by a
+/// processor — the paper's ψ (§3.1). Any pair of writes, or a read and a
+/// write, are totally ordered (assumed produced by the system's concurrency
+/// control); reads between consecutive writes may be served in any order
+/// without affecting the analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schedule {
+    requests: Vec<Request>,
+}
+
+impl Schedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Schedule::default()
+    }
+
+    /// Creates a schedule from a request sequence.
+    pub fn from_requests(requests: Vec<Request>) -> Self {
+        Schedule { requests }
+    }
+
+    /// Appends a request.
+    pub fn push(&mut self, r: Request) {
+        self.requests.push(r);
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the schedule has no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The request sequence.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Iterates over requests.
+    pub fn iter(&self) -> impl Iterator<Item = Request> + '_ {
+        self.requests.iter().copied()
+    }
+
+    /// Number of reads in the schedule.
+    pub fn read_count(&self) -> usize {
+        self.requests.iter().filter(|r| r.is_read()).count()
+    }
+
+    /// Number of writes in the schedule.
+    pub fn write_count(&self) -> usize {
+        self.requests.iter().filter(|r| r.is_write()).count()
+    }
+
+    /// The highest processor index referenced, plus one — the smallest
+    /// system size this schedule fits in. Zero for the empty schedule.
+    pub fn min_processors(&self) -> usize {
+        self.requests
+            .iter()
+            .map(|r| r.issuer.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Concatenates another schedule after this one.
+    pub fn extend_from(&mut self, other: &Schedule) {
+        self.requests.extend_from_slice(&other.requests);
+    }
+
+    /// Repeats this schedule `times` times (useful for the adversarial
+    /// constructions, which are phase repetitions).
+    #[must_use]
+    pub fn repeated(&self, times: usize) -> Schedule {
+        let mut reqs = Vec::with_capacity(self.requests.len() * times);
+        for _ in 0..times {
+            reqs.extend_from_slice(&self.requests);
+        }
+        Schedule::from_requests(reqs)
+    }
+}
+
+impl FromIterator<Request> for Schedule {
+    fn from_iter<I: IntoIterator<Item = Request>>(iter: I) -> Self {
+        Schedule {
+            requests: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.requests.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing a schedule from the paper's compact notation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleParseError {
+    /// The offending whitespace-separated token.
+    pub token: String,
+    /// Position of the token in the input (0-based).
+    pub position: usize,
+    /// What was wrong with it.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for ScheduleParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bad schedule token {:?} at position {}: {}",
+            self.token, self.position, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ScheduleParseError {}
+
+impl FromStr for Schedule {
+    type Err = ScheduleParseError;
+
+    /// Parses the paper's notation: whitespace-separated tokens `r<i>` and
+    /// `w<i>`, e.g. `"w2 r4 w3 r1 r2"` (the ψ₀ example of §3.1).
+    fn from_str(s: &str) -> Result<Self, ScheduleParseError> {
+        let mut requests = Vec::new();
+        for (position, token) in s.split_whitespace().enumerate() {
+            let err = |reason| ScheduleParseError {
+                token: token.to_string(),
+                position,
+                reason,
+            };
+            let mut chars = token.chars();
+            let op = match chars.next() {
+                Some('r') | Some('R') => Op::Read,
+                Some('w') | Some('W') => Op::Write,
+                _ => return Err(err("must start with 'r' or 'w'")),
+            };
+            let idx: usize = chars
+                .as_str()
+                .parse()
+                .map_err(|_| err("expected a processor index after r/w"))?;
+            if idx >= crate::MAX_PROCESSORS {
+                return Err(err("processor index out of range (max 63)"));
+            }
+            requests.push(Request {
+                op,
+                issuer: ProcessorId::new(idx),
+            });
+        }
+        Ok(Schedule { requests })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_example() {
+        // ψ0 = w2 r4 w3 r1 r2 from §3.1.
+        let s: Schedule = "w2 r4 w3 r1 r2".parse().unwrap();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.requests()[0], Request::write(2usize));
+        assert_eq!(s.requests()[1], Request::read(4usize));
+        assert_eq!(s.requests()[4], Request::read(2usize));
+        assert_eq!(s.to_string(), "w2 r4 w3 r1 r2");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("x1".parse::<Schedule>().is_err());
+        assert!("r".parse::<Schedule>().is_err());
+        assert!("rfoo".parse::<Schedule>().is_err());
+        assert!("r99".parse::<Schedule>().is_err());
+        let e = "w2 q3".parse::<Schedule>().unwrap_err();
+        assert_eq!(e.position, 1);
+        assert_eq!(e.token, "q3");
+    }
+
+    #[test]
+    fn parse_empty_and_case() {
+        assert!("".parse::<Schedule>().unwrap().is_empty());
+        let s: Schedule = "R1 W2".parse().unwrap();
+        assert_eq!(s.read_count(), 1);
+        assert_eq!(s.write_count(), 1);
+    }
+
+    #[test]
+    fn counters_and_min_processors() {
+        let s: Schedule = "r1 r1 r2 w2 r2 r2 r2".parse().unwrap();
+        assert_eq!(s.read_count(), 6);
+        assert_eq!(s.write_count(), 1);
+        assert_eq!(s.min_processors(), 3);
+        assert_eq!(Schedule::new().min_processors(), 0);
+    }
+
+    #[test]
+    fn repetition_and_extension() {
+        let s: Schedule = "r1 w2".parse().unwrap();
+        let r = s.repeated(3);
+        assert_eq!(r.to_string(), "r1 w2 r1 w2 r1 w2");
+        let mut a: Schedule = "r0".parse().unwrap();
+        a.extend_from(&s);
+        assert_eq!(a.to_string(), "r0 r1 w2");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: Schedule = vec![Request::read(0usize), Request::write(1usize)]
+            .into_iter()
+            .collect();
+        assert_eq!(s.to_string(), "r0 w1");
+    }
+}

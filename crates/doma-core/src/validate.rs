@@ -1,0 +1,121 @@
+//! Standalone validation of allocation schedules (legality and
+//! t-availability, §3.1), reporting *all* violations rather than stopping
+//! at the first as [`crate::cost_of_schedule`] does.
+
+use crate::{scheme_after, AllocationSchedule, ProcSet};
+
+/// A legality violation: a read whose execution set misses the scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LegalityViolation {
+    /// 0-based request position.
+    pub position: usize,
+    /// The offending execution set.
+    pub exec: ProcSet,
+    /// The scheme at the request.
+    pub scheme: ProcSet,
+}
+
+/// An availability violation: the scheme dropped below `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AvailabilityViolation {
+    /// 0-based request position (`len` = after the final request).
+    pub position: usize,
+    /// Observed scheme size.
+    pub scheme_size: usize,
+}
+
+/// The outcome of validating an allocation schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ValidationReport {
+    /// Reads violating legality.
+    pub legality: Vec<LegalityViolation>,
+    /// Positions violating the t-availability constraint.
+    pub availability: Vec<AvailabilityViolation>,
+    /// Positions of requests with empty execution sets.
+    pub empty_exec: Vec<usize>,
+}
+
+impl ValidationReport {
+    /// `true` when the schedule is legal and t-available throughout.
+    pub fn is_valid(&self) -> bool {
+        self.legality.is_empty() && self.availability.is_empty() && self.empty_exec.is_empty()
+    }
+}
+
+/// Validates an allocation schedule against the legality and t-availability
+/// constraints of §3.1, collecting every violation.
+pub fn validate_allocation(alloc: &AllocationSchedule, t: usize) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    let mut scheme = alloc.initial;
+    for (k, step) in alloc.steps.iter().enumerate() {
+        if scheme.len() < t {
+            report.availability.push(AvailabilityViolation {
+                position: k,
+                scheme_size: scheme.len(),
+            });
+        }
+        if step.exec.is_empty() {
+            report.empty_exec.push(k);
+        }
+        if step.request.is_read() && !step.exec.intersects(scheme) {
+            report.legality.push(LegalityViolation {
+                position: k,
+                exec: step.exec,
+                scheme,
+            });
+        }
+        scheme = scheme_after(scheme, step);
+    }
+    if scheme.len() < t {
+        report.availability.push(AvailabilityViolation {
+            position: alloc.steps.len(),
+            scheme_size: scheme.len(),
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Decision, Request};
+
+    fn ps(v: &[usize]) -> ProcSet {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let mut a = AllocationSchedule::new(ps(&[1, 2]));
+        a.push(Request::read(3usize), Decision::saving(ps(&[1])));
+        a.push(Request::write(2usize), Decision::exec(ps(&[1, 2])));
+        let r = validate_allocation(&a, 2);
+        assert!(r.is_valid(), "{r:?}");
+    }
+
+    #[test]
+    fn collects_multiple_violations() {
+        let mut a = AllocationSchedule::new(ps(&[1])); // below t=2 already
+        a.push(Request::read(3usize), Decision::exec(ps(&[4]))); // illegal
+        a.push(Request::write(2usize), Decision::exec(ps(&[2]))); // shrinks to 1
+        a.push(Request::read(5usize), Decision::exec(ProcSet::EMPTY)); // empty + illegal
+        let r = validate_allocation(&a, 2);
+        assert!(!r.is_valid());
+        assert_eq!(r.legality.len(), 2);
+        assert_eq!(r.legality[0].position, 0);
+        assert_eq!(r.legality[1].position, 2);
+        assert_eq!(r.empty_exec, vec![2]);
+        // positions 0,1,2 all have scheme size 1 (<2), plus final check.
+        assert_eq!(r.availability.len(), 4);
+    }
+
+    #[test]
+    fn final_scheme_below_t_is_flagged() {
+        let mut a = AllocationSchedule::new(ps(&[1, 2]));
+        a.push(Request::write(1usize), Decision::exec(ps(&[1])));
+        let r = validate_allocation(&a, 2);
+        assert_eq!(r.availability.len(), 1);
+        assert_eq!(r.availability[0].position, 1);
+        assert_eq!(r.availability[0].scheme_size, 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! # doma-protocol
+//!
+//! SA and DA as *actual message-passing protocols* over the discrete-event
+//! simulator (`doma-sim`) and the local-store substrate (`doma-storage`).
+//!
+//! The analytic cost model of `doma-core` prices three resources; this
+//! crate exchanges the real messages and performs the real I/Os, and the
+//! integration tests assert **exact tally equality** between the simulated
+//! protocol and the analytic cost engine for the same schedule — control
+//! message for control message, I/O for I/O.
+//!
+//! Contents:
+//!
+//! * [`DomMsg`] — the wire protocol: read requests, object transfers,
+//!   write propagations, invalidations, and the failure-mode messages.
+//! * [`DomNode`] — one processor: a [`doma_storage::LocalStore`] plus the
+//!   SA or DA state machine (join-lists at core members, floating-member
+//!   tracking at the primary).
+//! * [`ProtocolSim`] — the driver: builds a cluster, executes a
+//!   [`doma_core::Schedule`] request by request (the paper's totally
+//!   ordered schedule), and reports exact [`doma_core::CostVector`]
+//!   tallies, replica placement, and read latencies.
+//! * [`failover`] — the §2 failure handling sketch: when a core member
+//!   fails, the cluster falls back to majority-quorum reads/writes and a
+//!   recovering node catches up via a quorum read (the missing-writes
+//!   transition) before normal DA operation resumes.
+//!
+//! Write acknowledgements are deliberately *not* modeled: the paper's cost
+//! model does not price them (§1.2 counts request, data and invalidate
+//! messages only), and the driver's run-to-quiescence execution makes them
+//! unnecessary for correctness.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod failover;
+mod msg;
+mod node;
+mod sim;
+
+pub use msg::DomMsg;
+pub use node::{DomNode, ProtocolConfig};
+pub use sim::{BurstReport, OpenLoopReport, ProtocolSim, SimReport};

@@ -1,0 +1,165 @@
+//! The wire protocol.
+
+use doma_core::ObjectId;
+use doma_sim::NodeId;
+use doma_storage::Version;
+
+/// Messages exchanged by [`crate::DomNode`]s (plus the locally injected
+/// client requests, which are not network messages and are not tallied).
+///
+/// Every object-bearing message carries its [`ObjectId`]: the cluster
+/// serves a whole catalog of objects, each under its own SA/DA
+/// configuration (the paper analyzes one object; in its model objects are
+/// cost-independent, and the integration tests verify the protocol's
+/// tallies decompose accordingly).
+///
+/// Control messages (priced `cc`): [`DomMsg::ReadReq`],
+/// [`DomMsg::Invalidate`], [`DomMsg::NoData`], [`DomMsg::ModeChange`].
+/// Data messages (priced `cd`): [`DomMsg::ObjData`], [`DomMsg::WriteProp`]
+/// — they carry the object payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DomMsg {
+    /// Client request: read the object (injected locally by the driver).
+    ClientRead {
+        /// The object to read.
+        object: ObjectId,
+    },
+    /// Client request: write a new version (injected locally by the
+    /// driver, which owns the per-object version counter — the stand-in
+    /// for the concurrency control that totally orders writes).
+    ClientWrite {
+        /// The object to write.
+        object: ObjectId,
+        /// The globally assigned version.
+        version: Version,
+        /// The new object payload.
+        payload: Vec<u8>,
+    },
+    /// "Send me the latest object." `saving` tells the server the
+    /// requester will store the reply (DA), so DA core members record the
+    /// requester in their join-list.
+    ReadReq {
+        /// The object requested.
+        object: ObjectId,
+        /// Whether the reply will be saved at the requester.
+        saving: bool,
+    },
+    /// The object, in reply to [`DomMsg::ReadReq`] or a quorum read.
+    ObjData {
+        /// The object carried.
+        object: ObjectId,
+        /// The version carried.
+        version: Version,
+        /// The payload.
+        payload: Vec<u8>,
+        /// Whether the requester should output it to its local database.
+        save: bool,
+    },
+    /// Quorum-read reply from a node with no valid replica.
+    NoData {
+        /// The object that was requested.
+        object: ObjectId,
+    },
+    /// A write propagated to a member of the execution set.
+    WriteProp {
+        /// The object written.
+        object: ObjectId,
+        /// The version being written.
+        version: Version,
+        /// The payload.
+        payload: Vec<u8>,
+        /// The writing processor (needed by DA core members to compute the
+        /// execution set and exclude the writer from invalidation).
+        writer: NodeId,
+    },
+    /// "Your replica is stale" — mark it invalid.
+    Invalidate {
+        /// The object invalidated.
+        object: ObjectId,
+        /// The version that superseded the local replica.
+        version: Version,
+    },
+    /// Failure handling: switch between normal DA/SA mode and
+    /// majority-quorum mode (sent by the failure detector, played by the
+    /// driver). Applies to the whole node, not one object.
+    ModeChange {
+        /// `true` = quorum mode.
+        quorum: bool,
+    },
+    /// Failure handling: instruct a recovered node to catch up via a
+    /// quorum read of one object before resuming service (the
+    /// missing-writes transition; the driver sends one per object).
+    CatchUp {
+        /// The object to catch up.
+        object: ObjectId,
+    },
+}
+
+impl DomMsg {
+    /// Whether this message carries the object payload (and is therefore
+    /// priced as a data message).
+    pub fn is_data(&self) -> bool {
+        matches!(self, DomMsg::ObjData { .. } | DomMsg::WriteProp { .. })
+    }
+
+    /// A short label for message traces.
+    pub fn label(&self) -> String {
+        match self {
+            DomMsg::ClientRead { object } => format!("ClientRead({object})"),
+            DomMsg::ClientWrite { object, version, .. } => {
+                format!("ClientWrite({object},{version})")
+            }
+            DomMsg::ReadReq { object, saving } => {
+                format!("ReadReq({object}{})", if *saving { ",saving" } else { "" })
+            }
+            DomMsg::ObjData { object, version, .. } => format!("ObjData({object},{version})"),
+            DomMsg::NoData { object } => format!("NoData({object})"),
+            DomMsg::WriteProp { object, version, .. } => {
+                format!("WriteProp({object},{version})")
+            }
+            DomMsg::Invalidate { object, version } => {
+                format!("Invalidate({object},{version})")
+            }
+            DomMsg::ModeChange { quorum } => format!("ModeChange(quorum={quorum})"),
+            DomMsg::CatchUp { object } => format!("CatchUp({object})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OBJ: ObjectId = ObjectId(0);
+
+    #[test]
+    fn data_classification() {
+        assert!(DomMsg::ObjData {
+            object: OBJ,
+            version: Version(1),
+            payload: vec![],
+            save: false
+        }
+        .is_data());
+        assert!(DomMsg::WriteProp {
+            object: OBJ,
+            version: Version(1),
+            payload: vec![],
+            writer: NodeId(0)
+        }
+        .is_data());
+        assert!(!DomMsg::ReadReq {
+            object: OBJ,
+            saving: true
+        }
+        .is_data());
+        assert!(!DomMsg::Invalidate {
+            object: OBJ,
+            version: Version(2)
+        }
+        .is_data());
+        assert!(!DomMsg::NoData { object: OBJ }.is_data());
+        assert!(!DomMsg::ModeChange { quorum: true }.is_data());
+        assert!(!DomMsg::CatchUp { object: OBJ }.is_data());
+    }
+}

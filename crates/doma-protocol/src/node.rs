@@ -1,0 +1,756 @@
+//! The per-processor protocol state machine.
+
+use crate::DomMsg;
+use doma_core::{ObjectId, ProcSet, ProcessorId};
+use doma_sim::{Actor, Context, MsgKind, NodeId, SimTime};
+use doma_storage::{CacheStats, CachedStore, IoStats, LocalStore, Version};
+use std::collections::BTreeMap;
+
+/// The object id used by the single-object convenience constructors (the
+/// paper analyzes a single object).
+pub(crate) const OBJECT: ObjectId = ObjectId(0);
+
+/// Which DOM algorithm governs one object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolConfig {
+    /// Static allocation over the fixed scheme `Q` (read-one-write-all).
+    Sa {
+        /// The fixed allocation scheme.
+        q: ProcSet,
+    },
+    /// Dynamic allocation with core `F` and a-priori floater `p`.
+    Da {
+        /// The always-current core set (size `t-1`).
+        f: ProcSet,
+        /// The designated floating member (`p ∉ F`).
+        p: ProcessorId,
+    },
+}
+
+impl ProtocolConfig {
+    /// The availability threshold `t` implied by the configuration.
+    pub fn t(&self) -> usize {
+        match self {
+            ProtocolConfig::Sa { q } => q.len(),
+            ProtocolConfig::Da { f, .. } => f.len() + 1,
+        }
+    }
+
+    /// The initial allocation scheme.
+    pub fn initial_scheme(&self) -> ProcSet {
+        match self {
+            ProtocolConfig::Sa { q } => *q,
+            ProtocolConfig::Da { f, p } => f.with(*p),
+        }
+    }
+
+    fn da_exec_set(&self, writer: ProcessorId) -> ProcSet {
+        match self {
+            ProtocolConfig::Da { f, p } => {
+                let core_or_floater = f.with(*p);
+                if core_or_floater.contains(writer) {
+                    core_or_floater
+                } else {
+                    f.with(writer)
+                }
+            }
+            ProtocolConfig::Sa { q } => *q,
+        }
+    }
+}
+
+fn proc(n: NodeId) -> ProcessorId {
+    ProcessorId::new(n.0)
+}
+
+fn node(p: ProcessorId) -> NodeId {
+    NodeId(p.index())
+}
+
+/// In-flight quorum operation state (failure mode only).
+#[derive(Debug, Clone)]
+struct PendingQuorum {
+    /// Responses assembled so far (the local replica counts as one).
+    responses: usize,
+    /// Read-quorum size: a majority of the cluster, so it intersects
+    /// every write quorum.
+    needed: usize,
+    best: Option<(Version, Vec<u8>)>,
+    store_result: bool,
+    started: SimTime,
+}
+
+/// Per-object DA bookkeeping held by core members.
+#[derive(Debug, Clone, Default)]
+struct DaObjectState {
+    /// Processors that joined via saving-reads and must be invalidated on
+    /// the next write (core members only).
+    join_list: ProcSet,
+    /// Primary core member only: the current scheme member in no
+    /// join-list — the original floater `p`, or the last outsider writer.
+    extra: Option<ProcessorId>,
+    /// Round-robin cursor for picking a serving core member.
+    serve_cursor: usize,
+}
+
+/// One processor: local store + protocol state machine, serving a catalog
+/// of objects each under its own SA/DA configuration.
+///
+/// In normal mode the node implements SA or DA exactly as specified in
+/// §4.2; in quorum mode (failure fallback, §2) reads and writes go to a
+/// majority.
+#[derive(Debug, Clone)]
+pub struct DomNode {
+    id: ProcessorId,
+    n: usize,
+    configs: BTreeMap<ObjectId, ProtocolConfig>,
+    store: CachedStore,
+    da: BTreeMap<ObjectId, DaObjectState>,
+    // --- failure mode ---
+    quorum_mode: bool,
+    pending: BTreeMap<ObjectId, PendingQuorum>,
+    // --- metrics ---
+    /// FIFO queues of outstanding read start-times, per object (open-loop
+    /// execution can have several reads of one object in flight at once).
+    read_started: BTreeMap<ObjectId, Vec<SimTime>>,
+    reads_completed: u64,
+    read_latency_ticks: u64,
+    read_latencies: Vec<u64>,
+}
+
+impl DomNode {
+    /// Creates a node serving a catalog of objects. Nodes in an object's
+    /// initial allocation scheme are preloaded with version 0 of it (no
+    /// I/O charged).
+    ///
+    /// `cache_capacity = 0` reproduces the paper's model (every read is a
+    /// local-database I/O); a positive capacity adds the CDVM-style memory
+    /// tier measured by the E16 ablation.
+    pub fn with_catalog(
+        id: ProcessorId,
+        n: usize,
+        configs: BTreeMap<ObjectId, ProtocolConfig>,
+        cache_capacity: usize,
+    ) -> Self {
+        let mut store = LocalStore::new();
+        let mut da = BTreeMap::new();
+        for (object, config) in &configs {
+            if config.initial_scheme().contains(id) {
+                store = preload(store, *object);
+            }
+            let is_primary =
+                matches!(config, ProtocolConfig::Da { f, .. } if f.any_member() == Some(id));
+            let extra = match (is_primary, config) {
+                (true, ProtocolConfig::Da { p, .. }) => Some(*p),
+                _ => None,
+            };
+            da.insert(
+                *object,
+                DaObjectState {
+                    join_list: ProcSet::EMPTY,
+                    extra,
+                    serve_cursor: 0,
+                },
+            );
+        }
+        DomNode {
+            id,
+            n,
+            configs,
+            store: CachedStore::wrap(store, cache_capacity),
+            da,
+            quorum_mode: false,
+            pending: BTreeMap::new(),
+            read_started: BTreeMap::new(),
+            reads_completed: 0,
+            read_latency_ticks: 0,
+            read_latencies: Vec::new(),
+        }
+    }
+
+    /// Single-object node with a memory cache (object id 0).
+    pub fn with_cache(
+        id: ProcessorId,
+        n: usize,
+        config: ProtocolConfig,
+        cache_capacity: usize,
+    ) -> Self {
+        let mut configs = BTreeMap::new();
+        configs.insert(OBJECT, config);
+        Self::with_catalog(id, n, configs, cache_capacity)
+    }
+
+    /// Single-object node without a memory cache (the paper's model).
+    pub fn new(id: ProcessorId, n: usize, config: ProtocolConfig) -> Self {
+        Self::with_cache(id, n, config, 0)
+    }
+
+    /// This node's processor id.
+    pub fn processor(&self) -> ProcessorId {
+        self.id
+    }
+
+    /// Memory-cache counters (all zeros when caching is disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.store.cache_stats()
+    }
+
+    /// Whether the node currently holds a valid replica of object 0.
+    pub fn holds_valid(&self) -> bool {
+        self.holds_valid_of(OBJECT)
+    }
+
+    /// Whether the node currently holds a valid replica of `object`.
+    pub fn holds_valid_of(&self, object: ObjectId) -> bool {
+        self.store.holds_valid(object)
+    }
+
+    /// The version of the local replica of object 0 (valid or stale).
+    pub fn replica_version(&self) -> Option<Version> {
+        self.replica_version_of(OBJECT)
+    }
+
+    /// The version of the local replica of `object` (valid or stale).
+    pub fn replica_version_of(&self, object: ObjectId) -> Option<Version> {
+        self.store.store().peek(object).map(|o| o.version)
+    }
+
+    /// The node's I/O counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.store.store().io_stats()
+    }
+
+    /// Completed reads and their total latency in ticks.
+    pub fn read_metrics(&self) -> (u64, u64) {
+        (self.reads_completed, self.read_latency_ticks)
+    }
+
+    /// Every completed read's individual latency, in completion order.
+    pub fn read_latencies(&self) -> &[u64] {
+        &self.read_latencies
+    }
+
+    /// The core member's current join-list for object 0.
+    pub fn join_list(&self) -> ProcSet {
+        self.da
+            .get(&OBJECT)
+            .map(|s| s.join_list)
+            .unwrap_or(ProcSet::EMPTY)
+    }
+
+    /// Whether the node is in quorum (failure) mode.
+    pub fn in_quorum_mode(&self) -> bool {
+        self.quorum_mode
+    }
+
+    /// Simulates losing volatile state and recovering the store from its
+    /// redo log (used by failure tests around engine crash events).
+    pub fn recover_from_log(&mut self) {
+        self.store.crash_and_recover();
+        self.pending.clear();
+        self.read_started.clear();
+    }
+
+    fn config(&self, object: ObjectId) -> &ProtocolConfig {
+        self.configs
+            .get(&object)
+            .unwrap_or_else(|| panic!("node {} has no config for {object}", self.id))
+    }
+
+    fn is_da_core(&self, object: ObjectId) -> bool {
+        matches!(self.config(object), ProtocolConfig::Da { f, .. } if f.contains(self.id))
+    }
+
+    fn is_da_primary(&self, object: ObjectId) -> bool {
+        matches!(self.config(object), ProtocolConfig::Da { f, .. } if f.any_member() == Some(self.id))
+    }
+
+    fn complete_read(&mut self, object: ObjectId, now: SimTime) {
+        if let Some(queue) = self.read_started.get_mut(&object) {
+            if !queue.is_empty() {
+                // Replies are served FIFO (the engine and the bus are
+                // order-preserving), so the oldest outstanding read is the
+                // one completing.
+                let started = queue.remove(0);
+                self.reads_completed += 1;
+                let latency = now.ticks() - started.ticks();
+                self.read_latency_ticks += latency;
+                self.read_latencies.push(latency);
+            }
+            if queue.is_empty() {
+                self.read_started.remove(&object);
+            }
+        }
+    }
+
+    /// All other nodes. Quorum operations contact everyone and complete
+    /// once a majority of *responses* is assembled, so individual crashed
+    /// peers cannot stall them.
+    fn all_peers(&self) -> Vec<NodeId> {
+        (0..self.n)
+            .filter(|&i| i != self.id.index())
+            .map(NodeId)
+            .collect()
+    }
+
+    /// Read/write quorum size: a majority of the cluster.
+    fn quorum_size(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    fn start_quorum_read(&mut self, ctx: &mut Context<DomMsg>, object: ObjectId, store_result: bool) {
+        let local = self.store.input(object);
+        self.pending.insert(
+            object,
+            PendingQuorum {
+                responses: usize::from(local.is_some()),
+                needed: self.quorum_size(),
+                best: local,
+                store_result,
+                started: ctx.now(),
+            },
+        );
+        for peer in self.all_peers() {
+            ctx.send(
+                peer,
+                MsgKind::Control,
+                DomMsg::ReadReq {
+                    object,
+                    saving: false,
+                },
+            );
+        }
+        // Degenerate single-node cluster: the local replica is the quorum.
+        self.maybe_finish_quorum(ctx, object);
+    }
+
+    fn handle_client_read(&mut self, ctx: &mut Context<DomMsg>, object: ObjectId) {
+        self.read_started.entry(object).or_default().push(ctx.now());
+        if self.quorum_mode {
+            self.start_quorum_read(ctx, object, false);
+            return;
+        }
+        match self.config(object).clone() {
+            ProtocolConfig::Sa { q } => {
+                if q.contains(self.id) {
+                    let got = self.store.input(object);
+                    debug_assert!(got.is_some(), "SA member must hold a valid replica");
+                    self.complete_read(object, ctx.now());
+                } else {
+                    let server = q.any_member().expect("Q non-empty");
+                    ctx.send(
+                        node(server),
+                        MsgKind::Control,
+                        DomMsg::ReadReq {
+                            object,
+                            saving: false,
+                        },
+                    );
+                }
+            }
+            ProtocolConfig::Da { f, .. } => {
+                if self.store.holds_valid(object) {
+                    self.store.input(object);
+                    self.complete_read(object, ctx.now());
+                } else {
+                    let members: Vec<ProcessorId> = f.iter().collect();
+                    let state = self.da.get_mut(&object).expect("configured object");
+                    let server = members[state.serve_cursor % members.len()];
+                    state.serve_cursor = state.serve_cursor.wrapping_add(1);
+                    ctx.send(
+                        node(server),
+                        MsgKind::Control,
+                        DomMsg::ReadReq {
+                            object,
+                            saving: true,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn handle_client_write(
+        &mut self,
+        ctx: &mut Context<DomMsg>,
+        object: ObjectId,
+        version: Version,
+        payload: Vec<u8>,
+    ) {
+        if self.quorum_mode {
+            // Quorum write: store locally, propagate to all peers; the
+            // live ones (a majority, else the cluster is unavailable
+            // anyway) apply it.
+            self.store.output(object, version, payload.clone());
+            for peer in self.all_peers() {
+                ctx.send(
+                    peer,
+                    MsgKind::Data,
+                    DomMsg::WriteProp {
+                        object,
+                        version,
+                        payload: payload.clone(),
+                        writer: node(self.id),
+                    },
+                );
+            }
+            return;
+        }
+        match self.config(object).clone() {
+            ProtocolConfig::Sa { q } => {
+                if q.contains(self.id) {
+                    self.store.output(object, version, payload.clone());
+                }
+                for member in q.iter().filter(|&m| m != self.id) {
+                    ctx.send(
+                        node(member),
+                        MsgKind::Data,
+                        DomMsg::WriteProp {
+                            object,
+                            version,
+                            payload: payload.clone(),
+                            writer: node(self.id),
+                        },
+                    );
+                }
+            }
+            ProtocolConfig::Da { .. } => {
+                let exec = self.config(object).da_exec_set(self.id);
+                debug_assert!(exec.contains(self.id), "DA writers are always in X");
+                self.store.output(object, version, payload.clone());
+                for member in exec.iter().filter(|&m| m != self.id) {
+                    ctx.send(
+                        node(member),
+                        MsgKind::Data,
+                        DomMsg::WriteProp {
+                            object,
+                            version,
+                            payload: payload.clone(),
+                            writer: node(self.id),
+                        },
+                    );
+                }
+                if self.is_da_core(object) {
+                    // The writer is itself a core member: do its
+                    // invalidation duties immediately.
+                    self.da_invalidate_duties(ctx, object, version, self.id);
+                }
+            }
+        }
+    }
+
+    /// A core member's duties when it learns of the write of `version` by
+    /// `writer`: invalidate its join-list outside the new execution set,
+    /// and (primary only) invalidate and re-track the "extra" member.
+    fn da_invalidate_duties(
+        &mut self,
+        ctx: &mut Context<DomMsg>,
+        object: ObjectId,
+        version: Version,
+        writer: ProcessorId,
+    ) {
+        let config = self.config(object).clone();
+        let exec = config.da_exec_set(writer);
+        let spare = exec.with(writer);
+        let primary = self.is_da_primary(object);
+        let state = self.da.get_mut(&object).expect("configured object");
+        for member in state.join_list.iter().filter(|m| !spare.contains(*m)) {
+            ctx.send(
+                node(member),
+                MsgKind::Control,
+                DomMsg::Invalidate { object, version },
+            );
+        }
+        state.join_list = ProcSet::EMPTY;
+        if primary {
+            if let Some(extra) = state.extra {
+                if !spare.contains(extra) {
+                    ctx.send(
+                        node(extra),
+                        MsgKind::Control,
+                        DomMsg::Invalidate { object, version },
+                    );
+                }
+            }
+            // The new extra member: the original floater if the writer is
+            // core-or-floater, otherwise the writer itself.
+            state.extra = match &config {
+                ProtocolConfig::Da { f, p } => {
+                    if f.with(*p).contains(writer) {
+                        Some(*p)
+                    } else {
+                        Some(writer)
+                    }
+                }
+                ProtocolConfig::Sa { .. } => None,
+            };
+        }
+    }
+
+    fn handle_quorum_reply(
+        &mut self,
+        ctx: &mut Context<DomMsg>,
+        object: ObjectId,
+        reply: Option<(Version, Vec<u8>)>,
+    ) {
+        let Some(pending) = self.pending.get_mut(&object) else {
+            return;
+        };
+        if let Some((v, d)) = reply {
+            match &pending.best {
+                Some((bv, _)) if *bv >= v => {}
+                _ => pending.best = Some((v, d)),
+            }
+        }
+        pending.responses += 1;
+        self.maybe_finish_quorum(ctx, object);
+    }
+
+    fn maybe_finish_quorum(&mut self, ctx: &mut Context<DomMsg>, object: ObjectId) {
+        let finished = self
+            .pending
+            .get(&object)
+            .is_some_and(|p| p.responses >= p.needed);
+        if finished {
+            let done = self.pending.remove(&object).expect("just checked");
+            if let Some((v, d)) = done.best {
+                if done.store_result {
+                    self.store.output(object, v, d);
+                }
+            }
+            if self.read_started.contains_key(&object) {
+                self.complete_read(object, ctx.now());
+            } else {
+                // CatchUp completion: nothing further to do.
+                let _ = done.started;
+            }
+        }
+    }
+}
+
+fn preload(mut store: LocalStore, object: ObjectId) -> LocalStore {
+    // Same semantics as LocalStore::with_initial, but composable over
+    // many objects: preload without charging I/O.
+    let preloaded = LocalStore::with_initial(object, Version::INITIAL, b"initial".to_vec());
+    if store.is_empty() {
+        return preloaded;
+    }
+    // Merge: replay is cheap at construction time.
+    for (obj, version, payload, valid) in preloaded.log().replay() {
+        if valid {
+            store.output(obj, version, payload);
+        }
+    }
+    store.reset_io_stats();
+    store
+}
+
+impl Actor<DomMsg> for DomNode {
+    fn on_message(&mut self, ctx: &mut Context<DomMsg>, from: NodeId, _kind: MsgKind, msg: DomMsg) {
+        match msg {
+            DomMsg::ClientRead { object } => self.handle_client_read(ctx, object),
+            DomMsg::ClientWrite {
+                object,
+                version,
+                payload,
+            } => self.handle_client_write(ctx, object, version, payload),
+            DomMsg::ReadReq { object, saving } => {
+                match self.store.input(object) {
+                    Some((version, payload)) => {
+                        if saving && self.is_da_core(object) {
+                            self.da
+                                .get_mut(&object)
+                                .expect("configured object")
+                                .join_list
+                                .insert(proc(from));
+                        }
+                        ctx.send(
+                            from,
+                            MsgKind::Data,
+                            DomMsg::ObjData {
+                                object,
+                                version,
+                                payload,
+                                save: saving,
+                            },
+                        );
+                    }
+                    None => {
+                        // Only possible in quorum mode (normal-mode servers
+                        // always hold valid replicas — asserted by tests).
+                        ctx.send(from, MsgKind::Control, DomMsg::NoData { object });
+                    }
+                }
+            }
+            DomMsg::ObjData {
+                object,
+                version,
+                payload,
+                save,
+            } => {
+                if self.pending.contains_key(&object) {
+                    self.handle_quorum_reply(ctx, object, Some((version, payload)));
+                } else {
+                    if save {
+                        self.store.output(object, version, payload);
+                    }
+                    self.complete_read(object, ctx.now());
+                }
+            }
+            DomMsg::NoData { object } => self.handle_quorum_reply(ctx, object, None),
+            DomMsg::WriteProp {
+                object,
+                version,
+                payload,
+                writer,
+            } => {
+                self.store.output(object, version, payload);
+                if !self.quorum_mode && self.is_da_core(object) {
+                    self.da_invalidate_duties(ctx, object, version, proc(writer));
+                }
+            }
+            DomMsg::Invalidate { object, .. } => {
+                self.store.invalidate(object);
+            }
+            DomMsg::ModeChange { quorum } => {
+                self.quorum_mode = quorum;
+                if !quorum {
+                    // Re-entering normal mode: quorum writes replicated to
+                    // everyone, but DA's invariant is that exactly
+                    // F ∪ {p} hold each object (join-lists empty, floater
+                    // = p). Nodes outside that set drop their replicas
+                    // locally — no messages, the mode change itself was
+                    // the coordination.
+                    let objects: Vec<ObjectId> = self.configs.keys().copied().collect();
+                    for object in objects {
+                        if let ProtocolConfig::Da { f, p } = self.config(object).clone() {
+                            if !f.with(p).contains(self.id) {
+                                self.store.invalidate(object);
+                            }
+                            let primary = self.is_da_primary(object);
+                            let state = self.da.get_mut(&object).expect("configured");
+                            if f.contains(self.id) {
+                                state.join_list = ProcSet::EMPTY;
+                            }
+                            if primary {
+                                state.extra = Some(p);
+                            }
+                        }
+                    }
+                }
+            }
+            DomMsg::CatchUp { object } => {
+                // Missing-writes transition: quorum-read the latest version
+                // and store it locally before resuming service.
+                self.start_quorum_read(ctx, object, true);
+            }
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // Volatile state is lost; the store survives on "stable storage"
+        // (its redo log). In-memory table is rebuilt on recovery.
+        self.pending.clear();
+        self.read_started.clear();
+    }
+
+    fn on_recover(&mut self, _ctx: &mut Context<DomMsg>) {
+        self.recover_from_log();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(v: &[usize]) -> ProcSet {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn config_accessors() {
+        let sa = ProtocolConfig::Sa { q: ps(&[0, 1, 2]) };
+        assert_eq!(sa.t(), 3);
+        assert_eq!(sa.initial_scheme(), ps(&[0, 1, 2]));
+        let da = ProtocolConfig::Da {
+            f: ps(&[0]),
+            p: ProcessorId::new(1),
+        };
+        assert_eq!(da.t(), 2);
+        assert_eq!(da.initial_scheme(), ps(&[0, 1]));
+        assert_eq!(da.da_exec_set(ProcessorId::new(0)), ps(&[0, 1]));
+        assert_eq!(da.da_exec_set(ProcessorId::new(1)), ps(&[0, 1]));
+        assert_eq!(da.da_exec_set(ProcessorId::new(4)), ps(&[0, 4]));
+    }
+
+    #[test]
+    fn initial_replicas_preloaded() {
+        let cfg = ProtocolConfig::Da {
+            f: ps(&[0]),
+            p: ProcessorId::new(1),
+        };
+        let member = DomNode::new(ProcessorId::new(0), 4, cfg.clone());
+        assert!(member.holds_valid());
+        assert_eq!(member.io_stats().total(), 0);
+        let outsider = DomNode::new(ProcessorId::new(3), 4, cfg);
+        assert!(!outsider.holds_valid());
+    }
+
+    #[test]
+    fn primary_tracks_floater() {
+        let cfg = ProtocolConfig::Da {
+            f: ps(&[0, 2]),
+            p: ProcessorId::new(3),
+        };
+        let primary = DomNode::new(ProcessorId::new(0), 5, cfg.clone());
+        assert!(primary.is_da_primary(OBJECT));
+        assert_eq!(primary.da[&OBJECT].extra, Some(ProcessorId::new(3)));
+        let other_core = DomNode::new(ProcessorId::new(2), 5, cfg);
+        assert!(!other_core.is_da_primary(OBJECT));
+        assert_eq!(other_core.da[&OBJECT].extra, None);
+    }
+
+    #[test]
+    fn quorum_peers_exclude_self_and_quorum_is_majority() {
+        let cfg = ProtocolConfig::Sa { q: ps(&[0, 1]) };
+        let n = DomNode::new(ProcessorId::new(1), 5, cfg);
+        let peers = n.all_peers();
+        assert_eq!(peers.len(), 4);
+        assert!(!peers.contains(&NodeId(1)));
+        assert_eq!(n.quorum_size(), 3);
+    }
+
+    #[test]
+    fn catalog_preloads_per_object_schemes() {
+        let mut configs = BTreeMap::new();
+        configs.insert(
+            ObjectId(1),
+            ProtocolConfig::Da {
+                f: ps(&[0]),
+                p: ProcessorId::new(1),
+            },
+        );
+        configs.insert(
+            ObjectId(2),
+            ProtocolConfig::Da {
+                f: ps(&[2]),
+                p: ProcessorId::new(3),
+            },
+        );
+        let node0 = DomNode::with_catalog(ProcessorId::new(0), 4, configs.clone(), 0);
+        assert!(node0.holds_valid_of(ObjectId(1)));
+        assert!(!node0.holds_valid_of(ObjectId(2)));
+        assert_eq!(node0.io_stats().total(), 0, "preloads charge no I/O");
+        let node2 = DomNode::with_catalog(ProcessorId::new(2), 4, configs, 0);
+        assert!(!node2.holds_valid_of(ObjectId(1)));
+        assert!(node2.holds_valid_of(ObjectId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no config")]
+    fn unknown_object_panics() {
+        let cfg = ProtocolConfig::Sa { q: ps(&[0, 1]) };
+        let n = DomNode::new(ProcessorId::new(0), 4, cfg);
+        let _ = n.config(ObjectId(99));
+    }
+}

@@ -1,0 +1,836 @@
+//! The protocol driver: executes a schedule on a simulated cluster.
+
+use crate::node::OBJECT;
+use crate::{DomMsg, DomNode, ProtocolConfig};
+use doma_core::{
+    CostVector, DomaError, MultiRequest, MultiSchedule, ObjectId, ProcSet, ProcessorId, Request,
+    Result, Schedule,
+};
+use doma_sim::{Engine, EngineConfig, NodeId};
+use doma_storage::Version;
+use std::collections::BTreeMap;
+
+/// The outcome of executing a schedule on the simulated cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Exact resource tallies: control/data messages sent on the wire and
+    /// I/O operations performed against the local stores. Directly
+    /// comparable to [`doma_core::cost_of_schedule`]'s totals.
+    pub cost: CostVector,
+    /// Processors holding a *valid* replica after the schedule — the final
+    /// allocation scheme.
+    pub final_holders: ProcSet,
+    /// Completed reads.
+    pub reads_completed: u64,
+    /// Mean read latency in simulator ticks (0 if no reads).
+    pub mean_read_latency: f64,
+    /// Messages dropped at crashed nodes (0 in failure-free runs).
+    pub dropped_messages: u64,
+}
+
+/// Response statistics of one concurrent read burst (see
+/// [`ProtocolSim::execute_read_burst`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstReport {
+    /// Reads completed in the burst.
+    pub completed: u64,
+    /// Mean response time of the burst's reads, in ticks.
+    pub mean_response: f64,
+    /// Ticks from injection until the cluster went quiet.
+    pub makespan: u64,
+    /// Ticks the burst's messages spent queueing for the shared bus
+    /// (0 with the point-to-point medium).
+    pub bus_queue_wait: u64,
+}
+
+/// The outcome of an open-loop run (see
+/// [`ProtocolSim::execute_open_loop`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopReport {
+    /// Mean read response time in ticks.
+    pub mean_response: f64,
+    /// Every read's latency, for percentile analysis.
+    pub latencies: Vec<u64>,
+    /// Total virtual time the run took.
+    pub makespan: u64,
+    /// Ticks spent queueing for the shared bus during the run.
+    pub bus_queue_wait: u64,
+}
+
+/// A simulated cluster running SA or DA, fed one request at a time (the
+/// schedule is totally ordered by assumption — §3.1).
+///
+/// ```
+/// use doma_protocol::ProtocolSim;
+/// use doma_core::{ProcSet, ProcessorId, Schedule};
+///
+/// // The §2 mobile configuration: base station 0 is the core.
+/// let mut sim = ProtocolSim::new_da(5, ProcSet::from_iter([0]), ProcessorId::new(1)).unwrap();
+/// let schedule: Schedule = "r2 r2 w3 r2".parse().unwrap();
+/// let report = sim.execute(&schedule).unwrap();
+/// assert_eq!(report.final_holders, ProcSet::from_iter([0, 2, 3]));
+/// ```
+pub struct ProtocolSim {
+    engine: Engine<DomMsg, DomNode>,
+    configs: BTreeMap<ObjectId, ProtocolConfig>,
+    n: usize,
+    next_version: BTreeMap<ObjectId, Version>,
+}
+
+impl ProtocolSim {
+    /// Builds an SA cluster of `n` nodes with fixed scheme `q`.
+    pub fn new_sa(n: usize, q: ProcSet) -> Result<Self> {
+        Self::new_sa_with(n, q, doma_sim::NetworkConfig::default())
+    }
+
+    /// Builds an SA cluster with an explicit network model (e.g. the
+    /// shared-bus medium for the contention experiments).
+    pub fn new_sa_with(n: usize, q: ProcSet, network: doma_sim::NetworkConfig) -> Result<Self> {
+        if q.len() < 2 {
+            return Err(DomaError::InvalidConfig("SA requires |Q| >= 2".into()));
+        }
+        Self::build(n, ProtocolConfig::Sa { q }, network)
+    }
+
+    /// Builds a DA cluster of `n` nodes with core `f` and floater `p`.
+    pub fn new_da(n: usize, f: ProcSet, p: ProcessorId) -> Result<Self> {
+        Self::new_da_with(n, f, p, doma_sim::NetworkConfig::default())
+    }
+
+    /// Builds a DA cluster with an explicit network model.
+    pub fn new_da_with(
+        n: usize,
+        f: ProcSet,
+        p: ProcessorId,
+        network: doma_sim::NetworkConfig,
+    ) -> Result<Self> {
+        if f.is_empty() || f.contains(p) {
+            return Err(DomaError::InvalidConfig(
+                "DA requires non-empty F with p outside F".into(),
+            ));
+        }
+        Self::build(n, ProtocolConfig::Da { f, p }, network)
+    }
+
+    /// The §2 mobile deployment: `t = 2`, the core is the base station
+    /// (processor 0), the floater is processor 1; `n` processors total.
+    pub fn mobile(n: usize) -> Result<Self> {
+        Self::new_da(n, ProcSet::from_iter([0usize]), ProcessorId::new(1))
+    }
+
+    /// Builds an SA cluster whose nodes have a memory cache of
+    /// `cache_capacity` objects (0 = the paper's no-cache model). For the
+    /// E16 cache-sensitivity ablation.
+    pub fn new_sa_cached(n: usize, q: ProcSet, cache_capacity: usize) -> Result<Self> {
+        if q.len() < 2 {
+            return Err(DomaError::InvalidConfig("SA requires |Q| >= 2".into()));
+        }
+        Self::build_cached(
+            n,
+            ProtocolConfig::Sa { q },
+            doma_sim::NetworkConfig::default(),
+            cache_capacity,
+        )
+    }
+
+    /// Builds a DA cluster whose nodes have a memory cache of
+    /// `cache_capacity` objects (0 = the paper's no-cache model).
+    pub fn new_da_cached(
+        n: usize,
+        f: ProcSet,
+        p: ProcessorId,
+        cache_capacity: usize,
+    ) -> Result<Self> {
+        if f.is_empty() || f.contains(p) {
+            return Err(DomaError::InvalidConfig(
+                "DA requires non-empty F with p outside F".into(),
+            ));
+        }
+        Self::build_cached(
+            n,
+            ProtocolConfig::Da { f, p },
+            doma_sim::NetworkConfig::default(),
+            cache_capacity,
+        )
+    }
+
+    fn build(n: usize, config: ProtocolConfig, network: doma_sim::NetworkConfig) -> Result<Self> {
+        Self::build_cached(n, config, network, 0)
+    }
+
+    fn build_cached(
+        n: usize,
+        config: ProtocolConfig,
+        network: doma_sim::NetworkConfig,
+        cache_capacity: usize,
+    ) -> Result<Self> {
+        let mut configs = BTreeMap::new();
+        configs.insert(OBJECT, config);
+        Self::build_catalog(n, configs, network, cache_capacity)
+    }
+
+    /// Builds a cluster serving a whole catalog of objects, each with its
+    /// own SA/DA configuration (the multi-object extension; per-object
+    /// costs are independent, and the integration tests verify the
+    /// protocol's tallies match the analytic multi-object allocator).
+    pub fn new_catalog(n: usize, configs: BTreeMap<ObjectId, ProtocolConfig>) -> Result<Self> {
+        Self::build_catalog(n, configs, doma_sim::NetworkConfig::default(), 0)
+    }
+
+    fn build_catalog(
+        n: usize,
+        configs: BTreeMap<ObjectId, ProtocolConfig>,
+        network: doma_sim::NetworkConfig,
+        cache_capacity: usize,
+    ) -> Result<Self> {
+        if n == 0 || n > doma_core::MAX_PROCESSORS {
+            return Err(DomaError::InvalidConfig(format!("bad cluster size {n}")));
+        }
+        if configs.is_empty() {
+            return Err(DomaError::InvalidConfig("empty object catalog".into()));
+        }
+        for (object, config) in &configs {
+            if !config.initial_scheme().is_subset(ProcSet::universe(n)) {
+                return Err(DomaError::InvalidConfig(format!(
+                    "initial scheme of {object} outside the cluster"
+                )));
+            }
+            match config {
+                ProtocolConfig::Sa { q } if q.len() < 2 => {
+                    return Err(DomaError::InvalidConfig(format!(
+                        "{object}: SA requires |Q| >= 2"
+                    )));
+                }
+                ProtocolConfig::Da { f, p } if f.is_empty() || f.contains(*p) => {
+                    return Err(DomaError::InvalidConfig(format!(
+                        "{object}: DA requires non-empty F with p outside F"
+                    )));
+                }
+                _ => {}
+            }
+        }
+        let mut engine = Engine::new(EngineConfig {
+            max_events: 1_000_000,
+            network,
+        });
+        for i in 0..n {
+            engine.add_node(DomNode::with_catalog(
+                ProcessorId::new(i),
+                n,
+                configs.clone(),
+                cache_capacity,
+            ));
+        }
+        let next_version = configs
+            .keys()
+            .map(|object| (*object, Version::INITIAL.next()))
+            .collect();
+        Ok(ProtocolSim {
+            engine,
+            configs,
+            n,
+            next_version,
+        })
+    }
+
+    /// The configuration of object 0 (the single-object constructors'
+    /// object).
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.configs[&OBJECT]
+    }
+
+    /// The full object catalog.
+    pub fn catalog(&self) -> &BTreeMap<ObjectId, ProtocolConfig> {
+        &self.configs
+    }
+
+    /// Access to the underlying engine (failure injection, inspection).
+    pub fn engine_mut(&mut self) -> &mut Engine<DomMsg, DomNode> {
+        &mut self.engine
+    }
+
+    /// Read-only access to the underlying engine.
+    pub fn engine_ref(&self) -> &Engine<DomMsg, DomNode> {
+        &self.engine
+    }
+
+    /// Attaches a message trace (bounded to `capacity` records) and
+    /// returns the handle; every subsequent delivery/drop is recorded with
+    /// a human-readable label.
+    pub fn attach_tracer(&mut self, capacity: usize) -> doma_sim::TraceHandle {
+        let trace = doma_sim::TraceHandle::new(capacity);
+        self.engine.set_tracer(trace.clone(), DomMsg::label);
+        trace
+    }
+
+    /// Executes one request against object 0 to quiescence.
+    pub fn execute_request(&mut self, request: Request) -> Result<()> {
+        self.execute_request_on(OBJECT, request)
+    }
+
+    /// Executes one request against `object` to quiescence.
+    pub fn execute_request_on(&mut self, object: ObjectId, request: Request) -> Result<()> {
+        if request.issuer.index() >= self.n {
+            return Err(DomaError::InvalidConfig(format!(
+                "request {request} outside cluster of {}",
+                self.n
+            )));
+        }
+        if !self.configs.contains_key(&object) {
+            return Err(DomaError::InvalidConfig(format!(
+                "{object} not in the cluster's catalog"
+            )));
+        }
+        let to = NodeId(request.issuer.index());
+        let msg = if request.is_read() {
+            DomMsg::ClientRead { object }
+        } else {
+            let version = self.next_version[&object];
+            self.next_version.insert(object, version.next());
+            DomMsg::ClientWrite {
+                object,
+                version,
+                payload: format!("payload-{}-{}", object.0, version.0).into_bytes(),
+            }
+        };
+        self.engine.inject(to, 1, msg);
+        self.engine.run_until_idle();
+        Ok(())
+    }
+
+    /// Open-loop execution: injects the schedule's requests at a fixed
+    /// arrival `interval` (in ticks) *without* waiting for each to finish.
+    /// Runs of consecutive reads overlap freely (legal — §3.1 allows reads
+    /// between consecutive writes to execute concurrently); a write acts
+    /// as a barrier: the cluster quiesces before and after it, preserving
+    /// the total order of writes the model assumes.
+    ///
+    /// Returns per-read latencies so callers can compute percentiles —
+    /// this is the "load → contention → response time" experiment of the
+    /// paper's introduction, in its general form.
+    pub fn execute_open_loop(
+        &mut self,
+        schedule: &Schedule,
+        interval: u64,
+    ) -> Result<OpenLoopReport> {
+        let lat_before: Vec<usize> = (0..self.n)
+            .map(|i| self.engine.actor(NodeId(i)).read_latencies().len())
+            .collect();
+        let wait_before = self.engine.bus_queue_wait();
+        let start = self.engine.now();
+        let mut pending_offset = 0u64;
+        for request in schedule.iter() {
+            if request.issuer.index() >= self.n {
+                return Err(DomaError::InvalidConfig(format!(
+                    "request {request} outside cluster of {}",
+                    self.n
+                )));
+            }
+            if request.is_read() {
+                pending_offset += interval;
+                self.engine.inject(
+                    NodeId(request.issuer.index()),
+                    pending_offset,
+                    DomMsg::ClientRead { object: OBJECT },
+                );
+            } else {
+                // Barrier: drain the in-flight reads, then the write.
+                self.engine.run_until_idle();
+                pending_offset = 0;
+                self.execute_request(request)?;
+            }
+        }
+        self.engine.run_until_idle();
+        let mut latencies = Vec::new();
+        #[allow(clippy::needless_range_loop)] // i is both NodeId and index
+        for i in 0..self.n {
+            latencies
+                .extend_from_slice(&self.engine.actor(NodeId(i)).read_latencies()[lat_before[i]..]);
+        }
+        let mean = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
+        };
+        Ok(OpenLoopReport {
+            mean_response: mean,
+            latencies,
+            makespan: self.engine.now().ticks().saturating_sub(start.ticks()),
+            bus_queue_wait: self.engine.bus_queue_wait() - wait_before,
+        })
+    }
+
+    /// Executes an interleaved multi-object schedule to quiescence.
+    pub fn execute_multi(&mut self, schedule: &MultiSchedule) -> Result<SimReport> {
+        for MultiRequest { object, request } in schedule.requests() {
+            self.execute_request_on(*object, *request)?;
+        }
+        Ok(self.report())
+    }
+
+    /// Injects simultaneous reads from all `readers` (legal under the
+    /// model — reads between consecutive writes may execute concurrently,
+    /// §3.1) and runs to quiescence. Returns the burst's response
+    /// statistics — the quantity the introduction's Ethernet-contention
+    /// argument is about.
+    pub fn execute_read_burst(&mut self, readers: &[ProcessorId]) -> Result<BurstReport> {
+        for reader in readers {
+            if reader.index() >= self.n {
+                return Err(DomaError::InvalidConfig(format!(
+                    "reader {reader} outside cluster of {}",
+                    self.n
+                )));
+            }
+        }
+        let before = self.report();
+        let wait_before = self.engine.bus_queue_wait();
+        let start = self.engine.now();
+        for reader in readers {
+            self.engine
+                .inject(NodeId(reader.index()), 1, DomMsg::ClientRead { object: OBJECT });
+        }
+        self.engine.run_until_idle();
+        let after = self.report();
+        let completed = after.reads_completed - before.reads_completed;
+        let total_latency_after = after.mean_read_latency * after.reads_completed as f64;
+        let total_latency_before = before.mean_read_latency * before.reads_completed as f64;
+        Ok(BurstReport {
+            completed,
+            mean_response: if completed > 0 {
+                (total_latency_after - total_latency_before) / completed as f64
+            } else {
+                0.0
+            },
+            makespan: self.engine.now().ticks().saturating_sub(start.ticks() + 1),
+            bus_queue_wait: self.engine.bus_queue_wait() - wait_before,
+        })
+    }
+
+    /// Executes a whole schedule to quiescence and reports exact tallies.
+    pub fn execute(&mut self, schedule: &Schedule) -> Result<SimReport> {
+        for request in schedule.iter() {
+            self.execute_request(request)?;
+        }
+        Ok(self.report())
+    }
+
+    /// The current report (tallies since construction).
+    pub fn report(&self) -> SimReport {
+        let net = self.engine.net_stats().snapshot();
+        let mut io = 0u64;
+        let mut holders = ProcSet::EMPTY;
+        let mut reads = 0u64;
+        let mut latency = 0u64;
+        for i in 0..self.n {
+            let node = self.engine.actor(NodeId(i));
+            io += node.io_stats().total();
+            if node.holds_valid() {
+                holders.insert(ProcessorId::new(i));
+            }
+            let (r, l) = node.read_metrics();
+            reads += r;
+            latency += l;
+        }
+        SimReport {
+            cost: CostVector::new(net.control_sent, net.data_sent, io),
+            final_holders: holders,
+            reads_completed: reads,
+            mean_read_latency: if reads > 0 {
+                latency as f64 / reads as f64
+            } else {
+                0.0
+            },
+            dropped_messages: net.dropped,
+        }
+    }
+
+    /// Aggregate memory-cache counters across all nodes (zeros when
+    /// caching is disabled).
+    pub fn cache_stats(&self) -> doma_storage::CacheStats {
+        let mut total = doma_storage::CacheStats::default();
+        for i in 0..self.n {
+            let s = self.engine.actor(NodeId(i)).cache_stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+        }
+        total
+    }
+
+    /// The highest version of object 0 written so far (INITIAL if none).
+    pub fn latest_version(&self) -> Version {
+        Version(self.next_version[&OBJECT].0 - 1)
+    }
+
+    /// The set of nodes whose stores hold the given version of object 0
+    /// *validly*.
+    pub fn holders_of(&self, version: Version) -> ProcSet {
+        let mut holders = ProcSet::EMPTY;
+        for i in 0..self.n {
+            let node = self.engine.actor(NodeId(i));
+            if node.holds_valid() && node.replica_version() == Some(version) {
+                holders.insert(ProcessorId::new(i));
+            }
+        }
+        holders
+    }
+
+    /// The set of nodes holding a valid replica of `object`.
+    pub fn valid_holders_of(&self, object: ObjectId) -> ProcSet {
+        let mut holders = ProcSet::EMPTY;
+        for i in 0..self.n {
+            if self.engine.actor(NodeId(i)).holds_valid_of(object) {
+                holders.insert(ProcessorId::new(i));
+            }
+        }
+        holders
+    }
+
+    /// Convenience for tests: the object id used by the cluster.
+    pub fn object() -> doma_core::ObjectId {
+        OBJECT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doma_algorithms::{DynamicAllocation, StaticAllocation};
+    use doma_core::run_online;
+
+    fn ps(v: &[usize]) -> ProcSet {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(ProtocolSim::new_sa(4, ps(&[0])).is_err());
+        assert!(ProtocolSim::new_sa(0, ps(&[0, 1])).is_err());
+        assert!(ProtocolSim::new_sa(3, ps(&[0, 5])).is_err());
+        assert!(ProtocolSim::new_da(4, ProcSet::EMPTY, ProcessorId::new(1)).is_err());
+        assert!(ProtocolSim::new_da(4, ps(&[1]), ProcessorId::new(1)).is_err());
+        assert!(ProtocolSim::new_sa(4, ps(&[0, 1])).is_ok());
+    }
+
+    #[test]
+    fn rejects_requests_outside_cluster() {
+        let mut sim = ProtocolSim::new_sa(3, ps(&[0, 1])).unwrap();
+        assert!(sim.execute_request(Request::read(7usize)).is_err());
+    }
+
+    /// The headline integration property: the simulated protocol's exact
+    /// tallies equal the analytic cost engine's, message for message.
+    #[test]
+    fn sa_tallies_match_analytic_cost_engine() {
+        let schedule: Schedule = "r2 r0 w3 r1 w0 r3 r3 w2 r2".parse().unwrap();
+        let mut sim = ProtocolSim::new_sa(4, ps(&[0, 1])).unwrap();
+        let report = sim.execute(&schedule).unwrap();
+
+        let mut sa = StaticAllocation::new(ps(&[0, 1])).unwrap();
+        let analytic = run_online(&mut sa, &schedule).unwrap();
+        assert_eq!(report.cost, analytic.costed.total);
+        assert_eq!(report.final_holders, analytic.costed.final_scheme);
+        assert_eq!(report.dropped_messages, 0);
+    }
+
+    #[test]
+    fn da_tallies_match_analytic_cost_engine() {
+        let schedule: Schedule = "r2 r2 w3 r2 r1 w0 r3 w2 r0 r2 w1 r3".parse().unwrap();
+        let mut sim = ProtocolSim::new_da(4, ps(&[0]), ProcessorId::new(1)).unwrap();
+        let report = sim.execute(&schedule).unwrap();
+
+        let mut da = DynamicAllocation::new(ps(&[0]), ProcessorId::new(1)).unwrap();
+        let analytic = run_online(&mut da, &schedule).unwrap();
+        assert_eq!(report.cost, analytic.costed.total);
+        assert_eq!(report.final_holders, analytic.costed.final_scheme);
+    }
+
+    #[test]
+    fn da_with_larger_core_matches_too() {
+        let schedule: Schedule = "r4 w2 r4 r4 w4 r0 r3 w3 r4".parse().unwrap();
+        let mut sim = ProtocolSim::new_da(5, ps(&[0, 1]), ProcessorId::new(2)).unwrap();
+        let report = sim.execute(&schedule).unwrap();
+
+        let mut da = DynamicAllocation::new(ps(&[0, 1]), ProcessorId::new(2)).unwrap();
+        let analytic = run_online(&mut da, &schedule).unwrap();
+        assert_eq!(report.cost, analytic.costed.total);
+        assert_eq!(report.final_holders, analytic.costed.final_scheme);
+    }
+
+    #[test]
+    fn reads_always_observe_latest_version() {
+        // Linearizability at the schedule level: after each write, every
+        // subsequent read (anywhere) returns the new version.
+        let mut sim = ProtocolSim::new_da(4, ps(&[0]), ProcessorId::new(1)).unwrap();
+        sim.execute_request(Request::write(3usize)).unwrap();
+        let v1 = sim.latest_version();
+        sim.execute_request(Request::read(2usize)).unwrap();
+        // Reader 2 saved the object: it must hold v1.
+        assert!(sim.holders_of(v1).contains(ProcessorId::new(2)));
+        sim.execute_request(Request::write(0usize)).unwrap();
+        let v2 = sim.latest_version();
+        // 2's replica is now stale; holders of v2 are exactly {0, 1}.
+        assert_eq!(sim.holders_of(v2), ps(&[0, 1]));
+        assert!(!sim.holders_of(v1).contains(ProcessorId::new(2)));
+    }
+
+    #[test]
+    fn local_reads_have_zero_latency_remote_reads_do_not() {
+        let mut sim = ProtocolSim::new_da(4, ps(&[0]), ProcessorId::new(1)).unwrap();
+        sim.execute_request(Request::read(0usize)).unwrap(); // local
+        let r = sim.report();
+        assert_eq!(r.reads_completed, 1);
+        assert_eq!(r.mean_read_latency, 0.0);
+        sim.execute_request(Request::read(3usize)).unwrap(); // remote
+        let r = sim.report();
+        assert_eq!(r.reads_completed, 2);
+        assert!(r.mean_read_latency > 0.0);
+    }
+
+    #[test]
+    fn trace_records_the_da_message_choreography() {
+        let mut sim = ProtocolSim::new_da(4, ps(&[0]), ProcessorId::new(1)).unwrap();
+        let trace = sim.attach_tracer(64);
+        // Saving-read by 2, then a core write that must invalidate 2.
+        sim.execute_request(Request::read(2usize)).unwrap();
+        sim.execute_request(Request::write(0usize)).unwrap();
+        let labels: Vec<String> = trace
+            .snapshot()
+            .iter()
+            .map(|r| format!("{}->{} {}", r.from.0, r.to.0, r.label))
+            .collect();
+        assert_eq!(
+            labels,
+            vec![
+                "2->0 ReadReq(obj0,saving)",
+                "0->2 ObjData(obj0,v0)",
+                // Deliveries are recorded in arrival order: the control
+                // invalidation (latency 1) beats the data propagation
+                // (latency 3).
+                "0->2 Invalidate(obj0,v1)",
+                "0->1 WriteProp(obj0,v1)",
+            ],
+            "unexpected choreography: {labels:#?}"
+        );
+        assert_eq!(trace.discarded(), 0);
+    }
+
+    #[test]
+    fn multi_object_protocol_matches_analytic_sum() {
+        use doma_core::{CostVector, MultiSchedule, ObjectId};
+        use std::collections::BTreeMap;
+
+        // Three objects under different managers on one 6-node cluster.
+        let mut configs = BTreeMap::new();
+        configs.insert(
+            ObjectId(1),
+            ProtocolConfig::Da {
+                f: ps(&[0]),
+                p: ProcessorId::new(1),
+            },
+        );
+        configs.insert(
+            ObjectId(2),
+            ProtocolConfig::Da {
+                f: ps(&[2]),
+                p: ProcessorId::new(3),
+            },
+        );
+        configs.insert(ObjectId(3), ProtocolConfig::Sa { q: ps(&[1, 4]) });
+
+        // Interleaved multi-object traffic.
+        let mut multi = MultiSchedule::default();
+        for (obj, text) in [
+            (1u64, "r4 r4 w5 r4"),
+            (2, "w0 r1 r1 w2 r5"),
+            (3, "r0 w2 r4 r3"),
+        ] {
+            let single: Schedule = text.parse().unwrap();
+            for r in single.iter() {
+                multi.push(ObjectId(obj), r);
+            }
+        }
+
+        let mut sim = ProtocolSim::new_catalog(6, configs.clone()).unwrap();
+        let report = sim.execute_multi(&multi).unwrap();
+
+        // Analytic expectation: per-object independent runs, summed.
+        let mut expected = CostVector::ZERO;
+        for (object, schedule) in multi.per_object() {
+            let analytic = match &configs[&object] {
+                ProtocolConfig::Da { f, p } => {
+                    let mut da = DynamicAllocation::new(*f, *p).unwrap();
+                    doma_core::run_online(&mut da, &schedule).unwrap()
+                }
+                ProtocolConfig::Sa { q } => {
+                    let mut sa = StaticAllocation::new(*q).unwrap();
+                    doma_core::run_online(&mut sa, &schedule).unwrap()
+                }
+            };
+            expected += analytic.costed.total;
+            assert_eq!(
+                sim.valid_holders_of(object),
+                analytic.costed.final_scheme,
+                "replica set of {object} diverged"
+            );
+        }
+        assert_eq!(report.cost, expected, "multi-object tallies must decompose");
+    }
+
+    #[test]
+    fn catalog_validation() {
+        use doma_core::ObjectId;
+        use std::collections::BTreeMap;
+        assert!(ProtocolSim::new_catalog(4, BTreeMap::new()).is_err());
+        let mut bad = BTreeMap::new();
+        bad.insert(ObjectId(1), ProtocolConfig::Sa { q: ps(&[0]) });
+        assert!(ProtocolSim::new_catalog(4, bad).is_err());
+        let mut bad = BTreeMap::new();
+        bad.insert(
+            ObjectId(1),
+            ProtocolConfig::Da {
+                f: ps(&[1]),
+                p: ProcessorId::new(1),
+            },
+        );
+        assert!(ProtocolSim::new_catalog(4, bad).is_err());
+        let mut sim_configs = BTreeMap::new();
+        sim_configs.insert(ObjectId(1), ProtocolConfig::Sa { q: ps(&[0, 1]) });
+        let mut sim = ProtocolSim::new_catalog(4, sim_configs).unwrap();
+        // Requests against uncatalogued objects are rejected.
+        assert!(sim
+            .execute_request_on(ObjectId(9), Request::read(0usize))
+            .is_err());
+    }
+
+    #[test]
+    fn open_loop_saturates_shared_bus() {
+        // 30 reads from rotating outsiders at a 1-tick arrival interval:
+        // on point-to-point links the response time stays flat; on a
+        // shared bus the queue builds and p95 latency blows up.
+        let reads: Schedule = (0..30)
+            .map(|k| Request::read(2 + (k % 6)))
+            .collect();
+        let mut p2p = ProtocolSim::new_sa(8, ps(&[0, 1])).unwrap();
+        let a = p2p.execute_open_loop(&reads, 1).unwrap();
+        assert_eq!(a.latencies.len(), 30);
+        assert_eq!(a.mean_response, 4.0, "no contention on p2p links");
+        assert_eq!(a.bus_queue_wait, 0);
+
+        let mut bus = ProtocolSim::new_sa_with(
+            8,
+            ps(&[0, 1]),
+            doma_sim::NetworkConfig::shared_bus(1, 3),
+        )
+        .unwrap();
+        let b = bus.execute_open_loop(&reads, 1).unwrap();
+        assert_eq!(b.latencies.len(), 30);
+        assert!(
+            b.mean_response > 3.0 * a.mean_response,
+            "arrival rate 1/tick exceeds bus service rate (4 ticks/read): {}",
+            b.mean_response
+        );
+        // The queue builds over the run: the worst latency dwarfs the best.
+        let max = *b.latencies.iter().max().unwrap();
+        let min = *b.latencies.iter().min().unwrap();
+        assert!(max > 5 * min, "queueing growth expected: {min}..{max}");
+    }
+
+    #[test]
+    fn open_loop_writes_act_as_barriers() {
+        // r2 r2 w0 r2: the write invalidates nothing for SA, but must be
+        // ordered after the in-flight reads and before the next.
+        let schedule: Schedule = "r2 r3 w0 r2".parse().unwrap();
+        let mut sim = ProtocolSim::new_sa(5, ps(&[0, 1])).unwrap();
+        let report = sim.execute_open_loop(&schedule, 2).unwrap();
+        assert_eq!(report.latencies.len(), 3);
+        // Tallies equal the closed-loop run of the same schedule: the
+        // open loop changes timing, never message/I/O counts.
+        let mut closed = ProtocolSim::new_sa(5, ps(&[0, 1])).unwrap();
+        let closed_report = closed.execute(&schedule).unwrap();
+        assert_eq!(sim.report().cost, closed_report.cost);
+    }
+
+    #[test]
+    fn open_loop_under_slow_arrivals_matches_closed_loop_latency() {
+        // With arrivals far slower than service, open loop == closed loop.
+        let reads: Schedule = (0..10).map(|k| Request::read(2 + (k % 3))).collect();
+        let mut bus = ProtocolSim::new_sa_with(
+            8,
+            ps(&[0, 1]),
+            doma_sim::NetworkConfig::shared_bus(1, 3),
+        )
+        .unwrap();
+        let r = bus.execute_open_loop(&reads, 100).unwrap();
+        assert_eq!(r.mean_response, 4.0, "no queueing at low load");
+    }
+
+    #[test]
+    fn read_burst_contends_on_bus_but_not_point_to_point() {
+        let readers: Vec<ProcessorId> = (2..8).map(ProcessorId::new).collect();
+
+        // Point-to-point: every remote read completes in cc + cd ticks,
+        // regardless of burst size.
+        let mut p2p = ProtocolSim::new_sa(8, ps(&[0, 1])).unwrap();
+        let r = p2p.execute_read_burst(&readers).unwrap();
+        assert_eq!(r.completed, 6);
+        assert_eq!(r.mean_response, 4.0);
+        assert_eq!(r.bus_queue_wait, 0);
+
+        // Shared bus: the six requests and six replies serialize.
+        let mut bus = ProtocolSim::new_sa_with(
+            8,
+            ps(&[0, 1]),
+            doma_sim::NetworkConfig::shared_bus(1, 3),
+        )
+        .unwrap();
+        let r = bus.execute_read_burst(&readers).unwrap();
+        assert_eq!(r.completed, 6);
+        assert!(
+            r.mean_response > 4.0,
+            "bus contention must raise response time, got {}",
+            r.mean_response
+        );
+        assert!(r.bus_queue_wait > 0);
+        assert!(r.makespan >= 6 * (1 + 3), "24 ticks of serialized traffic");
+    }
+
+    #[test]
+    fn da_second_burst_is_contention_free() {
+        // First burst: everyone joins via saving-reads (pays contention).
+        // Second burst: all reads are local — zero response time even on
+        // a saturated bus. This is DA's answer to the intro's Ethernet
+        // argument.
+        let readers: Vec<ProcessorId> = (2..8).map(ProcessorId::new).collect();
+        let mut bus = ProtocolSim::new_da_with(
+            8,
+            ps(&[0]),
+            ProcessorId::new(1),
+            doma_sim::NetworkConfig::shared_bus(1, 3),
+        )
+        .unwrap();
+        let first = bus.execute_read_burst(&readers).unwrap();
+        assert!(first.mean_response > 4.0);
+        let second = bus.execute_read_burst(&readers).unwrap();
+        assert_eq!(second.completed, 6);
+        assert_eq!(second.mean_response, 0.0);
+        assert_eq!(second.bus_queue_wait, 0);
+    }
+
+    #[test]
+    fn burst_rejects_unknown_readers() {
+        let mut sim = ProtocolSim::new_sa(4, ps(&[0, 1])).unwrap();
+        assert!(sim.execute_read_burst(&[ProcessorId::new(9)]).is_err());
+    }
+
+    #[test]
+    fn mobile_constructor_is_base_station_da() {
+        let sim = ProtocolSim::mobile(6).unwrap();
+        match sim.config() {
+            ProtocolConfig::Da { f, p } => {
+                assert_eq!(*f, ps(&[0]));
+                assert_eq!(*p, ProcessorId::new(1));
+            }
+            other => panic!("expected DA, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! The event loop: actors, contexts, and deterministic dispatch.
+
+use crate::{MsgKind, Network, NetworkConfig, SimTime, StatsHandle, TraceHandle, TraceRecord};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Identifies a node (actor) in the simulation. For protocol crates these
+/// coincide with [`doma_core::ProcessorId`] indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// A protocol participant. Actors receive messages, timers and failure
+/// notifications, and emit messages/timers through the [`Context`].
+pub trait Actor<M> {
+    /// A message arrived.
+    fn on_message(&mut self, ctx: &mut Context<M>, from: NodeId, kind: MsgKind, msg: M);
+
+    /// A timer set via [`Context::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut Context<M>, _token: u64) {}
+
+    /// The node is about to crash (volatile state is lost by the actor's
+    /// own logic; the engine only stops delivering to it).
+    fn on_crash(&mut self) {}
+
+    /// The node restarted.
+    fn on_recover(&mut self, _ctx: &mut Context<M>) {}
+}
+
+/// The per-dispatch effect buffer an actor writes its outputs into.
+pub struct Context<M> {
+    now: SimTime,
+    self_id: NodeId,
+    sends: Vec<(NodeId, MsgKind, M)>,
+    timers: Vec<(u64, u64)>,
+}
+
+impl<M> Context<M> {
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This actor's node id.
+    pub fn id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Sends a message; it is tallied (and priced) even if the destination
+    /// turns out to be crashed — the sender has already paid for the
+    /// transmission.
+    pub fn send(&mut self, to: NodeId, kind: MsgKind, msg: M) {
+        self.sends.push((to, kind, msg));
+    }
+
+    /// Schedules `on_timer(token)` after `delay` ticks.
+    pub fn set_timer(&mut self, delay: u64, token: u64) {
+        self.timers.push((delay, token));
+    }
+}
+
+enum EventKind<M> {
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        kind: MsgKind,
+        msg: M,
+    },
+    /// Local injection (a client request arriving at its own node): not a
+    /// network message, so not tallied.
+    Local { to: NodeId, msg: M },
+    Timer { node: NodeId, token: u64 },
+    Crash(NodeId),
+    Recover(NodeId),
+}
+
+struct Event<M> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Network latencies.
+    pub network: NetworkConfig,
+    /// Safety valve: abort after this many dispatched events (0 = no
+    /// limit). A protocol bug that floods the network trips this instead
+    /// of hanging the test suite.
+    pub max_events: u64,
+}
+
+/// The deterministic discrete-event engine.
+pub struct Engine<M, A: Actor<M>> {
+    actors: Vec<A>,
+    alive: Vec<bool>,
+    queue: BinaryHeap<Reverse<Event<M>>>,
+    network: Network,
+    now: SimTime,
+    seq: u64,
+    dispatched: u64,
+    max_events: u64,
+    tracer: Option<(TraceHandle, fn(&M) -> String)>,
+}
+
+impl<M, A: Actor<M>> Engine<M, A> {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine {
+            actors: Vec::new(),
+            alive: Vec::new(),
+            queue: BinaryHeap::new(),
+            network: Network::new(config.network),
+            now: SimTime::ZERO,
+            seq: 0,
+            dispatched: 0,
+            max_events: config.max_events,
+            tracer: None,
+        }
+    }
+
+    /// Attaches a message tracer: every delivery (and drop at a crashed
+    /// node) is recorded into `trace`, labelled by `labeller`.
+    pub fn set_tracer(&mut self, trace: TraceHandle, labeller: fn(&M) -> String) {
+        self.tracer = Some((trace, labeller));
+    }
+
+    /// Registers an actor, returning its node id (ids are assigned
+    /// densely from 0 in registration order).
+    pub fn add_node(&mut self, actor: A) -> NodeId {
+        self.actors.push(actor);
+        self.alive.push(true);
+        NodeId(self.actors.len() - 1)
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Immutable access to an actor (assertions in tests/drivers).
+    pub fn actor(&self, node: NodeId) -> &A {
+        &self.actors[node.0]
+    }
+
+    /// Mutable access to an actor (drivers configuring nodes between
+    /// requests).
+    pub fn actor_mut(&mut self, node: NodeId) -> &mut A {
+        &mut self.actors[node.0]
+    }
+
+    /// Whether a node is currently up.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.0]
+    }
+
+    /// The shared network statistics handle.
+    pub fn net_stats(&self) -> StatsHandle {
+        self.network.stats()
+    }
+
+    /// Cumulative ticks messages spent queueing for the shared bus
+    /// (always 0 with a point-to-point medium).
+    pub fn bus_queue_wait(&self) -> u64 {
+        self.network.total_queue_wait()
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn push(&mut self, time: SimTime, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { time, seq, kind }));
+    }
+
+    /// Injects a client request into `to` after `delay` ticks. Local —
+    /// not a network message, not tallied.
+    pub fn inject(&mut self, to: NodeId, delay: u64, msg: M) {
+        let time = self.now + delay;
+        self.push(time, EventKind::Local { to, msg });
+    }
+
+    /// Schedules a crash of `node` after `delay` ticks.
+    pub fn schedule_crash(&mut self, node: NodeId, delay: u64) {
+        let time = self.now + delay;
+        self.push(time, EventKind::Crash(node));
+    }
+
+    /// Schedules a recovery of `node` after `delay` ticks.
+    pub fn schedule_recover(&mut self, node: NodeId, delay: u64) {
+        let time = self.now + delay;
+        self.push(time, EventKind::Recover(node));
+    }
+
+    fn dispatch_to(&mut self, node: NodeId, f: impl FnOnce(&mut A, &mut Context<M>)) {
+        let mut ctx = Context {
+            now: self.now,
+            self_id: node,
+            sends: Vec::new(),
+            timers: Vec::new(),
+        };
+        f(&mut self.actors[node.0], &mut ctx);
+        for (to, kind, msg) in ctx.sends {
+            self.network.stats().record_send(kind);
+            let time = SimTime(self.network.schedule_delivery(self.now.ticks(), kind));
+            self.push(
+                time,
+                EventKind::Deliver {
+                    from: node,
+                    to,
+                    kind,
+                    msg,
+                },
+            );
+        }
+        for (delay, token) in ctx.timers {
+            let time = self.now + delay;
+            self.push(time, EventKind::Timer { node, token });
+        }
+    }
+
+    /// Runs until the event queue drains (or `max_events` trips).
+    /// Returns the number of events dispatched by this call.
+    pub fn run_until_idle(&mut self) -> u64 {
+        let start = self.dispatched;
+        while let Some(Reverse(event)) = self.queue.pop() {
+            self.now = event.time;
+            self.dispatched += 1;
+            if self.max_events > 0 && self.dispatched > self.max_events {
+                panic!(
+                    "simulation exceeded max_events={} — runaway protocol?",
+                    self.max_events
+                );
+            }
+            match event.kind {
+                EventKind::Deliver {
+                    from,
+                    to,
+                    kind,
+                    msg,
+                } => {
+                    let delivered = self.alive[to.0];
+                    if let Some((trace, labeller)) = &self.tracer {
+                        trace.record(TraceRecord {
+                            time: self.now,
+                            from,
+                            to,
+                            kind,
+                            delivered,
+                            label: labeller(&msg),
+                        });
+                    }
+                    if delivered {
+                        self.dispatch_to(to, |a, ctx| a.on_message(ctx, from, kind, msg));
+                    } else {
+                        self.network.stats().record_drop();
+                    }
+                }
+                EventKind::Local { to, msg } => {
+                    if self.alive[to.0] {
+                        // Local requests arrive "from" the node itself.
+                        self.dispatch_to(to, |a, ctx| {
+                            a.on_message(ctx, to, MsgKind::Control, msg)
+                        });
+                    }
+                }
+                EventKind::Timer { node, token } => {
+                    if self.alive[node.0] {
+                        self.dispatch_to(node, |a, ctx| a.on_timer(ctx, token));
+                    }
+                }
+                EventKind::Crash(node) => {
+                    if self.alive[node.0] {
+                        self.alive[node.0] = false;
+                        self.actors[node.0].on_crash();
+                    }
+                }
+                EventKind::Recover(node) => {
+                    if !self.alive[node.0] {
+                        self.alive[node.0] = true;
+                        self.dispatch_to(node, |a, ctx| a.on_recover(ctx));
+                    }
+                }
+            }
+        }
+        self.dispatched - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A ping-pong actor: replies to `n > 0` with `n - 1`, alternating
+    /// message kinds; records everything it saw.
+    struct PingPong {
+        peer: Option<NodeId>,
+        seen: Vec<u32>,
+        recovered: u32,
+        crashed: u32,
+    }
+
+    impl PingPong {
+        fn new(peer: Option<NodeId>) -> Self {
+            PingPong {
+                peer,
+                seen: Vec::new(),
+                recovered: 0,
+                crashed: 0,
+            }
+        }
+    }
+
+    impl Actor<u32> for PingPong {
+        fn on_message(&mut self, ctx: &mut Context<u32>, from: NodeId, _kind: MsgKind, msg: u32) {
+            self.seen.push(msg);
+            if msg > 0 {
+                let to = self.peer.unwrap_or(from);
+                let kind = if msg.is_multiple_of(2) {
+                    MsgKind::Control
+                } else {
+                    MsgKind::Data
+                };
+                ctx.send(to, kind, msg - 1);
+            }
+        }
+        fn on_crash(&mut self) {
+            self.crashed += 1;
+        }
+        fn on_recover(&mut self, _ctx: &mut Context<u32>) {
+            self.recovered += 1;
+        }
+    }
+
+    #[test]
+    fn ping_pong_counts_messages_exactly() {
+        let mut engine: Engine<u32, PingPong> = Engine::new(EngineConfig::default());
+        let a = engine.add_node(PingPong::new(Some(NodeId(1))));
+        let b = engine.add_node(PingPong::new(Some(NodeId(0))));
+        assert_eq!(engine.node_count(), 2);
+        engine.inject(a, 0, 4);
+        engine.run_until_idle();
+        // 4 messages sent on the wire: 3→b, 2→a, 1→b, 0→a... wait: a sees 4
+        // (local), sends 3; b sends 2; a sends 1; b sends 0; a sees 0, stops.
+        let stats = engine.net_stats().snapshot();
+        assert_eq!(stats.control_sent + stats.data_sent, 4);
+        // Kinds alternate with parity of the value sent: 3(data→wait msg=4
+        // even→Control carrying 3), 2 is sent while msg=3 odd→Data, etc.
+        assert_eq!(stats.control_sent, 2);
+        assert_eq!(stats.data_sent, 2);
+        assert_eq!(engine.actor(a).seen, vec![4, 2, 0]);
+        assert_eq!(engine.actor(b).seen, vec![3, 1]);
+    }
+
+    #[test]
+    fn virtual_time_advances_by_latency() {
+        let mut engine: Engine<u32, PingPong> = Engine::new(EngineConfig {
+            network: NetworkConfig {
+                control_latency: 5,
+                data_latency: 11,
+                medium: crate::Medium::PointToPoint,
+            },
+            max_events: 0,
+        });
+        let a = engine.add_node(PingPong::new(Some(NodeId(1))));
+        let _b = engine.add_node(PingPong::new(Some(NodeId(0))));
+        engine.inject(a, 2, 2);
+        engine.run_until_idle();
+        // t=2 local; a sends Control(1) (+5) → t=7; b sends Data(0) (+11) → 18.
+        assert_eq!(engine.now(), SimTime(18));
+    }
+
+    #[test]
+    fn crashed_nodes_drop_messages_and_recover() {
+        let mut engine: Engine<u32, PingPong> = Engine::new(EngineConfig::default());
+        let a = engine.add_node(PingPong::new(Some(NodeId(1))));
+        let b = engine.add_node(PingPong::new(Some(NodeId(0))));
+        engine.schedule_crash(b, 0);
+        engine.inject(a, 1, 3); // a replies 2 to b, which is down
+        engine.run_until_idle();
+        assert_eq!(engine.net_stats().snapshot().dropped, 1);
+        assert!(engine.actor(b).seen.is_empty());
+        assert!(!engine.is_alive(b));
+        assert_eq!(engine.actor(b).crashed, 1);
+
+        engine.schedule_recover(b, 0);
+        engine.inject(a, 1, 1); // a sends 0 to b, which is back up
+        engine.run_until_idle();
+        assert!(engine.is_alive(b));
+        assert_eq!(engine.actor(b).recovered, 1);
+        assert_eq!(engine.actor(b).seen, vec![0]);
+    }
+
+    struct TimerActor {
+        fired: Vec<u64>,
+    }
+    impl Actor<u32> for TimerActor {
+        fn on_message(&mut self, ctx: &mut Context<u32>, _from: NodeId, _k: MsgKind, _msg: u32) {
+            ctx.set_timer(10, 7);
+            ctx.set_timer(5, 3);
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<u32>, token: u64) {
+            self.fired.push(token);
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut engine: Engine<u32, TimerActor> = Engine::new(EngineConfig::default());
+        let a = engine.add_node(TimerActor { fired: Vec::new() });
+        engine.inject(a, 0, 0);
+        engine.run_until_idle();
+        assert_eq!(engine.actor(a).fired, vec![3, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_events")]
+    fn runaway_protocol_trips_the_valve() {
+        /// Replies forever.
+        struct Flood;
+        impl Actor<u32> for Flood {
+            fn on_message(&mut self, ctx: &mut Context<u32>, from: NodeId, _k: MsgKind, msg: u32) {
+                ctx.send(from, MsgKind::Control, msg);
+            }
+        }
+        let mut engine: Engine<u32, Flood> = Engine::new(EngineConfig {
+            network: NetworkConfig::default(),
+            max_events: 100,
+        });
+        let a = engine.add_node(Flood);
+        let b = engine.add_node(Flood);
+        let _ = b;
+        engine.inject(a, 0, 1);
+        engine.run_until_idle();
+    }
+
+    #[test]
+    fn deterministic_tiebreak_by_sequence() {
+        // Two messages at the same instant are delivered in send order.
+        struct Collect {
+            got: Vec<u32>,
+        }
+        impl Actor<u32> for Collect {
+            fn on_message(&mut self, _ctx: &mut Context<u32>, _f: NodeId, _k: MsgKind, msg: u32) {
+                self.got.push(msg);
+            }
+        }
+        let mut engine: Engine<u32, Collect> = Engine::new(EngineConfig::default());
+        let a = engine.add_node(Collect { got: Vec::new() });
+        engine.inject(a, 5, 1);
+        engine.inject(a, 5, 2);
+        engine.inject(a, 5, 3);
+        engine.run_until_idle();
+        assert_eq!(engine.actor(a).got, vec![1, 2, 3]);
+    }
+}

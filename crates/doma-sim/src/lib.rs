@@ -1,0 +1,31 @@
+//! # doma-sim
+//!
+//! A deterministic discrete-event simulator for message-passing protocols:
+//! the substrate `doma-protocol` runs SA and DA on.
+//!
+//! * [`SimTime`] — a virtual clock in abstract ticks.
+//! * [`Network`] — point-to-point links with distinct control/data message
+//!   latencies and exact per-kind message tallies ([`NetStats`]), shared
+//!   through a cloneable [`StatsHandle`]. Messages count when *sent*
+//!   (matching the paper's cost model, which prices transmissions).
+//! * [`Engine`] — the event loop: actors implement [`Actor`]; events are
+//!   delivered in `(time, sequence)` order, so runs are fully
+//!   deterministic. Crash/recover events model processor failures:
+//!   messages to a crashed node are dropped (and counted as such).
+//!
+//! The simulator is intentionally single-threaded: determinism is worth
+//! more than parallelism at these workload sizes, and the analysis crate
+//! parallelizes at the experiment level instead.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod engine;
+mod network;
+mod time;
+mod trace;
+
+pub use engine::{Actor, Context, Engine, EngineConfig, NodeId};
+pub use network::{Medium, MsgKind, NetStats, Network, NetworkConfig, StatsHandle};
+pub use time::SimTime;
+pub use trace::{TraceHandle, TraceRecord};

@@ -1,0 +1,47 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::Add;
+
+/// A point in virtual time, in abstract ticks. The absolute scale is
+/// immaterial to the cost model (which prices messages and I/Os, not
+/// latency); latencies exist to give the event loop a well-defined order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The tick count.
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let t = SimTime::ZERO + 5;
+        assert_eq!(t.ticks(), 5);
+        assert!(t > SimTime::ZERO);
+        assert_eq!((t + 3).ticks(), 8);
+        assert_eq!(t.to_string(), "t=5");
+    }
+}

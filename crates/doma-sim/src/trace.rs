@@ -1,0 +1,163 @@
+//! Message tracing: a bounded ring buffer of delivery records for
+//! debugging protocols and asserting on message-level behaviour in tests.
+
+use crate::{MsgKind, NodeId, SimTime};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+/// One delivered (or dropped) message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Delivery (or drop) time.
+    pub time: SimTime,
+    /// Sender.
+    pub from: NodeId,
+    /// Destination.
+    pub to: NodeId,
+    /// Control or data.
+    pub kind: MsgKind,
+    /// `false` if the destination was crashed and the message was dropped.
+    pub delivered: bool,
+    /// A short label describing the payload (protocols provide it via
+    /// [`crate::Engine::set_tracer`]'s labelling callback).
+    pub label: String,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}→{} {:?} {}{}",
+            self.time,
+            self.from,
+            self.to,
+            self.kind,
+            self.label,
+            if self.delivered { "" } else { " [dropped]" }
+        )
+    }
+}
+
+/// A cloneable handle on a bounded message trace. When the buffer is full
+/// the oldest records are discarded.
+#[derive(Debug, Clone)]
+pub struct TraceHandle {
+    inner: Arc<Mutex<TraceInner>>,
+}
+
+#[derive(Debug)]
+struct TraceInner {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    discarded: u64,
+}
+
+impl TraceHandle {
+    /// Creates a trace retaining at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        TraceHandle {
+            inner: Arc::new(Mutex::new(TraceInner {
+                records: VecDeque::new(),
+                capacity: capacity.max(1),
+                discarded: 0,
+            })),
+        }
+    }
+
+    /// Appends a record.
+    pub fn record(&self, record: TraceRecord) {
+        let mut inner = self.inner.lock();
+        if inner.records.len() == inner.capacity {
+            inner.records.pop_front();
+            inner.discarded += 1;
+        }
+        inner.records.push_back(record);
+    }
+
+    /// A snapshot of the retained records, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        self.inner.lock().records.iter().cloned().collect()
+    }
+
+    /// Number of records discarded due to the capacity bound.
+    pub fn discarded(&self) -> u64 {
+        self.inner.lock().discarded
+    }
+
+    /// Drops all retained records.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.records.clear();
+        inner.discarded = 0;
+    }
+
+    /// Renders the retained records one per line.
+    pub fn render(&self) -> String {
+        self.snapshot()
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: u64, label: &str) -> TraceRecord {
+        TraceRecord {
+            time: SimTime(t),
+            from: NodeId(0),
+            to: NodeId(1),
+            kind: MsgKind::Control,
+            delivered: true,
+            label: label.to_string(),
+        }
+    }
+
+    #[test]
+    fn records_in_order() {
+        let trace = TraceHandle::new(10);
+        trace.record(rec(1, "a"));
+        trace.record(rec(2, "b"));
+        let snap = trace.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].label, "a");
+        assert_eq!(snap[1].label, "b");
+        assert_eq!(trace.discarded(), 0);
+    }
+
+    #[test]
+    fn ring_discards_oldest() {
+        let trace = TraceHandle::new(2);
+        trace.record(rec(1, "a"));
+        trace.record(rec(2, "b"));
+        trace.record(rec(3, "c"));
+        let snap = trace.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].label, "b");
+        assert_eq!(trace.discarded(), 1);
+        trace.clear();
+        assert!(trace.snapshot().is_empty());
+        assert_eq!(trace.discarded(), 0);
+    }
+
+    #[test]
+    fn display_format() {
+        let mut r = rec(5, "ReadReq");
+        assert_eq!(r.to_string(), "t=5 N0→N1 Control ReadReq");
+        r.delivered = false;
+        assert!(r.to_string().ends_with("[dropped]"));
+    }
+
+    #[test]
+    fn handles_share_state() {
+        let a = TraceHandle::new(4);
+        let b = a.clone();
+        a.record(rec(1, "x"));
+        assert_eq!(b.snapshot().len(), 1);
+    }
+}

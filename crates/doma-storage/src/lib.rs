@@ -1,0 +1,29 @@
+//! # doma-storage
+//!
+//! The local-database substrate of the model: every processor stores
+//! replicas of objects in a *local database on stable storage*, and the
+//! `cio` term of the cost model prices exactly the inputs/outputs against
+//! that database.
+//!
+//! * [`LocalStore`] — a versioned object store with explicit I/O
+//!   accounting ([`IoStats`]): `output` (store a version), `input` (fetch
+//!   the latest valid version), `invalidate` (metadata only — the paper
+//!   charges no I/O for invalidation; it is a control-message effect).
+//! * [`RedoLog`] — an append-only redo log the store writes through, with
+//!   replay-based recovery; this is what lets a crashed processor rejoin
+//!   with its pre-crash state in the failure experiments.
+//! * [`Version`] — monotonically increasing object versions, one per write
+//!   in the totally ordered schedule.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod cache;
+mod log;
+mod store;
+mod version;
+
+pub use cache::{CacheStats, CachedStore};
+pub use crate::log::{LogRecord, RedoLog};
+pub use store::{IoStats, LocalStore, StoredObject};
+pub use version::Version;

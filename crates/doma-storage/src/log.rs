@@ -1,0 +1,163 @@
+//! Append-only redo log with replay-based recovery.
+
+use crate::Version;
+use doma_core::ObjectId;
+
+/// One durable log record. The store appends a record *before* applying
+/// the corresponding mutation (write-ahead), so replaying the log from the
+/// last checkpoint reconstructs the exact store state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogRecord {
+    /// A new version of an object was stored locally.
+    Put {
+        /// The object.
+        object: ObjectId,
+        /// The version stored.
+        version: Version,
+        /// The object payload.
+        payload: Vec<u8>,
+    },
+    /// The local replica of an object was invalidated (marked stale).
+    Invalidate {
+        /// The object.
+        object: ObjectId,
+    },
+    /// The local replica was dropped entirely.
+    Remove {
+        /// The object.
+        object: ObjectId,
+    },
+}
+
+/// A per-processor append-only redo log (simulated stable storage).
+#[derive(Debug, Clone, Default)]
+pub struct RedoLog {
+    records: Vec<LogRecord>,
+    /// Index of the first record after the last checkpoint.
+    checkpoint: usize,
+}
+
+impl RedoLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        RedoLog::default()
+    }
+
+    /// Appends a record (write-ahead).
+    pub fn append(&mut self, record: LogRecord) {
+        self.records.push(record);
+    }
+
+    /// All records since the last checkpoint, in append order.
+    pub fn tail(&self) -> &[LogRecord] {
+        &self.records[self.checkpoint..]
+    }
+
+    /// Total records ever appended (including checkpointed ones).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log has no records at all.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Marks everything up to now as checkpointed; [`tail`](Self::tail)
+    /// becomes empty. (The store must have been flushed first; in this
+    /// simulated substrate every mutation is immediately durable, so a
+    /// checkpoint is always safe.)
+    pub fn checkpoint(&mut self) {
+        self.checkpoint = self.records.len();
+    }
+
+    /// Physically discards checkpointed records (log truncation).
+    pub fn truncate_checkpointed(&mut self) {
+        self.records.drain(..self.checkpoint);
+        self.checkpoint = 0;
+    }
+
+    /// Replays the full log into a fresh store state, returning
+    /// `(object, version, payload, valid)` tuples. Used by
+    /// [`crate::LocalStore::recover`].
+    pub fn replay(&self) -> Vec<(ObjectId, Version, Vec<u8>, bool)> {
+        let mut state: Vec<(ObjectId, Version, Vec<u8>, bool)> = Vec::new();
+        for record in &self.records {
+            match record {
+                LogRecord::Put {
+                    object,
+                    version,
+                    payload,
+                } => {
+                    if let Some(e) = state.iter_mut().find(|e| e.0 == *object) {
+                        e.1 = *version;
+                        e.2 = payload.clone();
+                        e.3 = true;
+                    } else {
+                        state.push((*object, *version, payload.clone(), true));
+                    }
+                }
+                LogRecord::Invalidate { object } => {
+                    if let Some(e) = state.iter_mut().find(|e| e.0 == *object) {
+                        e.3 = false;
+                    }
+                }
+                LogRecord::Remove { object } => {
+                    state.retain(|e| e.0 != *object);
+                }
+            }
+        }
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn put(o: u64, v: u64, b: &[u8]) -> LogRecord {
+        LogRecord::Put {
+            object: ObjectId(o),
+            version: Version(v),
+            payload: b.to_vec(),
+        }
+    }
+
+    #[test]
+    fn append_and_tail() {
+        let mut log = RedoLog::new();
+        assert!(log.is_empty());
+        log.append(put(1, 1, b"a"));
+        log.append(LogRecord::Invalidate { object: ObjectId(1) });
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.tail().len(), 2);
+        log.checkpoint();
+        assert!(log.tail().is_empty());
+        log.append(put(1, 2, b"b"));
+        assert_eq!(log.tail().len(), 1);
+        log.truncate_checkpointed();
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn replay_reconstructs_latest_state() {
+        let mut log = RedoLog::new();
+        log.append(put(1, 1, b"a"));
+        log.append(put(2, 1, b"x"));
+        log.append(put(1, 2, b"b"));
+        log.append(LogRecord::Invalidate { object: ObjectId(2) });
+        let state = log.replay();
+        let o1 = state.iter().find(|e| e.0 == ObjectId(1)).unwrap();
+        assert_eq!((o1.1, o1.2.as_slice(), o1.3), (Version(2), b"b".as_ref(), true));
+        let o2 = state.iter().find(|e| e.0 == ObjectId(2)).unwrap();
+        assert!(!o2.3, "object 2 must be stale after invalidation");
+    }
+
+    #[test]
+    fn replay_handles_remove() {
+        let mut log = RedoLog::new();
+        log.append(put(1, 1, b"a"));
+        log.append(LogRecord::Remove { object: ObjectId(1) });
+        assert!(log.replay().is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! The per-processor versioned object store.
+
+use crate::{LogRecord, RedoLog, Version};
+use doma_core::ObjectId;
+use std::collections::HashMap;
+
+/// I/O accounting: how many object inputs (reads from the local database)
+/// and outputs (writes to it) this store performed. These are the units
+/// priced at `cio` by the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoStats {
+    /// Number of object inputs from the local database.
+    pub inputs: u64,
+    /// Number of object outputs to the local database.
+    pub outputs: u64,
+}
+
+impl IoStats {
+    /// Total I/O operations.
+    pub fn total(&self) -> u64 {
+        self.inputs + self.outputs
+    }
+}
+
+/// One locally stored replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredObject {
+    /// The version held locally.
+    pub version: Version,
+    /// The object payload.
+    pub payload: Vec<u8>,
+    /// `false` once the replica has been invalidated (a newer version
+    /// exists elsewhere); stale replicas are never served.
+    pub valid: bool,
+}
+
+/// A processor's local database: versioned replicas behind a write-ahead
+/// redo log, with explicit I/O accounting.
+///
+/// ```
+/// use doma_storage::{LocalStore, Version};
+/// use doma_core::ObjectId;
+///
+/// let mut store = LocalStore::new();
+/// store.output(ObjectId(7), Version(1), b"hello".to_vec());
+/// let (v, data) = store.input(ObjectId(7)).unwrap();
+/// assert_eq!((v, data), (Version(1), b"hello".as_ref()));
+/// assert_eq!(store.io_stats().total(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LocalStore {
+    objects: HashMap<ObjectId, StoredObject>,
+    log: RedoLog,
+    io: IoStats,
+}
+
+impl LocalStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        LocalStore::default()
+    }
+
+    /// Creates a store that already holds `version` of `object` (the
+    /// initial allocation scheme) without charging I/O.
+    pub fn with_initial(object: ObjectId, version: Version, payload: Vec<u8>) -> Self {
+        let mut s = LocalStore::new();
+        s.log.append(LogRecord::Put {
+            object,
+            version,
+            payload: payload.clone(),
+        });
+        s.objects.insert(
+            object,
+            StoredObject {
+                version,
+                payload,
+                valid: true,
+            },
+        );
+        s
+    }
+
+    /// Stores (outputs) a version of an object — one output I/O. Replaces
+    /// any older replica and revalidates it.
+    pub fn output(&mut self, object: ObjectId, version: Version, payload: Vec<u8>) {
+        self.log.append(LogRecord::Put {
+            object,
+            version,
+            payload: payload.clone(),
+        });
+        self.objects.insert(
+            object,
+            StoredObject {
+                version,
+                payload,
+                valid: true,
+            },
+        );
+        self.io.outputs += 1;
+    }
+
+    /// Inputs (reads) the latest valid replica of an object — one input
+    /// I/O if present. Returns `None` (and charges nothing) if the store
+    /// has no valid replica: in the protocol that situation is a bug the
+    /// integration tests assert against, since a legal allocation schedule
+    /// only reads from data processors.
+    pub fn input(&mut self, object: ObjectId) -> Option<(Version, &[u8])> {
+        match self.objects.get(&object) {
+            Some(o) if o.valid => {
+                self.io.inputs += 1;
+                Some((o.version, o.payload.as_slice()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Peeks at the replica without charging I/O (metadata inspection).
+    pub fn peek(&self, object: ObjectId) -> Option<&StoredObject> {
+        self.objects.get(&object)
+    }
+
+    /// Marks the local replica stale. No I/O is charged: invalidation is a
+    /// metadata operation triggered by a control message (§1.2 prices only
+    /// the message).
+    pub fn invalidate(&mut self, object: ObjectId) {
+        if let Some(o) = self.objects.get_mut(&object) {
+            if o.valid {
+                self.log.append(LogRecord::Invalidate { object });
+                o.valid = false;
+            }
+        }
+    }
+
+    /// Whether the store holds a *valid* (latest-known) replica.
+    pub fn holds_valid(&self, object: ObjectId) -> bool {
+        self.objects.get(&object).is_some_and(|o| o.valid)
+    }
+
+    /// The I/O counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.io
+    }
+
+    /// Resets the I/O counters (e.g. between experiment phases).
+    pub fn reset_io_stats(&mut self) {
+        self.io = IoStats::default();
+    }
+
+    /// Read-only access to the redo log.
+    pub fn log(&self) -> &RedoLog {
+        &self.log
+    }
+
+    /// Simulates a crash + restart: drops the in-memory table and rebuilds
+    /// it by replaying the redo log. I/O counters survive (they are
+    /// experiment bookkeeping, not node state). Returns the number of
+    /// objects recovered.
+    pub fn recover(&mut self) -> usize {
+        let state = self.log.replay();
+        self.objects = state
+            .into_iter()
+            .map(|(object, version, payload, valid)| {
+                (
+                    object,
+                    StoredObject {
+                        version,
+                        payload,
+                        valid,
+                    },
+                )
+            })
+            .collect();
+        self.objects.len()
+    }
+
+    /// Number of replicas held (valid or stale).
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OBJ: ObjectId = ObjectId(1);
+
+    #[test]
+    fn output_then_input_roundtrip() {
+        let mut s = LocalStore::new();
+        assert!(s.input(OBJ).is_none());
+        assert_eq!(s.io_stats().total(), 0, "missing reads are free");
+        s.output(OBJ, Version(1), b"v1".to_vec());
+        let (v, data) = s.input(OBJ).expect("replica present");
+        assert_eq!(v, Version(1));
+        assert_eq!(data, b"v1");
+        assert_eq!(s.io_stats(), IoStats { inputs: 1, outputs: 1 });
+    }
+
+    #[test]
+    fn invalidation_hides_replica_without_io() {
+        let mut s = LocalStore::new();
+        s.output(OBJ, Version(1), b"v1".to_vec());
+        s.invalidate(OBJ);
+        assert!(!s.holds_valid(OBJ));
+        assert!(s.input(OBJ).is_none());
+        assert_eq!(s.io_stats(), IoStats { inputs: 0, outputs: 1 });
+        // Idempotent: invalidating again appends nothing.
+        let log_len = s.log().len();
+        s.invalidate(OBJ);
+        assert_eq!(s.log().len(), log_len);
+        // A newer version revalidates.
+        s.output(OBJ, Version(2), b"v2".to_vec());
+        assert!(s.holds_valid(OBJ));
+    }
+
+    #[test]
+    fn with_initial_charges_no_io() {
+        let mut s = LocalStore::with_initial(OBJ, Version::INITIAL, b"init".to_vec());
+        assert_eq!(s.io_stats().total(), 0);
+        assert!(s.holds_valid(OBJ));
+        assert_eq!(s.input(OBJ).unwrap().0, Version::INITIAL);
+    }
+
+    #[test]
+    fn recovery_replays_log_exactly() {
+        let mut s = LocalStore::new();
+        s.output(OBJ, Version(1), b"a".to_vec());
+        s.output(ObjectId(2), Version(1), b"x".to_vec());
+        s.output(OBJ, Version(2), b"b".to_vec());
+        s.invalidate(ObjectId(2));
+        let before: Vec<_> = {
+            let mut v: Vec<_> = s.objects.iter().map(|(k, o)| (*k, o.clone())).collect();
+            v.sort_by_key(|(k, _)| k.0);
+            v
+        };
+        let recovered = s.recover();
+        assert_eq!(recovered, 2);
+        let after: Vec<_> = {
+            let mut v: Vec<_> = s.objects.iter().map(|(k, o)| (*k, o.clone())).collect();
+            v.sort_by_key(|(k, _)| k.0);
+            v
+        };
+        assert_eq!(before, after, "recovery must be exact");
+    }
+
+    #[test]
+    fn peek_is_free() {
+        let mut s = LocalStore::new();
+        s.output(OBJ, Version(1), b"a".to_vec());
+        let _ = s.peek(OBJ);
+        assert_eq!(s.io_stats(), IoStats { inputs: 0, outputs: 1 });
+    }
+
+    #[test]
+    fn reset_io_stats() {
+        let mut s = LocalStore::new();
+        s.output(OBJ, Version(1), b"a".to_vec());
+        s.reset_io_stats();
+        assert_eq!(s.io_stats().total(), 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Object versions.
+
+use std::fmt;
+
+/// A monotonically increasing object version. Each write request in the
+/// totally ordered schedule creates the next version; a replica is *stale*
+/// when a newer version exists somewhere, and stale replicas are
+/// invalidated rather than updated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Version(pub u64);
+
+impl Version {
+    /// The version before any write (reading it yields the initial value).
+    pub const INITIAL: Version = Version(0);
+
+    /// The next version.
+    #[must_use]
+    pub fn next(self) -> Version {
+        Version(self.0 + 1)
+    }
+
+    /// `true` if `self` is newer than `other`.
+    pub fn is_newer_than(self, other: Version) -> bool {
+        self.0 > other.0
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_next() {
+        let v = Version::INITIAL;
+        assert_eq!(v.next(), Version(1));
+        assert!(v.next().is_newer_than(v));
+        assert!(!v.is_newer_than(v));
+        assert_eq!(Version(3).to_string(), "v3");
+    }
+}

@@ -1,0 +1,121 @@
+//! Append-only workload — the §6.2 satellite-image scenario.
+
+use crate::ScheduleGen;
+use doma_core::{DomaError, ProcessorId, Request, Result, Schedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A sequence of immutable objects (e.g. one satellite image per minute),
+/// each *generated* at one of the first `generators` stations (a write of
+/// "the latest object"), followed by a geometrically distributed number of
+/// reads of the latest object from arbitrary stations
+/// (mean `reads_per_write`).
+///
+/// §6.2 observes that the SA/DA analysis applies verbatim: SA is a fixed
+/// set of `t` standing orders; DA is `t-1` permanent standing orders plus
+/// temporary ones created by on-demand reads and cancelled at the next
+/// object.
+#[derive(Debug, Clone)]
+pub struct AppendOnlyWorkload {
+    stations: usize,
+    generators: usize,
+    reads_per_write: f64,
+}
+
+impl AppendOnlyWorkload {
+    /// Creates the generator. `1 ≤ generators ≤ stations`,
+    /// `reads_per_write ≥ 0` and finite.
+    pub fn new(stations: usize, generators: usize, reads_per_write: f64) -> Result<Self> {
+        if stations == 0 || stations > doma_core::MAX_PROCESSORS {
+            return Err(DomaError::InvalidConfig(format!(
+                "bad station count {stations}"
+            )));
+        }
+        if generators == 0 || generators > stations {
+            return Err(DomaError::InvalidConfig(format!(
+                "need 1 <= generators <= stations, got {generators}/{stations}"
+            )));
+        }
+        if !reads_per_write.is_finite() || reads_per_write < 0.0 {
+            return Err(DomaError::InvalidConfig(format!(
+                "reads_per_write must be finite and >= 0, got {reads_per_write}"
+            )));
+        }
+        Ok(AppendOnlyWorkload {
+            stations,
+            generators,
+            reads_per_write,
+        })
+    }
+}
+
+impl ScheduleGen for AppendOnlyWorkload {
+    fn name(&self) -> &str {
+        "append-only"
+    }
+
+    fn generate(&self, len: usize, seed: u64) -> Schedule {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Continue-reading probability giving mean reads_per_write reads.
+        let p_more = self.reads_per_write / (1.0 + self.reads_per_write);
+        let mut s = Schedule::new();
+        'outer: loop {
+            // A new object arrives at one of the generating stations.
+            let gen_station = ProcessorId::new(rng.gen_range(0..self.generators));
+            s.push(Request::write(gen_station));
+            if s.len() >= len {
+                break;
+            }
+            // Readers consume the latest object until the next one arrives.
+            while rng.gen_bool(p_more) {
+                let reader = ProcessorId::new(rng.gen_range(0..self.stations));
+                s.push(Request::read(reader));
+                if s.len() >= len {
+                    break 'outer;
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(AppendOnlyWorkload::new(0, 1, 2.0).is_err());
+        assert!(AppendOnlyWorkload::new(4, 0, 2.0).is_err());
+        assert!(AppendOnlyWorkload::new(4, 5, 2.0).is_err());
+        assert!(AppendOnlyWorkload::new(4, 2, -1.0).is_err());
+        assert!(AppendOnlyWorkload::new(4, 2, f64::NAN).is_err());
+        assert!(AppendOnlyWorkload::new(4, 2, 2.0).is_ok());
+    }
+
+    #[test]
+    fn starts_with_a_write_and_writes_come_from_generators() {
+        let g = AppendOnlyWorkload::new(6, 2, 3.0).unwrap();
+        let s = g.generate(300, 5);
+        assert!(s.requests()[0].is_write());
+        for r in s.iter().filter(|r| r.is_write()) {
+            assert!(r.issuer.index() < 2, "write from non-generator {r}");
+        }
+    }
+
+    #[test]
+    fn mean_reads_per_write_is_roughly_respected() {
+        let g = AppendOnlyWorkload::new(6, 2, 4.0).unwrap();
+        let s = g.generate(5000, 9);
+        let ratio = s.read_count() as f64 / s.write_count() as f64;
+        assert!((ratio - 4.0).abs() < 1.0, "observed {ratio}");
+    }
+
+    #[test]
+    fn zero_reads_per_write_is_pure_write_stream() {
+        let g = AppendOnlyWorkload::new(4, 2, 0.0).unwrap();
+        let s = g.generate(50, 3);
+        assert_eq!(s.read_count(), 0);
+        assert_eq!(s.write_count(), 50);
+    }
+}

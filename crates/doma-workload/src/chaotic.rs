@@ -1,0 +1,116 @@
+//! Chaotic workload — the access patterns with no exploitable regularity
+//! (§5.1's argument for competitive over convergent algorithms).
+
+use crate::ScheduleGen;
+use doma_core::{DomaError, ProcessorId, Request, Result, Schedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Every `redraw_every` requests, a fresh random weight vector over
+/// processors and a fresh read probability are drawn; requests within the
+/// burst follow them. The past is deliberately useless for predicting the
+/// future — history-based (convergent) allocators chase ghosts here.
+#[derive(Debug, Clone)]
+pub struct ChaoticWorkload {
+    n: usize,
+    redraw_every: usize,
+}
+
+impl ChaoticWorkload {
+    /// Creates the generator. `n ≥ 2`, `redraw_every ≥ 1`.
+    pub fn new(n: usize, redraw_every: usize) -> Result<Self> {
+        if !(2..=doma_core::MAX_PROCESSORS).contains(&n) {
+            return Err(DomaError::InvalidConfig(format!("bad universe size {n}")));
+        }
+        if redraw_every == 0 {
+            return Err(DomaError::InvalidConfig(
+                "redraw_every must be > 0".to_string(),
+            ));
+        }
+        Ok(ChaoticWorkload { n, redraw_every })
+    }
+}
+
+impl ScheduleGen for ChaoticWorkload {
+    fn name(&self) -> &str {
+        "chaotic"
+    }
+
+    fn generate(&self, len: usize, seed: u64) -> Schedule {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = Schedule::new();
+        let mut weights: Vec<f64> = vec![1.0; self.n];
+        let mut read_prob = 0.5;
+        for k in 0..len {
+            if k % self.redraw_every == 0 {
+                for w in &mut weights {
+                    *w = rng.gen_range(0.05..1.0);
+                }
+                read_prob = rng.gen_range(0.1..0.9);
+            }
+            let total: f64 = weights.iter().sum();
+            let mut u = rng.gen_range(0.0..total);
+            let mut issuer = self.n - 1;
+            for (i, w) in weights.iter().enumerate() {
+                if u < *w {
+                    issuer = i;
+                    break;
+                }
+                u -= w;
+            }
+            let p = ProcessorId::new(issuer);
+            s.push(if rng.gen_bool(read_prob) {
+                Request::read(p)
+            } else {
+                Request::write(p)
+            });
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(ChaoticWorkload::new(1, 4).is_err());
+        assert!(ChaoticWorkload::new(4, 0).is_err());
+        assert!(ChaoticWorkload::new(4, 4).is_ok());
+    }
+
+    #[test]
+    fn produces_mixed_traffic_across_universe() {
+        let g = ChaoticWorkload::new(6, 5).unwrap();
+        let s = g.generate(600, 3);
+        assert!(s.read_count() > 0 && s.write_count() > 0);
+        assert_eq!(s.min_processors(), 6);
+    }
+
+    #[test]
+    fn bursts_shift_the_distribution() {
+        // With short bursts the per-burst dominant issuer should change —
+        // measure the number of distinct "modal" issuers over bursts.
+        let g = ChaoticWorkload::new(5, 20).unwrap();
+        let s = g.generate(400, 1);
+        let mut modal = Vec::new();
+        for chunk in s.requests().chunks(20) {
+            let mut counts = [0u32; 5];
+            for r in chunk {
+                counts[r.issuer.index()] += 1;
+            }
+            modal.push(
+                counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, c)| **c)
+                    .unwrap()
+                    .0,
+            );
+        }
+        modal.sort_unstable();
+        modal.dedup();
+        assert!(modal.len() >= 3, "expected shifting modes, got {modal:?}");
+    }
+}

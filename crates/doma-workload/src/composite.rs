@@ -1,0 +1,132 @@
+//! Composite workloads: phase sequences of heterogeneous generators.
+
+use crate::ScheduleGen;
+use doma_core::{DomaError, Result, Schedule};
+
+/// Chains generators into phases: the schedule is the concatenation of
+/// each phase's output, cycling through the phases until `len` requests
+/// are produced. Each phase gets a distinct derived seed, so phases are
+/// independent but the whole composite stays deterministic.
+///
+/// This models the paper's §5.1 "first two hours … next four hours"
+/// discussion: piecewise-regular workloads whose regime changes.
+pub struct CompositeWorkload {
+    name: String,
+    phases: Vec<(Box<dyn ScheduleGen + Send + Sync>, usize)>,
+}
+
+impl CompositeWorkload {
+    /// Creates a composite from `(generator, phase_length)` pairs. Every
+    /// phase length must be positive.
+    pub fn new(phases: Vec<(Box<dyn ScheduleGen + Send + Sync>, usize)>) -> Result<Self> {
+        if phases.is_empty() {
+            return Err(DomaError::InvalidConfig(
+                "composite needs at least one phase".to_string(),
+            ));
+        }
+        if phases.iter().any(|(_, len)| *len == 0) {
+            return Err(DomaError::InvalidConfig(
+                "phase lengths must be positive".to_string(),
+            ));
+        }
+        let name = format!(
+            "composite[{}]",
+            phases
+                .iter()
+                .map(|(g, len)| format!("{}x{len}", g.name()))
+                .collect::<Vec<_>>()
+                .join("+")
+        );
+        Ok(CompositeWorkload { name, phases })
+    }
+
+    /// Number of phases per cycle.
+    pub fn phase_count(&self) -> usize {
+        self.phases.len()
+    }
+}
+
+impl ScheduleGen for CompositeWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn generate(&self, len: usize, seed: u64) -> Schedule {
+        let mut out = Schedule::new();
+        let mut cycle = 0u64;
+        'outer: loop {
+            for (k, (gen, phase_len)) in self.phases.iter().enumerate() {
+                // Derive a distinct seed per (cycle, phase).
+                let phase_seed = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(cycle * 1009 + k as u64);
+                let chunk = gen.generate((*phase_len).min(len - out.len()), phase_seed);
+                out.extend_from(&chunk);
+                if out.len() >= len {
+                    break 'outer;
+                }
+            }
+            cycle += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HotspotWorkload, UniformWorkload};
+
+    fn composite() -> CompositeWorkload {
+        CompositeWorkload::new(vec![
+            (
+                Box::new(UniformWorkload::new(5, 0.9).unwrap()),
+                30,
+            ),
+            (
+                Box::new(HotspotWorkload::new(5, 10, 0.8).unwrap()),
+                20,
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(CompositeWorkload::new(vec![]).is_err());
+        assert!(CompositeWorkload::new(vec![(
+            Box::new(UniformWorkload::new(4, 0.5).unwrap()),
+            0
+        )])
+        .is_err());
+    }
+
+    #[test]
+    fn name_describes_phases() {
+        let c = composite();
+        assert_eq!(c.name(), "composite[uniformx30+hotspotx20]");
+        assert_eq!(c.phase_count(), 2);
+    }
+
+    #[test]
+    fn exact_length_and_determinism() {
+        let c = composite();
+        let a = c.generate(123, 9);
+        let b = c.generate(123, 9);
+        assert_eq!(a.len(), 123);
+        assert_eq!(a, b);
+        assert_ne!(a, c.generate(123, 10));
+    }
+
+    #[test]
+    fn cycles_repeat_phases() {
+        // 2 phases of 30+20 = 50 per cycle; 160 requests = 3.2 cycles.
+        let c = composite();
+        let s = c.generate(160, 1);
+        assert_eq!(s.len(), 160);
+        // Phase 1 is read-heavy (90%); check the first 30 requests lean
+        // heavily toward reads.
+        let head_reads = s.requests()[..30].iter().filter(|r| r.is_read()).count();
+        assert!(head_reads >= 20, "got {head_reads}");
+    }
+}

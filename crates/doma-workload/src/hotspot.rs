@@ -1,0 +1,116 @@
+//! Phased hotspot workload — *regular* access patterns (§5.1).
+
+use crate::ScheduleGen;
+use doma_core::{DomaError, ProcessorId, Request, Result, Schedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A workload with a relocating read hotspot: time is divided into phases
+/// of `phase_len` requests; within a phase one processor (the *hotspot*,
+/// advancing round-robin each phase) issues reads with probability
+/// `hot_prob`, everything else (reads from other processors and occasional
+/// writes from the hotspot) fills the rest.
+///
+/// This is the "generally regular" pattern of §5.1 — the regime where a
+/// *convergent* algorithm should shine and where DA's migrate-on-read also
+/// does well, while SA pays remote reads all phase long whenever the
+/// hotspot is outside `Q`.
+#[derive(Debug, Clone)]
+pub struct HotspotWorkload {
+    n: usize,
+    phase_len: usize,
+    hot_prob: f64,
+}
+
+impl HotspotWorkload {
+    /// Creates the generator. `n ≥ 2`, `phase_len ≥ 1`,
+    /// `hot_prob ∈ [0, 1]`.
+    pub fn new(n: usize, phase_len: usize, hot_prob: f64) -> Result<Self> {
+        if !(2..=doma_core::MAX_PROCESSORS).contains(&n) {
+            return Err(DomaError::InvalidConfig(format!("bad universe size {n}")));
+        }
+        if phase_len == 0 {
+            return Err(DomaError::InvalidConfig("phase_len must be > 0".into()));
+        }
+        if !(0.0..=1.0).contains(&hot_prob) {
+            return Err(DomaError::InvalidConfig(format!(
+                "hot_prob {hot_prob} outside [0, 1]"
+            )));
+        }
+        Ok(HotspotWorkload {
+            n,
+            phase_len,
+            hot_prob,
+        })
+    }
+
+    /// The hotspot processor during phase `k`.
+    pub fn hotspot_of_phase(&self, k: usize) -> ProcessorId {
+        ProcessorId::new(k % self.n)
+    }
+}
+
+impl ScheduleGen for HotspotWorkload {
+    fn name(&self) -> &str {
+        "hotspot"
+    }
+
+    fn generate(&self, len: usize, seed: u64) -> Schedule {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = Schedule::new();
+        for k in 0..len {
+            let hot = self.hotspot_of_phase(k / self.phase_len);
+            if rng.gen_bool(self.hot_prob) {
+                s.push(Request::read(hot));
+            } else if rng.gen_bool(0.5) {
+                // Background read from a uniformly random processor.
+                s.push(Request::read(ProcessorId::new(rng.gen_range(0..self.n))));
+            } else {
+                // Occasional write, issued by the hotspot (it owns the data
+                // it is working on).
+                s.push(Request::write(hot));
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(HotspotWorkload::new(1, 5, 0.9).is_err());
+        assert!(HotspotWorkload::new(4, 0, 0.9).is_err());
+        assert!(HotspotWorkload::new(4, 5, 1.1).is_err());
+        assert!(HotspotWorkload::new(4, 5, 0.9).is_ok());
+    }
+
+    #[test]
+    fn hotspot_rotates_round_robin() {
+        let g = HotspotWorkload::new(3, 10, 0.9).unwrap();
+        assert_eq!(g.hotspot_of_phase(0).index(), 0);
+        assert_eq!(g.hotspot_of_phase(1).index(), 1);
+        assert_eq!(g.hotspot_of_phase(3).index(), 0);
+    }
+
+    #[test]
+    fn phase_reads_concentrate_on_the_hotspot() {
+        let g = HotspotWorkload::new(4, 100, 0.9).unwrap();
+        let s = g.generate(100, 5); // exactly one phase, hotspot = 0
+        let hot_reads = s
+            .iter()
+            .filter(|r| r.is_read() && r.issuer.index() == 0)
+            .count();
+        assert!(hot_reads >= 80, "got {hot_reads}");
+    }
+
+    #[test]
+    fn contains_some_writes() {
+        let g = HotspotWorkload::new(4, 10, 0.6).unwrap();
+        let s = g.generate(400, 9);
+        assert!(s.write_count() > 0);
+        assert!(s.read_count() > s.write_count());
+    }
+}

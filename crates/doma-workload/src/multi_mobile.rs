@@ -1,0 +1,150 @@
+//! Multi-user mobile workload: many location objects at once.
+//!
+//! §1.1: "an identification will be associated with a user … the location
+//! of the user will be updated as a result of the user's mobility, and it
+//! will be read on behalf of the callers." With many users there are many
+//! location *objects*, one per user — the multi-object setting the
+//! placement policies of `doma_algorithms::multi` are built for.
+
+use doma_core::{DomaError, MultiSchedule, ObjectId, ProcessorId, Request, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates interleaved location-tracking traffic for `users` mobile
+/// users over `cells` cell processors and `callers` caller processors.
+///
+/// Per request: a user is drawn (Zipf over users — some people get called
+/// a lot), then with probability `read_fraction` a random caller reads the
+/// user's location object; otherwise the user moves with probability
+/// `move_prob` and its current cell writes a location update.
+#[derive(Debug, Clone)]
+pub struct MultiMobileWorkload {
+    users: usize,
+    cells: usize,
+    callers: usize,
+    move_prob: f64,
+    read_fraction: f64,
+    user_sampler: crate::ZipfSampler,
+}
+
+impl MultiMobileWorkload {
+    /// Creates the generator. Needs at least one user, one cell and one
+    /// caller; universe = `1 + cells + callers` processors (processor 0 is
+    /// the base station, as in the single-user [`crate::MobileWorkload`]).
+    pub fn new(
+        users: usize,
+        cells: usize,
+        callers: usize,
+        move_prob: f64,
+        read_fraction: f64,
+    ) -> Result<Self> {
+        if users == 0 || cells == 0 || callers == 0 {
+            return Err(DomaError::InvalidConfig(
+                "need at least one user, cell and caller".to_string(),
+            ));
+        }
+        if 1 + cells + callers > doma_core::MAX_PROCESSORS {
+            return Err(DomaError::InvalidConfig("universe too large".to_string()));
+        }
+        for (name, v) in [("move_prob", move_prob), ("read_fraction", read_fraction)] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(DomaError::InvalidConfig(format!(
+                    "{name} {v} outside [0, 1]"
+                )));
+            }
+        }
+        Ok(MultiMobileWorkload {
+            users,
+            cells,
+            callers,
+            move_prob,
+            read_fraction,
+            user_sampler: crate::ZipfSampler::new(users, 0.8)?,
+        })
+    }
+
+    /// Total number of processors: base station + cells + callers.
+    pub fn universe(&self) -> usize {
+        1 + self.cells + self.callers
+    }
+
+    /// Number of mobile users (= number of location objects).
+    pub fn users(&self) -> usize {
+        self.users
+    }
+
+    /// Generates `len` interleaved requests. Deterministic per seed.
+    pub fn generate_multi(&self, len: usize, seed: u64) -> MultiSchedule {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Each user starts in a random cell.
+        let mut location: Vec<usize> = (0..self.users)
+            .map(|_| 1 + rng.gen_range(0..self.cells))
+            .collect();
+        let mut out = MultiSchedule::default();
+        for _ in 0..len {
+            let user = self.user_sampler.sample(&mut rng);
+            let object = ObjectId(user as u64);
+            if rng.gen_bool(self.read_fraction) {
+                let caller = 1 + self.cells + rng.gen_range(0..self.callers);
+                out.push(object, Request::read(ProcessorId::new(caller)));
+            } else {
+                if self.cells > 1 && rng.gen_bool(self.move_prob) {
+                    let mut next = 1 + rng.gen_range(0..self.cells);
+                    while next == location[user] {
+                        next = 1 + rng.gen_range(0..self.cells);
+                    }
+                    location[user] = next;
+                }
+                out.push(object, Request::write(ProcessorId::new(location[user])));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(MultiMobileWorkload::new(0, 3, 2, 0.2, 0.5).is_err());
+        assert!(MultiMobileWorkload::new(5, 0, 2, 0.2, 0.5).is_err());
+        assert!(MultiMobileWorkload::new(5, 3, 0, 0.2, 0.5).is_err());
+        assert!(MultiMobileWorkload::new(5, 40, 40, 0.2, 0.5).is_err());
+        assert!(MultiMobileWorkload::new(5, 3, 2, 1.5, 0.5).is_err());
+        assert!(MultiMobileWorkload::new(5, 3, 2, 0.2, 0.5).is_ok());
+    }
+
+    #[test]
+    fn deterministic_and_sized() {
+        let g = MultiMobileWorkload::new(8, 4, 3, 0.3, 0.6).unwrap();
+        assert_eq!(g.universe(), 8);
+        assert_eq!(g.users(), 8);
+        let a = g.generate_multi(200, 5);
+        let b = g.generate_multi(200, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        assert_ne!(a, g.generate_multi(200, 6));
+    }
+
+    #[test]
+    fn roles_and_objects() {
+        let g = MultiMobileWorkload::new(6, 3, 2, 0.4, 0.5).unwrap();
+        let s = g.generate_multi(400, 9);
+        for r in s.requests() {
+            assert!(r.object.0 < 6, "object ids are user indices");
+            let i = r.request.issuer.index();
+            if r.request.is_write() {
+                assert!((1..=3).contains(&i), "writes come from cells");
+            } else {
+                assert!((4..=5).contains(&i), "reads come from callers");
+            }
+        }
+        // Zipf skew: user 0 is hottest.
+        let per = s.per_object();
+        let hot = per.get(&ObjectId(0)).map(|s| s.len()).unwrap_or(0);
+        let cold = per.get(&ObjectId(5)).map(|s| s.len()).unwrap_or(0);
+        assert!(hot > cold, "Zipf skew expected: {hot} vs {cold}");
+    }
+}

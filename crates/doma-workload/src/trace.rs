@@ -1,0 +1,127 @@
+//! Schedule trace files: load and store schedules in the paper's textual
+//! notation, one or more requests per line, with `#` comments.
+//!
+//! ```text
+//! # remote-reader adversary, processor 2
+//! r2 r2 r2 r2
+//! w0
+//! r2 r2
+//! ```
+
+use doma_core::{DomaError, Result, Schedule};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Parses a trace from any reader: whitespace/newline separated `r<i>` /
+/// `w<i>` tokens; `#` starts a comment running to end of line.
+pub fn read_trace<R: Read>(reader: R) -> Result<Schedule> {
+    let mut tokens = String::new();
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line.map_err(|e| DomaError::InvalidConfig(format!("I/O error: {e}")))?;
+        let body = line.split('#').next().unwrap_or("");
+        if !body.trim().is_empty() {
+            tokens.push_str(body);
+            tokens.push(' ');
+        }
+        let _ = lineno;
+    }
+    tokens
+        .parse::<Schedule>()
+        .map_err(|e| DomaError::InvalidConfig(format!("bad trace: {e}")))
+}
+
+/// Loads a trace file from disk.
+pub fn load_trace(path: impl AsRef<Path>) -> Result<Schedule> {
+    let file = std::fs::File::open(path.as_ref()).map_err(|e| {
+        DomaError::InvalidConfig(format!("cannot open {}: {e}", path.as_ref().display()))
+    })?;
+    read_trace(file)
+}
+
+/// Writes a schedule as a trace, wrapping at `per_line` requests per line
+/// (0 = everything on one line), with an optional leading comment.
+pub fn write_trace<W: Write>(
+    mut writer: W,
+    schedule: &Schedule,
+    comment: Option<&str>,
+    per_line: usize,
+) -> Result<()> {
+    let io_err = |e: std::io::Error| DomaError::InvalidConfig(format!("I/O error: {e}"));
+    if let Some(comment) = comment {
+        for line in comment.lines() {
+            writeln!(writer, "# {line}").map_err(io_err)?;
+        }
+    }
+    if per_line == 0 {
+        writeln!(writer, "{schedule}").map_err(io_err)?;
+        return Ok(());
+    }
+    for chunk in schedule.requests().chunks(per_line) {
+        let line: Vec<String> = chunk.iter().map(|r| r.to_string()).collect();
+        writeln!(writer, "{}", line.join(" ")).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Stores a trace file on disk (see [`write_trace`]).
+pub fn store_trace(
+    path: impl AsRef<Path>,
+    schedule: &Schedule,
+    comment: Option<&str>,
+    per_line: usize,
+) -> Result<()> {
+    let file = std::fs::File::create(path.as_ref()).map_err(|e| {
+        DomaError::InvalidConfig(format!("cannot create {}: {e}", path.as_ref().display()))
+    })?;
+    write_trace(std::io::BufWriter::new(file), schedule, comment, per_line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_memory() {
+        let schedule: Schedule = "r1 w2 r3 r3 w0 r1 r2".parse().unwrap();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &schedule, Some("a test trace\nsecond line"), 3).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("# a test trace\n# second line\n"));
+        assert_eq!(text.lines().filter(|l| !l.starts_with('#')).count(), 3);
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back, schedule);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = "# header\n\nr1 r2 # trailing comment\n   \nw0\n";
+        let s = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(s.to_string(), "r1 r2 w0");
+    }
+
+    #[test]
+    fn bad_tokens_are_reported() {
+        assert!(read_trace("r1 xyz".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn single_line_mode() {
+        let schedule: Schedule = "r1 w2".parse().unwrap();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &schedule, None, 0).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "r1 w2\n");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("doma-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.txt");
+        let schedule: Schedule = "r4 w1 r4 r4".parse().unwrap();
+        store_trace(&path, &schedule, Some("file roundtrip"), 2).unwrap();
+        let back = load_trace(&path).unwrap();
+        assert_eq!(back, schedule);
+        assert!(load_trace(dir.join("missing.txt")).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

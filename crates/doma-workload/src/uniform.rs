@@ -1,0 +1,95 @@
+//! Uniform i.i.d. workload.
+
+use crate::ScheduleGen;
+use doma_core::{DomaError, ProcessorId, Request, Result, Schedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Requests drawn i.i.d.: issuer uniform over `n` processors, operation a
+/// read with probability `read_fraction`.
+///
+/// This is the workload for the E9 read/write-mix sweep: as
+/// `read_fraction → 1` dynamic allocation wins (saving-reads pay off), as
+/// it drops the invalidation churn favours static allocation.
+#[derive(Debug, Clone)]
+pub struct UniformWorkload {
+    n: usize,
+    read_fraction: f64,
+}
+
+impl UniformWorkload {
+    /// Creates the generator. `n ≥ 1`, `read_fraction ∈ [0, 1]`.
+    pub fn new(n: usize, read_fraction: f64) -> Result<Self> {
+        if n == 0 || n > doma_core::MAX_PROCESSORS {
+            return Err(DomaError::InvalidConfig(format!("bad universe size {n}")));
+        }
+        if !(0.0..=1.0).contains(&read_fraction) {
+            return Err(DomaError::InvalidConfig(format!(
+                "read_fraction {read_fraction} outside [0, 1]"
+            )));
+        }
+        Ok(UniformWorkload { n, read_fraction })
+    }
+
+    /// The read fraction.
+    pub fn read_fraction(&self) -> f64 {
+        self.read_fraction
+    }
+}
+
+impl ScheduleGen for UniformWorkload {
+    fn name(&self) -> &str {
+        "uniform"
+    }
+
+    fn generate(&self, len: usize, seed: u64) -> Schedule {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len)
+            .map(|_| {
+                let p = ProcessorId::new(rng.gen_range(0..self.n));
+                if rng.gen_bool(self.read_fraction) {
+                    Request::read(p)
+                } else {
+                    Request::write(p)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(UniformWorkload::new(0, 0.5).is_err());
+        assert!(UniformWorkload::new(4, 1.5).is_err());
+        assert!(UniformWorkload::new(4, -0.1).is_err());
+        assert!(UniformWorkload::new(200, 0.5).is_err());
+        assert!(UniformWorkload::new(4, 0.5).is_ok());
+    }
+
+    #[test]
+    fn read_fraction_is_respected_statistically() {
+        let g = UniformWorkload::new(6, 0.75).unwrap();
+        let s = g.generate(4000, 1);
+        let frac = s.read_count() as f64 / s.len() as f64;
+        assert!((frac - 0.75).abs() < 0.05, "observed {frac}");
+    }
+
+    #[test]
+    fn extremes() {
+        let g = UniformWorkload::new(3, 1.0).unwrap();
+        assert_eq!(g.generate(50, 2).write_count(), 0);
+        let g = UniformWorkload::new(3, 0.0).unwrap();
+        assert_eq!(g.generate(50, 2).read_count(), 0);
+    }
+
+    #[test]
+    fn issuers_span_the_universe() {
+        let g = UniformWorkload::new(5, 0.5).unwrap();
+        let s = g.generate(500, 3);
+        assert_eq!(s.min_processors(), 5);
+    }
+}

@@ -1,0 +1,167 @@
+//! Zipf-skewed workload.
+
+use crate::ScheduleGen;
+use doma_core::{DomaError, ProcessorId, Request, Result, Schedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An inverse-CDF sampler for the Zipf distribution over `{0, …, n-1}`:
+/// `P(k) ∝ 1 / (k+1)^theta`.
+///
+/// `theta = 0` degenerates to uniform; `theta ≈ 1` is the classic Zipf
+/// skew seen in real access traces.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler. `n ≥ 1`, `theta ≥ 0` and finite.
+    pub fn new(n: usize, theta: f64) -> Result<Self> {
+        if n == 0 {
+            return Err(DomaError::InvalidConfig("Zipf needs n >= 1".to_string()));
+        }
+        if !theta.is_finite() || theta < 0.0 {
+            return Err(DomaError::InvalidConfig(format!(
+                "Zipf exponent must be finite and >= 0, got {theta}"
+            )));
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(ZipfSampler { cdf })
+    }
+
+    /// Samples a rank in `0..n` (rank 0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// The probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+/// Requests whose issuers follow a Zipf distribution over the processors;
+/// operation is a read with probability `read_fraction`.
+#[derive(Debug, Clone)]
+pub struct ZipfWorkload {
+    n: usize,
+    sampler: ZipfSampler,
+    read_fraction: f64,
+}
+
+impl ZipfWorkload {
+    /// Creates the generator; see [`ZipfSampler::new`] for `theta`.
+    pub fn new(n: usize, theta: f64, read_fraction: f64) -> Result<Self> {
+        if n == 0 || n > doma_core::MAX_PROCESSORS {
+            return Err(DomaError::InvalidConfig(format!("bad universe size {n}")));
+        }
+        if !(0.0..=1.0).contains(&read_fraction) {
+            return Err(DomaError::InvalidConfig(format!(
+                "read_fraction {read_fraction} outside [0, 1]"
+            )));
+        }
+        Ok(ZipfWorkload {
+            n,
+            sampler: ZipfSampler::new(n, theta)?,
+            read_fraction,
+        })
+    }
+
+    /// The universe size `n`.
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+}
+
+impl ScheduleGen for ZipfWorkload {
+    fn name(&self) -> &str {
+        "zipf"
+    }
+
+    fn generate(&self, len: usize, seed: u64) -> Schedule {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len)
+            .map(|_| {
+                let p = ProcessorId::new(self.sampler.sample(&mut rng));
+                if rng.gen_bool(self.read_fraction) {
+                    Request::read(p)
+                } else {
+                    Request::write(p)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_validation() {
+        assert!(ZipfSampler::new(0, 1.0).is_err());
+        assert!(ZipfSampler::new(4, -1.0).is_err());
+        assert!(ZipfSampler::new(4, f64::NAN).is_err());
+        assert!(ZipfSampler::new(4, 0.0).is_ok());
+    }
+
+    #[test]
+    fn pmf_sums_to_one_and_is_monotone() {
+        let s = ZipfSampler::new(8, 1.2).unwrap();
+        let total: f64 = (0..8).map(|k| s.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        for k in 1..8 {
+            assert!(s.pmf(k) <= s.pmf(k - 1), "pmf must be non-increasing");
+        }
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let s = ZipfSampler::new(5, 0.0).unwrap();
+        for k in 0..5 {
+            assert!((s.pmf(k) - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skew_shows_in_samples() {
+        let s = ZipfSampler::new(10, 1.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut counts = [0u32; 10];
+        for _ in 0..20_000 {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > 4 * counts[4], "{counts:?}");
+        // Every rank remains reachable.
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+
+    #[test]
+    fn workload_generates_within_universe() {
+        let g = ZipfWorkload::new(6, 0.9, 0.7).unwrap();
+        let s = g.generate(300, 11);
+        assert!(s.min_processors() <= 6);
+        assert!(s.read_count() > s.write_count());
+    }
+}

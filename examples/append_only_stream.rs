@@ -1,0 +1,50 @@
+//! The §6.2 append-only model: a satellite image stream.
+//!
+//! Run with: `cargo run --example append_only_stream`
+//!
+//! A satellite produces one image per minute; each image is received at
+//! one of two generating earth stations (a "write" of the latest object)
+//! and consumed at arbitrary stations until the next image arrives.
+//! Reliability demands every image reach at least `t = 2` stations.
+//!
+//! SA = `t` permanent standing orders (every image pushed to a fixed pair
+//! of stations). DA = `t - 1` permanent standing orders plus *temporary*
+//! standing orders created when a station pulls the latest image
+//! (cancelled by the next image). The paper's §6.2 says the SA/DA
+//! analysis applies verbatim; this example measures it.
+
+use doma::algorithms::{DynamicAllocation, StaticAllocation};
+use doma::core::{run_online, CostModel, ProcSet, ProcessorId};
+use doma::workload::{AppendOnlyWorkload, ScheduleGen};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let stations = 6;
+    let generators = 2;
+    println!("append-only stream: {stations} earth stations, images generated at stations 0-1\n");
+    println!("  reads/image | model | SA cost | DA cost | DA/SA");
+
+    for reads_per_write in [0.5, 2.0, 8.0] {
+        let workload = AppendOnlyWorkload::new(stations, generators, reads_per_write)?;
+        let schedule = workload.generate(1200, 11);
+        for model in [CostModel::stationary(0.2, 0.8)?, CostModel::mobile(0.2, 0.8)?] {
+            let mut sa = StaticAllocation::new(ProcSet::from_iter([0, 1]))?;
+            let sa_cost = run_online(&mut sa, &schedule)?.costed.total_cost(&model);
+            let mut da =
+                DynamicAllocation::new(ProcSet::from_iter([0]), ProcessorId::new(1))?;
+            let da_cost = run_online(&mut da, &schedule)?.costed.total_cost(&model);
+            println!(
+                "  {reads_per_write:>11} | {:>5} | {sa_cost:>7.0} | {da_cost:>7.0} | {:.2}",
+                model.environment().to_string(),
+                da_cost / sa_cost
+            );
+        }
+    }
+
+    println!(
+        "\nWith few readers per image, temporary standing orders are wasted\n\
+         (each is invalidated by the next image) and SA's fixed pair is fine;\n\
+         as readership grows, DA's pull-once-read-locally behaviour wins —\n\
+         the same trade-off as Figure 1, transplanted to versioned streams."
+    );
+    Ok(())
+}

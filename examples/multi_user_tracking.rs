@@ -1,0 +1,67 @@
+//! Multi-user location tracking: many objects, core placement policies.
+//!
+//! Run with: `cargo run --example multi_user_tracking`
+//!
+//! §1.1 describes per-user location objects, written on movement and read
+//! by callers. With many users there are many objects; the paper's
+//! single-object analysis applies to each independently, but *load* does
+//! not — if every user's DA core lands on the same processor, that
+//! processor does all the work. This example measures the three placement
+//! policies on a Zipf-popular population of mobile users.
+
+use doma::algorithms::multi::{run_multi, Placement};
+use doma::core::CostModel;
+use doma::workload::MultiMobileWorkload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let users = 24;
+    let workload = MultiMobileWorkload::new(users, 5, 6, 0.3, 0.7)?;
+    let n = workload.universe();
+    let schedule = workload.generate_multi(3000, 17);
+    let model = CostModel::stationary(0.25, 1.0)?;
+    println!(
+        "{} mobile users over {} processors (base station + 5 cells + 6 callers), {} requests\n",
+        users,
+        n,
+        schedule.len()
+    );
+
+    println!("  placement   | priced cost | max node I/O | imbalance");
+    let mut loads = Vec::new();
+    for (name, placement) in [
+        ("same-core", Placement::SameCore),
+        ("round-robin", Placement::RoundRobin),
+        ("load-aware", Placement::LoadAware),
+    ] {
+        let report = run_multi(n, 2, placement, &schedule)?;
+        println!(
+            "  {name:<11} | {:>11.0} | {:>12} | {:>8.2}x",
+            report.total.eval(&model),
+            report.max_load(),
+            report.imbalance()
+        );
+        loads.push((name, report));
+    }
+
+    let same = &loads[0].1;
+    let aware = &loads[2].1;
+    println!("\nper-processor I/O load (same-core → load-aware):");
+    for i in 0..n {
+        println!(
+            "  P{i:<2} {:>6} → {:>6}  {}",
+            same.load[i],
+            aware.load[i],
+            "#".repeat((aware.load[i] / 40) as usize)
+        );
+    }
+
+    assert!(aware.max_load() < same.max_load());
+    println!(
+        "\nSpreading the per-user cores cut the hottest processor's I/O from {} to {} \
+         at (near) identical total cost — the multi-object extension the paper's \
+         §6.1 'other models' remark invites.",
+        same.max_load(),
+        aware.max_load()
+    );
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Worst-case explorer: see the adversaries behind the paper's bounds.
+//!
+//! Run with: `cargo run --release --example worst_case_explorer`
+//!
+//! Competitive analysis lives and dies by adversarial schedules. This
+//! example hunts for them three ways — exhaustively over short schedules,
+//! greedily over long horizons, and exhaustively over *repeated patterns*
+//! (the honest asymptotic exhibit) — and prints what it finds for both SA
+//! and DA, next to the paper's bounds.
+
+use doma::algorithms::search::{
+    best_amplified_pattern, exhaustive_worst_case, greedy_adversary, SearchConfig,
+};
+use doma::algorithms::{DynamicAllocation, StaticAllocation};
+use doma::core::{CostModel, ProcSet, ProcessorId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // SA under a "hostile" model: expensive messages.
+    let model = CostModel::stationary(0.5, 1.5)?;
+    let cfg = SearchConfig {
+        n: 3,
+        t: 2,
+        len: 6,
+        model,
+    };
+    let mut sa = StaticAllocation::new(ProcSet::from_iter([0, 1]))?;
+    println!(
+        "SA, SC model cc=0.5 cd=1.5 (Theorem 1 bound = {:.2}):",
+        model.sa_bound().unwrap()
+    );
+    let r = exhaustive_worst_case(&mut sa, &cfg)?;
+    println!(
+        "  exhaustive len 6 : ratio {:.3} on '{}' ({} schedules tried)",
+        r.ratio, r.witness, r.evaluated
+    );
+    let g = greedy_adversary(
+        &mut sa,
+        &SearchConfig {
+            len: 48,
+            ..cfg.clone()
+        },
+    )?;
+    println!(
+        "  greedy len 48    : full-horizon ratio {:.3} (prefix best {:.3})",
+        g.full_ratio, g.best_prefix.ratio
+    );
+
+    // DA under vanishing communication costs — the Proposition 2 regime.
+    let model = CostModel::stationary(0.01, 0.01)?;
+    let cfg = SearchConfig {
+        n: 3,
+        t: 2,
+        len: 5,
+        model,
+    };
+    let mut da = DynamicAllocation::new(ProcSet::from_iter([0]), ProcessorId::new(1))?;
+    println!(
+        "\nDA, SC model cc=cd=0.01 (Theorem 2 bound = {:.2}, Prop 2 lower bound = 1.5):",
+        model.da_bound().unwrap()
+    );
+    let r = exhaustive_worst_case(&mut da, &cfg)?;
+    println!(
+        "  exhaustive len 5 : ratio {:.3} on '{}' — inflated by the additive constant",
+        r.ratio, r.witness
+    );
+    for plen in [3usize, 4, 5] {
+        let p = best_amplified_pattern(
+            &mut da,
+            &SearchConfig {
+                len: plen,
+                ..cfg.clone()
+            },
+            plen,
+            60,
+        )?;
+        println!(
+            "  pattern len {plen} x60: sustained ratio {:.3} on '{}' repeated",
+            p.ratio, p.witness
+        );
+    }
+    println!(
+        "\nThe sustained ratios are the honest exhibits: repeating the pattern\n\
+         amortizes the additive constant of the competitiveness definition,\n\
+         so what remains is the genuine multiplicative factor."
+    );
+    Ok(())
+}

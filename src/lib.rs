@@ -1,0 +1,37 @@
+//! # doma — Distributed Object Management Algorithms
+//!
+//! A full reproduction of Huang & Wolfson, *"Object Allocation in
+//! Distributed Databases and Mobile Computers"*, ICDE 1994: the unified
+//! I/O + communication cost model, the static (SA) and dynamic (DA)
+//! allocation algorithms, the exact offline optimum used as the
+//! competitive-analysis yardstick, a discrete-event protocol simulator,
+//! workload generators, and the analysis harness that regenerates the
+//! paper's figures and bounds.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`core`] — model, cost engine, validation, DOM traits;
+//! * [`algorithms`] — SA, DA, OPT, baselines, adversaries;
+//! * [`storage`] — versioned local stores with I/O accounting;
+//! * [`sim`] — deterministic discrete-event simulator;
+//! * [`protocol`] — SA/DA as message-passing protocols;
+//! * [`workload`] — schedule generators;
+//! * [`analysis`] — competitive-ratio harness, region maps, reports.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub mod guide;
+
+pub use doma_algorithms as algorithms;
+pub use doma_analysis as analysis;
+pub use doma_core as core;
+pub use doma_protocol as protocol;
+pub use doma_sim as sim;
+pub use doma_storage as storage;
+pub use doma_workload as workload;
+
+// Convenience re-exports of the most-used types at the crate root.
+pub use doma_core::{
+    AllocationSchedule, CostModel, CostVector, Decision, Environment, MultiSchedule, ObjectId,
+    ProcSet, ProcessorId, Request, Schedule,
+};

@@ -1,0 +1,106 @@
+//! Smoke-runs every experiment driver at fast settings and asserts the
+//! paper-shaped outcomes (who wins, bounds hold, tightness reached).
+//! EXPERIMENTS.md's claims are backed by these assertions.
+
+use doma::analysis::experiments;
+use doma::analysis::region::RegionConfig;
+use doma::core::CostModel;
+
+fn fast_region() -> RegionConfig {
+    RegionConfig {
+        n: 5,
+        step: 0.5,
+        max: 2.0,
+        schedule_len: 24,
+        seeds: 1,
+    }
+}
+
+#[test]
+fn e1_figure1_agrees_with_paper() {
+    let r = experiments::fig1(&fast_region()).unwrap();
+    assert!(
+        r.metrics["agreement"] >= 0.9,
+        "Figure 1 agreement too low: {}",
+        r.metrics["agreement"]
+    );
+    assert!(r.to_markdown().contains("Figure 1"));
+}
+
+#[test]
+fn e2_figure2_agrees_with_paper() {
+    let r = experiments::fig2(&fast_region()).unwrap();
+    assert!(
+        r.metrics["agreement"] >= 0.99,
+        "Figure 2: DA must never lose in MC, agreement {}",
+        r.metrics["agreement"]
+    );
+}
+
+#[test]
+fn e3_sa_bound_is_tight() {
+    let r = experiments::thm1_sa_tightness(&[8, 64, 256]).unwrap();
+    assert!(r.metrics["adversary_ratio"] <= r.metrics["bound"] + 1e-9);
+    assert!(r.metrics["adversary_ratio"] >= 0.97 * r.metrics["bound"]);
+}
+
+#[test]
+fn e4_e5_da_bounds_hold() {
+    let r = experiments::thm23_da_upper_bounds().unwrap();
+    assert!(r.metrics["max_fraction_of_bound"] <= 1.0 + 1e-9);
+}
+
+#[test]
+fn e6_da_lower_bound_nontrivial() {
+    let r = experiments::prop2_da_lower_bound(false).unwrap();
+    assert!(r.metrics["best_ratio"] >= 1.3);
+}
+
+#[test]
+fn e7_sa_mc_divergence_is_linear() {
+    let r = experiments::prop3_sa_mc_divergence(&[16, 64, 256]).unwrap();
+    // 16 → 256 is 16x the length; ratio growth should be ~16x.
+    assert!(r.metrics["growth"] > 8.0, "growth {}", r.metrics["growth"]);
+}
+
+#[test]
+fn e8_da_mc_bound_holds() {
+    let r = experiments::thm4_da_mobile().unwrap();
+    assert!(r.metrics["max_fraction_of_bound"] <= 1.0 + 1e-9);
+}
+
+#[test]
+fn e9_sweep_crosses_to_da_as_reads_grow() {
+    let r = experiments::sweep_e9(CostModel::stationary(0.25, 1.0).unwrap()).unwrap();
+    assert!(
+        r.metrics.contains_key("crossover"),
+        "expected a DA-beats-SA crossover in the swept range"
+    );
+}
+
+#[test]
+fn e10_example_ordering() {
+    let r = experiments::example13().unwrap();
+    assert!(r.metrics["opt"] <= r.metrics["da"]);
+    assert!(r.metrics["da"] < r.metrics["sa"]);
+}
+
+#[test]
+fn e11_protocol_matches_model_exactly() {
+    let r = experiments::mobile_e11(80, 11).unwrap();
+    assert_eq!(r.metrics["exact_match"], 1.0);
+}
+
+#[test]
+fn e12_append_only_da_dominates_in_mc() {
+    let r = experiments::append_e12(200, 9).unwrap();
+    assert!(r.metrics["da_over_sa_MC"] < 1.0);
+}
+
+#[test]
+fn e14_ablations_have_the_expected_signs() {
+    let r = experiments::ablation_e14(400, 13).unwrap();
+    assert!(r.metrics["DA_hotspot"] < r.metrics["DA-nosave_hotspot"]);
+    assert!(r.metrics["DA_hotspot"] < r.metrics["SA_hotspot"]);
+    assert!(r.metrics["WriteInvalidate (t=1)_hotspot"] <= r.metrics["DA_hotspot"] + 1e-9);
+}

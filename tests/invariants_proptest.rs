@@ -1,0 +1,164 @@
+//! Property-based tests of the model's core invariants, spanning
+//! `doma-core`, `doma-algorithms` and the cost engine.
+
+use doma::algorithms::bounds::per_request_lower_bound;
+use doma::algorithms::{
+    DynamicAllocation, NaiveDpOptimal, OfflineOptimal, StaticAllocation,
+};
+use doma::core::{
+    cost_of_schedule, run_offline, run_online, validate_allocation, CostModel, ProcSet,
+    ProcessorId, Request, Schedule,
+};
+use proptest::prelude::*;
+
+const N: usize = 5;
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (0..N, any::<bool>()).prop_map(|(p, is_read)| {
+        if is_read {
+            Request::read(p)
+        } else {
+            Request::write(p)
+        }
+    })
+}
+
+fn arb_schedule(max_len: usize) -> impl Strategy<Value = Schedule> {
+    proptest::collection::vec(arb_request(), 0..max_len).prop_map(Schedule::from_requests)
+}
+
+fn arb_sc_model() -> impl Strategy<Value = CostModel> {
+    (0.0f64..2.0, 0.0f64..2.0).prop_map(|(a, b)| {
+        let (cc, cd) = if a <= b { (a, b) } else { (b, a) };
+        CostModel::stationary(cc, cd).expect("cc <= cd by construction")
+    })
+}
+
+fn arb_mc_model() -> impl Strategy<Value = CostModel> {
+    (0.01f64..2.0, 0.0f64..1.0).prop_map(|(cd, frac)| {
+        CostModel::mobile(cd * frac, cd).expect("cc <= cd by construction")
+    })
+}
+
+proptest! {
+    /// SA and DA always produce legal, t-available allocation schedules
+    /// (run_online validates internally and would return Err otherwise),
+    /// and the standalone validator agrees.
+    #[test]
+    fn sa_da_outputs_are_always_valid(schedule in arb_schedule(40)) {
+        let q = ProcSet::from_iter([0, 1]);
+        let mut sa = StaticAllocation::new(q).unwrap();
+        let sa_run = run_online(&mut sa, &schedule).expect("SA must be valid");
+        prop_assert!(validate_allocation(&sa_run.alloc, 2).is_valid());
+
+        let mut da = DynamicAllocation::new(ProcSet::from_iter([0]), ProcessorId::new(1)).unwrap();
+        let da_run = run_online(&mut da, &schedule).expect("DA must be valid");
+        prop_assert!(validate_allocation(&da_run.alloc, 2).is_valid());
+
+        // DA's core invariant: F is in the scheme at every step.
+        for k in 0..=schedule.len() {
+            prop_assert!(da_run.alloc.scheme_at(k).contains(ProcessorId::new(0)));
+        }
+    }
+
+    /// OPT is a true lower bound for every online algorithm, sits above
+    /// the analytic per-request bound, and its reconstructed allocation
+    /// schedule re-costs to exactly the DP value.
+    #[test]
+    fn opt_sandwich(schedule in arb_schedule(25), model in arb_sc_model()) {
+        let init = ProcSet::from_iter([0, 1]);
+        let opt = OfflineOptimal::new(N, 2, init, model).unwrap();
+        let opt_run = run_offline(&opt, &schedule).expect("OPT output must validate");
+        let opt_cost = opt_run.costed.total_cost(&model);
+        let dp_cost = opt.optimal_cost(&schedule).unwrap();
+        prop_assert!((opt_cost - dp_cost).abs() < 1e-6,
+            "reconstruction {opt_cost} != DP {dp_cost}");
+
+        let lb = per_request_lower_bound(&schedule, &model, 2);
+        prop_assert!(lb <= dp_cost + 1e-6, "lower bound {lb} > OPT {dp_cost}");
+
+        let mut sa = StaticAllocation::new(init).unwrap();
+        let sa_cost = run_online(&mut sa, &schedule).unwrap().costed.total_cost(&model);
+        prop_assert!(dp_cost <= sa_cost + 1e-6);
+
+        let mut da = DynamicAllocation::new(ProcSet::from_iter([0]), ProcessorId::new(1)).unwrap();
+        let da_cost = run_online(&mut da, &schedule).unwrap().costed.total_cost(&model);
+        prop_assert!(dp_cost <= da_cost + 1e-6);
+    }
+
+    /// The optimized O(2^n·n) DP agrees exactly with the naive O(4^n)
+    /// reference on every input.
+    #[test]
+    fn fast_dp_equals_naive_dp(schedule in arb_schedule(15), model in arb_sc_model()) {
+        let init = ProcSet::from_iter([0, 1]);
+        let fast = OfflineOptimal::new(N, 2, init, model).unwrap();
+        let naive = NaiveDpOptimal::new(N, 2, init, model).unwrap();
+        let a = fast.optimal_cost(&schedule).unwrap();
+        let b = naive.optimal_cost(&schedule).unwrap();
+        prop_assert!((a - b).abs() < 1e-9, "fast {a} != naive {b} on {schedule}");
+    }
+
+    /// Theorem 1: SA never exceeds (1 + cc + cd) · OPT in SC.
+    #[test]
+    fn theorem_1_holds(schedule in arb_schedule(30), model in arb_sc_model()) {
+        let init = ProcSet::from_iter([0, 1]);
+        let opt = OfflineOptimal::new(N, 2, init, model).unwrap();
+        let opt_cost = opt.optimal_cost(&schedule).unwrap();
+        let mut sa = StaticAllocation::new(init).unwrap();
+        let sa_cost = run_online(&mut sa, &schedule).unwrap().costed.total_cost(&model);
+        let bound = model.sa_bound().unwrap();
+        prop_assert!(sa_cost <= bound * opt_cost + 1e-6,
+            "SA {sa_cost} > {bound} * OPT {opt_cost} on {schedule}");
+    }
+
+    /// Theorems 2 & 3: DA never exceeds its SC bound.
+    #[test]
+    fn theorems_2_3_hold(schedule in arb_schedule(30), model in arb_sc_model()) {
+        let init = ProcSet::from_iter([0, 1]);
+        let opt = OfflineOptimal::new(N, 2, init, model).unwrap();
+        let opt_cost = opt.optimal_cost(&schedule).unwrap();
+        let mut da = DynamicAllocation::new(ProcSet::from_iter([0]), ProcessorId::new(1)).unwrap();
+        let da_cost = run_online(&mut da, &schedule).unwrap().costed.total_cost(&model);
+        let bound = model.da_bound().unwrap();
+        prop_assert!(da_cost <= bound * opt_cost + 1e-6,
+            "DA {da_cost} > {bound} * OPT {opt_cost} on {schedule}");
+    }
+
+    /// Theorem 4: DA never exceeds (2 + 3cc/cd) · OPT in MC.
+    #[test]
+    fn theorem_4_holds(schedule in arb_schedule(30), model in arb_mc_model()) {
+        let init = ProcSet::from_iter([0, 1]);
+        let opt = OfflineOptimal::new(N, 2, init, model).unwrap();
+        let opt_cost = opt.optimal_cost(&schedule).unwrap();
+        let mut da = DynamicAllocation::new(ProcSet::from_iter([0]), ProcessorId::new(1)).unwrap();
+        let da_cost = run_online(&mut da, &schedule).unwrap().costed.total_cost(&model);
+        let bound = model.da_bound().unwrap();
+        prop_assert!(da_cost <= bound * opt_cost + 1e-6,
+            "DA {da_cost} > {bound} * OPT {opt_cost} on {schedule}");
+    }
+
+    /// Cost accounting is internally consistent: the per-request tallies
+    /// sum to the total, and re-costing a schedule is deterministic.
+    #[test]
+    fn cost_accounting_is_additive(schedule in arb_schedule(30)) {
+        let mut da = DynamicAllocation::new(ProcSet::from_iter([0]), ProcessorId::new(1)).unwrap();
+        let run = run_online(&mut da, &schedule).unwrap();
+        let sum: doma::core::CostVector =
+            run.costed.per_request.iter().map(|p| p.cost).sum();
+        prop_assert_eq!(sum, run.costed.total);
+        let again = cost_of_schedule(&run.alloc, 2).unwrap();
+        prop_assert_eq!(again.total, run.costed.total);
+    }
+
+    /// Scheme evolution bookkeeping agrees between the incremental engine
+    /// and the O(k) `scheme_at` recomputation.
+    #[test]
+    fn scheme_at_matches_engine(schedule in arb_schedule(20)) {
+        let mut da = DynamicAllocation::new(ProcSet::from_iter([0]), ProcessorId::new(1)).unwrap();
+        let run = run_online(&mut da, &schedule).unwrap();
+        for (k, pr) in run.costed.per_request.iter().enumerate() {
+            prop_assert_eq!(run.alloc.scheme_at(k), pr.scheme);
+        }
+        prop_assert_eq!(run.alloc.final_scheme(), run.costed.final_scheme);
+    }
+}

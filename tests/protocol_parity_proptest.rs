@@ -1,0 +1,70 @@
+//! Property test: the simulated wire protocols and the analytic cost
+//! engine agree *exactly* on arbitrary schedules — the strongest statement
+//! of the repository's central cross-validation invariant.
+
+use doma::algorithms::{DynamicAllocation, StaticAllocation};
+use doma::core::{run_online, ProcSet, ProcessorId, Request, Schedule};
+use doma::protocol::ProtocolSim;
+use proptest::prelude::*;
+
+const N: usize = 6;
+
+fn arb_schedule() -> impl Strategy<Value = Schedule> {
+    proptest::collection::vec((0..N, any::<bool>()), 0..60).prop_map(|reqs| {
+        reqs.into_iter()
+            .map(|(p, is_read)| {
+                if is_read {
+                    Request::read(p)
+                } else {
+                    Request::write(p)
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SA: protocol tallies == analytic tallies, replica set == scheme.
+    #[test]
+    fn sa_parity(schedule in arb_schedule()) {
+        let q = ProcSet::from_iter([0, 1]);
+        let mut sim = ProtocolSim::new_sa(N, q).unwrap();
+        let report = sim.execute(&schedule).unwrap();
+        let mut sa = StaticAllocation::new(q).unwrap();
+        let analytic = run_online(&mut sa, &schedule).unwrap();
+        prop_assert_eq!(report.cost, analytic.costed.total, "on {}", schedule);
+        prop_assert_eq!(report.final_holders, analytic.costed.final_scheme);
+        prop_assert_eq!(report.dropped_messages, 0);
+        prop_assert_eq!(report.reads_completed as usize, schedule.read_count());
+    }
+
+    /// DA: same, with join-lists and floater tracking in play.
+    #[test]
+    fn da_parity(schedule in arb_schedule()) {
+        let f = ProcSet::from_iter([0]);
+        let p = ProcessorId::new(1);
+        let mut sim = ProtocolSim::new_da(N, f, p).unwrap();
+        let report = sim.execute(&schedule).unwrap();
+        let mut da = DynamicAllocation::new(f, p).unwrap();
+        let analytic = run_online(&mut da, &schedule).unwrap();
+        prop_assert_eq!(report.cost, analytic.costed.total, "on {}", schedule);
+        prop_assert_eq!(report.final_holders, analytic.costed.final_scheme);
+        prop_assert_eq!(report.reads_completed as usize, schedule.read_count());
+    }
+
+    /// DA with a wider core (t = 3): the invalidation bookkeeping is the
+    /// subtle part, so cover a second configuration.
+    #[test]
+    fn da_parity_wider_core(schedule in arb_schedule()) {
+        let f = ProcSet::from_iter([2, 4]);
+        let p = ProcessorId::new(0);
+        let mut sim = ProtocolSim::new_da(N, f, p).unwrap();
+        let report = sim.execute(&schedule).unwrap();
+        let mut da = DynamicAllocation::new(f, p).unwrap();
+        let analytic = run_online(&mut da, &schedule).unwrap();
+        prop_assert_eq!(report.cost, analytic.costed.total, "on {}", schedule);
+        prop_assert_eq!(report.final_holders, analytic.costed.final_scheme);
+    }
+}
