@@ -1,7 +1,7 @@
 //! E14 — ablations: what DA's ingredients (saving-reads, the availability
 //! core, history-awareness) each buy, on regular vs chaotic workloads.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use doma_testkit::bench::Bench;
 use doma_algorithms::baselines::{DaNoSave, SlidingWindowConvergent, WriteInvalidateCache};
 use doma_algorithms::{DynamicAllocation, StaticAllocation};
 use doma_core::{run_online, CostModel, OnlineDom, ProcSet, ProcessorId, Schedule};
@@ -11,7 +11,7 @@ fn cost(algo: &mut dyn OnlineDom, s: &Schedule, m: &CostModel) -> f64 {
     run_online(algo, s).expect("valid").costed.total_cost(m)
 }
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Bench) {
     let model = CostModel::stationary(0.25, 1.0).expect("valid");
     let regular = HotspotWorkload::new(5, 40, 0.85)
         .expect("valid")
@@ -45,7 +45,7 @@ fn bench(c: &mut Criterion) {
     }
     println!();
 
-    let mut group = c.benchmark_group("ablation");
+    let mut group = c.group("ablation");
     for (name, algo) in &mut rows {
         group.bench_function(format!("{name}/hotspot"), |b| {
             b.iter(|| cost(algo.as_mut(), &regular, &model))
@@ -54,5 +54,4 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+doma_testkit::bench_main!(bench);

@@ -1,7 +1,7 @@
 //! E15 — shared-bus contention: read-burst response time under the two
 //! media, and how DA's saving-reads collapse repeat-burst contention.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use doma_testkit::bench::{Bench, BenchId};
 use doma_core::{ProcSet, ProcessorId};
 use doma_protocol::ProtocolSim;
 use doma_sim::NetworkConfig;
@@ -10,7 +10,7 @@ fn readers(k: usize) -> Vec<ProcessorId> {
     (2..2 + k).map(ProcessorId::new).collect()
 }
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Bench) {
     let n = 24;
     let q = ProcSet::from_iter([0, 1]);
 
@@ -28,16 +28,16 @@ fn bench(c: &mut Criterion) {
     }
     println!();
 
-    let mut group = c.benchmark_group("contention");
+    let mut group = c.group("contention");
     for k in [4usize, 16] {
-        group.bench_with_input(BenchmarkId::new("sa_bus_burst", k), &k, |bch, &k| {
+        group.bench_with_input(BenchId::new("sa_bus_burst", k), &k, |bch, &k| {
             bch.iter(|| {
                 let mut bus = ProtocolSim::new_sa_with(n, q, NetworkConfig::shared_bus(1, 3))
                     .expect("valid");
                 bus.execute_read_burst(&readers(k)).expect("burst")
             })
         });
-        group.bench_with_input(BenchmarkId::new("da_double_burst", k), &k, |bch, &k| {
+        group.bench_with_input(BenchId::new("da_double_burst", k), &k, |bch, &k| {
             bch.iter(|| {
                 let mut bus = ProtocolSim::new_da_with(
                     n,
@@ -54,5 +54,4 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+doma_testkit::bench_main!(bench);

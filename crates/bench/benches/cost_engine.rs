@@ -1,29 +1,29 @@
 //! Core-engine throughput: costing allocation schedules and running the
 //! online algorithms, in requests per second.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use doma_testkit::bench::{Bench, BenchId};
 use doma_algorithms::{DynamicAllocation, StaticAllocation};
 use doma_core::{cost_of_schedule, run_online, ProcSet, ProcessorId, Schedule};
 use doma_workload::{ScheduleGen, UniformWorkload, ZipfWorkload};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cost_engine");
+fn bench(c: &mut Bench) {
+    let mut group = c.group("cost_engine");
     for len in [1_000usize, 10_000, 100_000] {
         let schedule: Schedule = UniformWorkload::new(16, 0.7)
             .expect("valid")
             .generate(len, 7);
-        group.throughput(Throughput::Elements(len as u64));
+        group.throughput_elements(len as u64);
 
-        group.bench_with_input(BenchmarkId::new("run_sa", len), &schedule, |b, s| {
+        group.bench_with_input(BenchId::new("run_sa", len), &schedule, |b, s| {
             let mut sa = StaticAllocation::new(ProcSet::from_iter([0, 1])).expect("valid");
             b.iter(|| run_online(&mut sa, s).expect("valid run").costed.total)
         });
-        group.bench_with_input(BenchmarkId::new("run_da", len), &schedule, |b, s| {
+        group.bench_with_input(BenchId::new("run_da", len), &schedule, |b, s| {
             let mut da = DynamicAllocation::new(ProcSet::from_iter([0]), ProcessorId::new(1))
                 .expect("valid");
             b.iter(|| run_online(&mut da, s).expect("valid run").costed.total)
         });
-        group.bench_with_input(BenchmarkId::new("recost_schedule", len), &schedule, |b, s| {
+        group.bench_with_input(BenchId::new("recost_schedule", len), &schedule, |b, s| {
             let mut da = DynamicAllocation::new(ProcSet::from_iter([0]), ProcessorId::new(1))
                 .expect("valid");
             let alloc = run_online(&mut da, s).expect("valid run").alloc;
@@ -35,8 +35,8 @@ fn bench(c: &mut Criterion) {
     // generation throughput number).
     {
         let len = 10_000usize;
-        group.throughput(Throughput::Elements(len as u64));
-        group.bench_function(BenchmarkId::new("generate_zipf", len), |b| {
+        group.throughput_elements(len as u64);
+        group.bench_function(BenchId::new("generate_zipf", len), |b| {
             let gen = ZipfWorkload::new(16, 1.1, 0.7).expect("valid");
             b.iter(|| gen.generate(len, 3))
         });
@@ -44,5 +44,4 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+doma_testkit::bench_main!(bench);

@@ -2,7 +2,7 @@
 //! the Theorem 2/3 bounds (SC), the Theorem 4 bound (MC), and the
 //! exhaustive lower-bound search behind Proposition 2.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use doma_testkit::bench::{Bench, BenchId};
 use doma_algorithms::search::{exhaustive_worst_case, SearchConfig};
 use doma_algorithms::DynamicAllocation;
 use doma_analysis::battery::standard_battery;
@@ -13,7 +13,7 @@ fn da() -> DynamicAllocation {
     DynamicAllocation::new(ProcSet::from_iter([0]), ProcessorId::new(1)).expect("valid")
 }
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Bench) {
     // Print the series the tables in EXPERIMENTS.md record.
     println!("\nE4/E5: DA worst battery ratio vs bound");
     for (cc, cd) in [(0.1, 0.5), (0.3, 0.8), (0.2, 1.5), (0.8, 2.0)] {
@@ -42,7 +42,7 @@ fn bench(c: &mut Criterion) {
     }
     println!();
 
-    let mut group = c.benchmark_group("da_competitive");
+    let mut group = c.group("da_competitive");
     group.sample_size(10);
     let model = CostModel::stationary(0.3, 0.8).expect("valid");
     let battery = standard_battery(5, 48, 2);
@@ -52,7 +52,7 @@ fn bench(c: &mut Criterion) {
     });
     for len in [4usize, 5, 6] {
         group.bench_with_input(
-            BenchmarkId::new("exhaustive_search", len),
+            BenchId::new("exhaustive_search", len),
             &len,
             |b, &len| {
                 let small = CostModel::stationary(0.01, 0.01).expect("valid");
@@ -75,5 +75,4 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+doma_testkit::bench_main!(bench);

@@ -4,7 +4,7 @@
 //! measured Figure 1 (printed once before timing) and benchmarks the cost
 //! of producing it at smoke and paper resolutions.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use doma_testkit::bench::Bench;
 use doma_analysis::region::{empirical_region_map, RegionConfig};
 use doma_core::Environment;
 
@@ -18,7 +18,7 @@ fn fast_config() -> RegionConfig {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Bench) {
     // Print the figure once, so `cargo bench` output contains the artifact.
     let map = empirical_region_map(Environment::Stationary, &fast_config())
         .expect("region map");
@@ -29,7 +29,7 @@ fn bench(c: &mut Criterion) {
         100.0 * map.agreement_with_paper()
     );
 
-    let mut group = c.benchmark_group("fig1_region");
+    let mut group = c.group("fig1_region");
     group.sample_size(10);
     group.bench_function("map_4x4_grid", |b| {
         b.iter(|| {
@@ -39,5 +39,4 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+doma_testkit::bench_main!(bench);

@@ -1,11 +1,11 @@
 //! E2 — Figure 2 (mobile-computing region map): DA dominates everywhere
 //! feasible.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use doma_testkit::bench::Bench;
 use doma_analysis::region::{empirical_region_map, Region, RegionConfig};
 use doma_core::Environment;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Bench) {
     let config = RegionConfig {
         n: 5,
         step: 0.5,
@@ -22,7 +22,7 @@ fn bench(c: &mut Criterion) {
         .count();
     println!("cells where SA measured superior (paper predicts 0): {sa_wins}\n");
 
-    let mut group = c.benchmark_group("fig2_region");
+    let mut group = c.group("fig2_region");
     group.sample_size(10);
     group.bench_function("map_4x4_grid", |b| {
         b.iter(|| empirical_region_map(Environment::Mobile, &config).expect("region map"))
@@ -30,5 +30,4 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+doma_testkit::bench_main!(bench);

@@ -2,7 +2,7 @@
 //! transitions against the naive O(4ⁿ) reference, across system sizes and
 //! schedule lengths.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use doma_testkit::bench::{Bench, BenchId};
 use doma_algorithms::{NaiveDpOptimal, OfflineOptimal};
 use doma_core::{CostModel, ProcSet, Schedule};
 use doma_workload::{ScheduleGen, UniformWorkload};
@@ -11,20 +11,20 @@ fn schedule_for(n: usize, len: usize) -> Schedule {
     UniformWorkload::new(n, 0.6).expect("valid").generate(len, 42)
 }
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Bench) {
     let model = CostModel::stationary(0.3, 0.9).expect("valid");
     let init = ProcSet::from_iter([0, 1]);
 
-    let mut group = c.benchmark_group("opt_scaling_n");
+    let mut group = c.group("opt_scaling_n");
     for n in [4usize, 6, 8, 10, 12] {
         let schedule = schedule_for(n, 64);
-        group.throughput(Throughput::Elements(64));
-        group.bench_with_input(BenchmarkId::new("fast_dp", n), &schedule, |b, s| {
+        group.throughput_elements(64);
+        group.bench_with_input(BenchId::new("fast_dp", n), &schedule, |b, s| {
             let opt = OfflineOptimal::new(n, 2, init, model).expect("valid");
             b.iter(|| opt.optimal_cost(s).expect("cost"))
         });
         if n <= 10 {
-            group.bench_with_input(BenchmarkId::new("naive_dp", n), &schedule, |b, s| {
+            group.bench_with_input(BenchId::new("naive_dp", n), &schedule, |b, s| {
                 let opt = NaiveDpOptimal::new(n, 2, init, model).expect("valid");
                 b.iter(|| opt.optimal_cost(s).expect("cost"))
             });
@@ -32,11 +32,11 @@ fn bench(c: &mut Criterion) {
     }
     group.finish();
 
-    let mut group = c.benchmark_group("opt_scaling_len");
+    let mut group = c.group("opt_scaling_len");
     for len in [64usize, 256, 1024] {
         let schedule = schedule_for(8, len);
-        group.throughput(Throughput::Elements(len as u64));
-        group.bench_with_input(BenchmarkId::new("fast_dp_n8", len), &schedule, |b, s| {
+        group.throughput_elements(len as u64);
+        group.bench_with_input(BenchId::new("fast_dp_n8", len), &schedule, |b, s| {
             let opt = OfflineOptimal::new(8, 2, init, model).expect("valid");
             b.iter(|| opt.optimal_cost(s).expect("cost"))
         });
@@ -44,5 +44,4 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+doma_testkit::bench_main!(bench);

@@ -1,11 +1,11 @@
 //! E18 — multi-object core placement: load hotspot vs policy, plus
 //! catalog throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use doma_testkit::bench::{Bench, BenchId};
 use doma_algorithms::multi::{run_multi, Placement};
 use doma_workload::MultiMobileWorkload;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Bench) {
     let workload = MultiMobileWorkload::new(24, 5, 6, 0.3, 0.7).expect("valid");
     let n = workload.universe();
     let schedule = workload.generate_multi(3000, 17);
@@ -26,19 +26,18 @@ fn bench(c: &mut Criterion) {
     }
     println!();
 
-    let mut group = c.benchmark_group("placement");
-    group.throughput(Throughput::Elements(schedule.len() as u64));
+    let mut group = c.group("placement");
+    group.throughput_elements(schedule.len() as u64);
     for (name, placement) in [
         ("same_core", Placement::SameCore),
         ("round_robin", Placement::RoundRobin),
         ("load_aware", Placement::LoadAware),
     ] {
-        group.bench_with_input(BenchmarkId::new("run_multi", name), &placement, |b, &p| {
+        group.bench_with_input(BenchId::new("run_multi", name), &placement, |b, &p| {
             b.iter(|| run_multi(n, 2, p, &schedule).expect("run"))
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+doma_testkit::bench_main!(bench);

@@ -2,24 +2,24 @@
 //! message exchanges (SA vs DA, plus the mobile deployment), in requests
 //! per second.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use doma_testkit::bench::{Bench, BenchId};
 use doma_core::{ProcSet, ProcessorId};
 use doma_protocol::ProtocolSim;
 use doma_workload::{MobileWorkload, ScheduleGen, UniformWorkload};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("protocol_sim");
+fn bench(c: &mut Bench) {
+    let mut group = c.group("protocol_sim");
     for len in [200usize, 1_000] {
         let schedule = UniformWorkload::new(8, 0.7).expect("valid").generate(len, 5);
-        group.throughput(Throughput::Elements(len as u64));
-        group.bench_with_input(BenchmarkId::new("sa_cluster8", len), &schedule, |b, s| {
+        group.throughput_elements(len as u64);
+        group.bench_with_input(BenchId::new("sa_cluster8", len), &schedule, |b, s| {
             b.iter(|| {
                 let mut sim =
                     ProtocolSim::new_sa(8, ProcSet::from_iter([0, 1])).expect("valid");
                 sim.execute(s).expect("run")
             })
         });
-        group.bench_with_input(BenchmarkId::new("da_cluster8", len), &schedule, |b, s| {
+        group.bench_with_input(BenchId::new("da_cluster8", len), &schedule, |b, s| {
             b.iter(|| {
                 let mut sim =
                     ProtocolSim::new_da(8, ProcSet::from_iter([0]), ProcessorId::new(1))
@@ -31,7 +31,7 @@ fn bench(c: &mut Criterion) {
 
     let workload = MobileWorkload::new(3, 4, 0.3, 0.7).expect("valid");
     let schedule = workload.generate(500, 9);
-    group.throughput(Throughput::Elements(500));
+    group.throughput_elements(500);
     group.bench_function("mobile_base_station", |b| {
         b.iter(|| {
             let mut sim = ProtocolSim::mobile(workload.universe()).expect("valid");
@@ -41,5 +41,4 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+doma_testkit::bench_main!(bench);

@@ -1,11 +1,11 @@
 //! E9 — the read/write-mix sweep: prints the SA/DA/Convergent cost curves
 //! and the DA-beats-SA crossover, and benchmarks the sweep machinery.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use doma_testkit::bench::Bench;
 use doma_analysis::sweep::{da_crossover, read_write_mix_sweep, SweepConfig};
 use doma_core::CostModel;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Bench) {
     let model = CostModel::stationary(0.25, 1.0).expect("valid");
     let config = SweepConfig::default_for(model);
     let points = read_write_mix_sweep(&config).expect("sweep");
@@ -25,7 +25,7 @@ fn bench(c: &mut Criterion) {
         None => println!("  no crossover in range\n"),
     }
 
-    let mut group = c.benchmark_group("rw_mix_sweep");
+    let mut group = c.group("rw_mix_sweep");
     group.sample_size(10);
     let quick = SweepConfig {
         n: 5,
@@ -40,5 +40,4 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+doma_testkit::bench_main!(bench);

@@ -1,11 +1,11 @@
 //! E3 — Theorem 1 / Proposition 1: SA's competitive ratio on the
 //! remote-reader adversary (printed series) and the cost of measuring it.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use doma_testkit::bench::{Bench, BenchId};
 use doma_algorithms::{adversary, OfflineOptimal, StaticAllocation};
 use doma_core::{run_online, CostModel, ProcSet, ProcessorId};
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Bench) {
     let model = CostModel::stationary(0.5, 1.5).expect("valid");
     let bound = model.sa_bound().expect("SC");
     let q = ProcSet::from_iter([0, 1]);
@@ -28,10 +28,10 @@ fn bench(c: &mut Criterion) {
     }
     println!();
 
-    let mut group = c.benchmark_group("sa_competitive");
+    let mut group = c.group("sa_competitive");
     for len in [32usize, 128, 512] {
         let schedule = adversary::remote_reader(ProcessorId::new(2), len);
-        group.bench_with_input(BenchmarkId::new("sa_vs_opt", len), &schedule, |b, s| {
+        group.bench_with_input(BenchId::new("sa_vs_opt", len), &schedule, |b, s| {
             let mut sa = StaticAllocation::new(q).expect("valid");
             b.iter(|| {
                 let sa_cost = run_online(&mut sa, s)
@@ -46,5 +46,4 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+doma_testkit::bench_main!(bench);

@@ -12,8 +12,7 @@ use crate::OfflineOptimal;
 use doma_core::{
     run_online, CostModel, DomaError, OnlineDom, ProcessorId, Request, Result, Schedule,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use doma_testkit::rng::{Rng, TestRng};
 
 /// Configuration of a worst-case search.
 #[derive(Debug, Clone)]
@@ -304,7 +303,7 @@ pub fn random_worst_case<A: OnlineDom + ?Sized>(
     seed: u64,
 ) -> Result<SearchResult> {
     let opt = OfflineOptimal::new(cfg.n, cfg.t, algo.initial_scheme(), cfg.model)?;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = TestRng::seed_from_u64(seed);
     let mut best: Option<SearchResult> = None;
     for _ in 0..samples {
         let schedule: Schedule = (0..cfg.len)

@@ -844,14 +844,13 @@ pub fn cache_e16(schedule_len: usize, seed: u64) -> Result<ExpReport> {
 pub fn placement_e18(objects: u64, requests: usize, seed: u64) -> Result<ExpReport> {
     use doma_algorithms::multi::{run_multi, MultiSchedule, Placement};
     use doma_core::{ObjectId, Request};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use doma_testkit::rng::{Rng, TestRng};
 
     let n = 8;
     let model = CostModel::stationary(0.25, 1.0).expect("valid");
     // Zipf-popular objects, uniform issuers, 70% reads.
     let sampler = doma_workload::ZipfSampler::new(objects as usize, 1.0)?;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = TestRng::seed_from_u64(seed);
     let mut schedule = MultiSchedule::default();
     for _ in 0..requests {
         let object = ObjectId(sampler.sample(&mut rng) as u64);

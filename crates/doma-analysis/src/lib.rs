@@ -11,7 +11,7 @@
 //!   paper's analytic boundaries and our measured winners, with an ASCII
 //!   renderer that mirrors the figures.
 //! * [`sweep`] — average-case cost sweeps (read/write mix, E9) run in
-//!   parallel with crossbeam scoped threads.
+//!   parallel with `std::thread::scope`.
 //! * [`experiments`] — one driver per experiment id (E1–E21 in DESIGN.md),
 //!   returning structured reports the `repro` binary prints and the
 //!   integration tests assert on.

@@ -1,5 +1,5 @@
 //! Average-case parameter sweeps (experiment E9), parallelized with
-//! crossbeam scoped threads.
+//! `std::thread::scope`.
 
 use doma_algorithms::baselines::SlidingWindowConvergent;
 use doma_core::{run_online, CostModel, DomAlgorithm, OnlineDom, Result};
@@ -82,19 +82,18 @@ fn sweep_point(config: &SweepConfig, read_fraction: f64) -> Result<SweepPoint> {
     })
 }
 
-/// Runs the sweep, one thread per point (crossbeam scoped threads — the
-/// points are independent).
+/// Runs the sweep, one thread per point (`std::thread::scope` — the
+/// points are independent, and the scope joins and propagates panics).
 pub fn read_write_mix_sweep(config: &SweepConfig) -> Result<Vec<SweepPoint>> {
     let mut results: Vec<Option<Result<SweepPoint>>> =
         (0..config.read_fractions.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, &rf) in results.iter_mut().zip(&config.read_fractions) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(sweep_point(config, rf));
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     results
         .into_iter()
         .map(|r| r.expect("every slot filled"))

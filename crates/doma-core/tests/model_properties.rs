@@ -1,66 +1,99 @@
 //! Property tests of the core model: set algebra, cost-function structure
-//! and schedule round-trips.
+//! and schedule round-trips. Runs on the in-tree `doma-testkit` harness;
+//! failures print a minimal shrunk input and a `DOMA_PROP_SEED` replay
+//! line.
 
 use doma_core::{
     request_cost, scheme_after, AllocatedRequest, CostModel, CostVector, Decision, Op, ProcSet,
     ProcessorId, Request, Schedule,
 };
-use proptest::prelude::*;
+use doma_testkit::prop_assume;
+use doma_testkit::property::{self as prop, Gen};
 
-fn arb_procset() -> impl Strategy<Value = ProcSet> {
-    // Restrict to a 16-processor universe so intersections are common.
-    (0u64..(1 << 16)).prop_map(ProcSet::from_bits)
+/// Sets over a 16-processor universe (so intersections are common),
+/// shrinking through the raw bitmask toward the empty set.
+fn arb_procset() -> impl Gen<Value = ProcSet> {
+    prop::iso(
+        prop::range(0u64..(1 << 16)),
+        ProcSet::from_bits,
+        |ps: &ProcSet| ps.bits(),
+    )
 }
 
-fn arb_processor() -> impl Strategy<Value = ProcessorId> {
-    (0usize..16).prop_map(ProcessorId::new)
+fn arb_processor() -> impl Gen<Value = ProcessorId> {
+    prop::iso(
+        prop::range(0usize..16),
+        ProcessorId::new,
+        |p: &ProcessorId| p.index(),
+    )
 }
 
-fn arb_request() -> impl Strategy<Value = Request> {
-    (arb_processor(), any::<bool>()).prop_map(|(p, r)| Request {
-        op: if r { Op::Read } else { Op::Write },
-        issuer: p,
-    })
-}
+/// Requests over 16 processors; shrinks writes to reads, issuers toward 0.
+struct RequestGen;
 
-proptest! {
-    // ----- ProcSet is a boolean algebra -------------------------------
+impl Gen for RequestGen {
+    type Value = Request;
 
-    #[test]
-    fn procset_union_is_commutative_and_idempotent(a in arb_procset(), b in arb_procset()) {
-        prop_assert_eq!(a.union(b), b.union(a));
-        prop_assert_eq!(a.union(a), a);
-        prop_assert!(a.is_subset(a.union(b)));
+    fn generate(&self, rng: &mut doma_testkit::TestRng) -> Request {
+        let p = arb_processor().generate(rng);
+        if prop::bools().generate(rng) {
+            Request::read(p)
+        } else {
+            Request::write(p)
+        }
     }
 
-    #[test]
+    fn shrink(&self, v: &Request) -> Vec<Request> {
+        let mut out = Vec::new();
+        if v.op == Op::Write {
+            out.push(Request::read(v.issuer));
+        }
+        for issuer in arb_processor().shrink(&v.issuer) {
+            out.push(Request { op: v.op, issuer });
+        }
+        out
+    }
+}
+
+fn arb_request() -> RequestGen {
+    RequestGen
+}
+
+doma_testkit::property! {
+    // ----- ProcSet is a boolean algebra -------------------------------
+
+    fn procset_union_is_commutative_and_idempotent(a in arb_procset(), b in arb_procset()) {
+        assert_eq!(a.union(b), b.union(a));
+        assert_eq!(a.union(a), a);
+        assert!(a.is_subset(a.union(b)));
+    }
+
     fn procset_de_morgan_via_difference(a in arb_procset(), b in arb_procset(), c in arb_procset()) {
         // a \ (b ∪ c) == (a \ b) \ c
-        prop_assert_eq!(a.difference(b.union(c)), a.difference(b).difference(c));
+        assert_eq!(a.difference(b.union(c)), a.difference(b).difference(c));
         // |a ∪ b| = |a| + |b| - |a ∩ b|
-        prop_assert_eq!(
+        assert_eq!(
             a.union(b).len(),
             a.len() + b.len() - a.intersection(b).len()
         );
     }
 
-    #[test]
     fn procset_iteration_roundtrips(a in arb_procset()) {
         let rebuilt: ProcSet = a.iter().collect();
-        prop_assert_eq!(rebuilt, a);
-        prop_assert_eq!(a.iter().count(), a.len());
+        assert_eq!(rebuilt, a);
+        assert_eq!(a.iter().count(), a.len());
     }
 
-    #[test]
-    fn procset_subsets_count_is_power_of_two(a in (0u64..(1 << 10)).prop_map(ProcSet::from_bits)) {
-        prop_assert_eq!(a.subsets().count(), 1usize << a.len());
+    fn procset_subsets_count_is_power_of_two(
+        a in prop::iso(prop::range(0u64..(1 << 10)), ProcSet::from_bits, |ps: &ProcSet| ps.bits())
+    ) {
+        assert_eq!(a.subsets().count(), 1usize << a.len());
     }
 
     // ----- Cost-function structure ------------------------------------
 
     /// The cost of a read grows monotonically with the execution set —
     /// which is why OPT only ever uses singletons for reads.
-    #[test]
     fn read_cost_monotone_in_execution_set(
         scheme in arb_procset(),
         exec in arb_procset(),
@@ -72,7 +105,7 @@ proptest! {
         let small = AllocatedRequest::new(Request::read(issuer), Decision::exec(exec));
         let big = AllocatedRequest::new(Request::read(issuer), Decision::exec(exec.with(extra)));
         let model = CostModel::stationary(0.5, 1.0).unwrap();
-        prop_assert!(
+        assert!(
             request_cost(&small, scheme).eval(&model)
                 <= request_cost(&big, scheme).eval(&model)
         );
@@ -80,7 +113,6 @@ proptest! {
 
     /// A saving-read costs exactly one more I/O than the plain read, in
     /// every configuration (§3.2), and nothing more in communication.
-    #[test]
     fn saving_read_costs_exactly_one_extra_io(
         scheme in arb_procset(),
         exec in arb_procset(),
@@ -91,12 +123,11 @@ proptest! {
         let saving = AllocatedRequest::new(Request::read(issuer), Decision::saving(exec));
         let a = request_cost(&plain, scheme);
         let b = request_cost(&saving, scheme);
-        prop_assert_eq!(b.saturating_sub(&a), CostVector::new(0, 0, 1));
+        assert_eq!(b.saturating_sub(&a), CostVector::new(0, 0, 1));
     }
 
     /// Write invalidations never exceed the old scheme size, and the I/O
     /// count always equals the execution-set size.
-    #[test]
     fn write_cost_structure(
         scheme in arb_procset(),
         exec in arb_procset(),
@@ -105,24 +136,23 @@ proptest! {
         prop_assume!(!exec.is_empty());
         let w = AllocatedRequest::new(Request::write(issuer), Decision::exec(exec));
         let c = request_cost(&w, scheme);
-        prop_assert!(c.control as usize <= scheme.len());
-        prop_assert_eq!(c.io as usize, exec.len());
+        assert!(c.control as usize <= scheme.len());
+        assert_eq!(c.io as usize, exec.len());
         // Data messages: |X| - 1 if the writer participates, |X| otherwise.
         let expected_data = if exec.contains(issuer) {
             exec.len() - 1
         } else {
             exec.len()
         };
-        prop_assert_eq!(c.data as usize, expected_data);
+        assert_eq!(c.data as usize, expected_data);
     }
 
     /// Scheme evolution: writes replace, saving-reads extend, reads keep.
-    #[test]
     fn scheme_evolution_laws(
         scheme in arb_procset(),
         exec in arb_procset(),
         req in arb_request(),
-        saving in any::<bool>(),
+        saving in prop::bools(),
     ) {
         prop_assume!(!exec.is_empty());
         let step = AllocatedRequest::new(
@@ -131,23 +161,22 @@ proptest! {
         );
         let next = scheme_after(scheme, &step);
         match (req.op, step.saving) {
-            (Op::Write, _) => prop_assert_eq!(next, exec),
+            (Op::Write, _) => assert_eq!(next, exec),
             (Op::Read, true) => {
-                prop_assert_eq!(next, scheme.with(req.issuer));
-                prop_assert!(scheme.is_subset(next));
+                assert_eq!(next, scheme.with(req.issuer));
+                assert!(scheme.is_subset(next));
             }
-            (Op::Read, false) => prop_assert_eq!(next, scheme),
+            (Op::Read, false) => assert_eq!(next, scheme),
         }
     }
 
     /// Mobile pricing is stationary pricing minus the I/O component.
-    #[test]
     fn mobile_cost_is_stationary_minus_io(
         scheme in arb_procset(),
         exec in arb_procset(),
         req in arb_request(),
-        cc in 0.0f64..1.0,
-        extra in 0.0f64..1.0,
+        cc in prop::range(0.0f64..1.0),
+        extra in prop::range(0.0f64..1.0),
     ) {
         prop_assume!(!exec.is_empty());
         let cd = cc + extra;
@@ -155,27 +184,25 @@ proptest! {
         let mc = CostModel::mobile(cc, cd).unwrap();
         let step = AllocatedRequest::new(req, Decision::exec(exec));
         let v = request_cost(&step, scheme);
-        prop_assert!((v.eval(&mc) - (v.eval(&sc) - v.io as f64)).abs() < 1e-9);
+        assert!((v.eval(&mc) - (v.eval(&sc) - v.io as f64)).abs() < 1e-9);
     }
 
     // ----- Schedule round-trips ----------------------------------------
 
-    #[test]
-    fn schedule_display_parse_roundtrip(reqs in proptest::collection::vec(arb_request(), 0..50)) {
+    fn schedule_display_parse_roundtrip(reqs in prop::vec_in(arb_request(), 0..50)) {
         let s = Schedule::from_requests(reqs);
         let parsed: Schedule = s.to_string().parse().unwrap();
-        prop_assert_eq!(parsed, s);
+        assert_eq!(parsed, s);
     }
 
-    #[test]
     fn repeated_schedule_has_multiplied_counts(
-        reqs in proptest::collection::vec(arb_request(), 1..10),
-        times in 0usize..5,
+        reqs in prop::vec_in(arb_request(), 1..10),
+        times in prop::range(0usize..5),
     ) {
         let s = Schedule::from_requests(reqs);
         let r = s.repeated(times);
-        prop_assert_eq!(r.len(), s.len() * times);
-        prop_assert_eq!(r.read_count(), s.read_count() * times);
-        prop_assert_eq!(r.write_count(), s.write_count() * times);
+        assert_eq!(r.len(), s.len() * times);
+        assert_eq!(r.read_count(), s.read_count() * times);
+        assert_eq!(r.write_count(), s.write_count() * times);
     }
 }

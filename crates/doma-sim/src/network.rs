@@ -1,7 +1,6 @@
 //! Point-to-point network model with per-kind message accounting.
 
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// The two message classes of the cost model (§1.2): short control
 /// messages (requests, invalidations) priced at `cc`, and data messages
@@ -39,16 +38,16 @@ impl StatsHandle {
 
     /// A snapshot of the current tallies.
     pub fn snapshot(&self) -> NetStats {
-        *self.0.lock()
+        *self.0.lock().expect("lock poisoned")
     }
 
     /// Zeroes the tallies (e.g. between experiment phases).
     pub fn reset(&self) {
-        *self.0.lock() = NetStats::default();
+        *self.0.lock().expect("lock poisoned") = NetStats::default();
     }
 
     pub(crate) fn record_send(&self, kind: MsgKind) {
-        let mut s = self.0.lock();
+        let mut s = self.0.lock().expect("lock poisoned");
         match kind {
             MsgKind::Control => s.control_sent += 1,
             MsgKind::Data => s.data_sent += 1,
@@ -56,7 +55,7 @@ impl StatsHandle {
     }
 
     pub(crate) fn record_drop(&self) {
-        self.0.lock().dropped += 1;
+        self.0.lock().expect("lock poisoned").dropped += 1;
     }
 }
 

@@ -2,10 +2,9 @@
 //! debugging protocols and asserting on message-level behaviour in tests.
 
 use crate::{MsgKind, NodeId, SimTime};
-use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// One delivered (or dropped) message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,7 +67,7 @@ impl TraceHandle {
 
     /// Appends a record.
     pub fn record(&self, record: TraceRecord) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("lock poisoned");
         if inner.records.len() == inner.capacity {
             inner.records.pop_front();
             inner.discarded += 1;
@@ -78,17 +77,17 @@ impl TraceHandle {
 
     /// A snapshot of the retained records, oldest first.
     pub fn snapshot(&self) -> Vec<TraceRecord> {
-        self.inner.lock().records.iter().cloned().collect()
+        self.inner.lock().expect("lock poisoned").records.iter().cloned().collect()
     }
 
     /// Number of records discarded due to the capacity bound.
     pub fn discarded(&self) -> u64 {
-        self.inner.lock().discarded
+        self.inner.lock().expect("lock poisoned").discarded
     }
 
     /// Drops all retained records.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("lock poisoned");
         inner.records.clear();
         inner.discarded = 0;
     }

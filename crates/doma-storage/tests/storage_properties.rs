@@ -1,9 +1,11 @@
 //! Property tests of the storage substrate: recovery exactness, cache
 //! coherence, and I/O accounting, under random operation sequences.
+//! Runs on the in-tree `doma-testkit` harness.
 
 use doma_core::ObjectId;
 use doma_storage::{CachedStore, LocalStore, Version};
-use proptest::prelude::*;
+use doma_testkit::property::{self as prop, Gen};
+use doma_testkit::TestRng;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -12,12 +14,56 @@ enum Op {
     Invalidate { obj: u8 },
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..4, any::<u8>()).prop_map(|(obj, payload)| Op::Output { obj, payload }),
-        (0u8..4).prop_map(|obj| Op::Input { obj }),
-        (0u8..4).prop_map(|obj| Op::Invalidate { obj }),
-    ]
+/// Operations over 4 objects. Shrinks toward `Input { obj: 0 }` (the
+/// cheapest, state-free operation) and shrinks object ids toward 0.
+struct OpGen;
+
+impl Gen for OpGen {
+    type Value = Op;
+
+    fn generate(&self, rng: &mut TestRng) -> Op {
+        let obj = prop::range(0u8..4).generate(rng);
+        match prop::range(0u8..3).generate(rng) {
+            0 => Op::Output {
+                obj,
+                payload: prop::range(0u16..256).generate(rng) as u8,
+            },
+            1 => Op::Input { obj },
+            _ => Op::Invalidate { obj },
+        }
+    }
+
+    fn shrink(&self, v: &Op) -> Vec<Op> {
+        let mut out = Vec::new();
+        let obj = match v {
+            Op::Output { obj, .. } | Op::Input { obj } | Op::Invalidate { obj } => *obj,
+        };
+        match v {
+            Op::Output { payload, .. } => {
+                out.push(Op::Input { obj });
+                if *payload != 0 {
+                    out.push(Op::Output { obj, payload: 0 });
+                }
+            }
+            Op::Invalidate { .. } => out.push(Op::Input { obj }),
+            Op::Input { .. } => {}
+        }
+        if obj != 0 {
+            out.push(match v {
+                Op::Output { payload, .. } => Op::Output {
+                    obj: 0,
+                    payload: *payload,
+                },
+                Op::Input { .. } => Op::Input { obj: 0 },
+                Op::Invalidate { .. } => Op::Invalidate { obj: 0 },
+            });
+        }
+        out
+    }
+}
+
+fn arb_ops(max: usize) -> impl Gen<Value = Vec<Op>> {
+    prop::vec_in(OpGen, 0..max)
 }
 
 fn apply(store: &mut LocalStore, ops: &[Op], version_counter: &mut u64) {
@@ -39,11 +85,10 @@ fn apply(store: &mut LocalStore, ops: &[Op], version_counter: &mut u64) {
     }
 }
 
-proptest! {
+doma_testkit::property! {
     /// Crash-recovery is exact: replaying the redo log reconstructs the
     /// pre-crash visible state for every object.
-    #[test]
-    fn recovery_is_exact(ops in proptest::collection::vec(arb_op(), 0..60)) {
+    fn recovery_is_exact(ops in arb_ops(60)) {
         let mut store = LocalStore::new();
         let mut vc = 0;
         apply(&mut store, &ops, &mut vc);
@@ -66,13 +111,12 @@ proptest! {
                 )
             })
             .collect();
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after);
     }
 
     /// I/O accounting: inputs only grow on successful reads, outputs only
     /// on writes; invalidations and misses are free.
-    #[test]
-    fn io_accounting_is_consistent(ops in proptest::collection::vec(arb_op(), 0..60)) {
+    fn io_accounting_is_consistent(ops in arb_ops(60)) {
         let mut store = LocalStore::new();
         let mut vc = 0;
         let mut expected_outputs = 0u64;
@@ -93,17 +137,16 @@ proptest! {
                 Op::Invalidate { obj } => store.invalidate(ObjectId(*obj as u64)),
             }
         }
-        prop_assert_eq!(store.io_stats().outputs, expected_outputs);
-        prop_assert_eq!(store.io_stats().inputs, expected_inputs);
+        assert_eq!(store.io_stats().outputs, expected_outputs);
+        assert_eq!(store.io_stats().inputs, expected_inputs);
     }
 
     /// The cached store is *coherent* with an uncached one: the same
     /// operation sequence yields the same visible versions, and the cache
     /// never serves a stale or missing replica.
-    #[test]
     fn cached_store_is_coherent(
-        ops in proptest::collection::vec(arb_op(), 0..60),
-        capacity in 0usize..4,
+        ops in arb_ops(60),
+        capacity in prop::range(0usize..4),
     ) {
         let mut plain = LocalStore::new();
         let mut cached = CachedStore::new(capacity);
@@ -120,7 +163,7 @@ proptest! {
                 Op::Input { obj } => {
                     let a = plain.input(ObjectId(*obj as u64)).map(|(v, d)| (v, d.to_vec()));
                     let b = cached.input(ObjectId(*obj as u64));
-                    prop_assert_eq!(a, b, "cached read diverged");
+                    assert_eq!(a, b, "cached read diverged");
                 }
                 Op::Invalidate { obj } => {
                     plain.invalidate(ObjectId(*obj as u64));
@@ -130,17 +173,16 @@ proptest! {
         }
         // Caching can only reduce input I/O, never increase it, and
         // outputs are identical (write-through).
-        prop_assert!(cached.store().io_stats().inputs <= plain.io_stats().inputs);
-        prop_assert_eq!(cached.store().io_stats().outputs, plain.io_stats().outputs);
+        assert!(cached.store().io_stats().inputs <= plain.io_stats().inputs);
+        assert_eq!(cached.store().io_stats().outputs, plain.io_stats().outputs);
         // Hits + misses == successful reads on the plain store.
         let stats = cached.cache_stats();
-        prop_assert_eq!(stats.hits + stats.misses, plain.io_stats().inputs);
+        assert_eq!(stats.hits + stats.misses, plain.io_stats().inputs);
     }
 
     /// Cache crash safety: after crash_and_recover the visible state
     /// matches a freshly recovered plain store.
-    #[test]
-    fn cached_crash_recovery(ops in proptest::collection::vec(arb_op(), 0..40)) {
+    fn cached_crash_recovery(ops in arb_ops(40)) {
         let mut cached = CachedStore::new(2);
         let mut vc = 0;
         for op in &ops {
@@ -158,7 +200,7 @@ proptest! {
         let before: Vec<_> = (0..4).map(|o| cached.holds_valid(ObjectId(o))).collect();
         cached.crash_and_recover();
         let after: Vec<_> = (0..4).map(|o| cached.holds_valid(ObjectId(o))).collect();
-        prop_assert_eq!(before, after);
-        prop_assert!(cached.cached_objects().is_empty(), "cache is volatile");
+        assert_eq!(before, after);
+        assert!(cached.cached_objects().is_empty(), "cache is volatile");
     }
 }

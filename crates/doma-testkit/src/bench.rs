@@ -1,0 +1,574 @@
+//! A dependency-free micro-benchmark harness.
+//!
+//! Replaces criterion for the workspace's `[[bench]]` targets (which set
+//! `harness = false`). Each bench binary declares a function taking
+//! `&mut Bench` and wires it up with [`bench_main!`]:
+//!
+//! ```ignore
+//! use doma_testkit::bench::{Bench, BenchId};
+//!
+//! fn bench(c: &mut Bench) {
+//!     let mut group = c.group("cost_engine");
+//!     group.throughput_elements(1_000);
+//!     group.bench_function("run_sa", |b| b.iter(|| expensive()));
+//!     group.finish();
+//! }
+//!
+//! doma_testkit::bench_main!(bench);
+//! ```
+//!
+//! Measurement protocol per benchmark:
+//!
+//! 1. **Warmup + calibration** — the closure runs repeatedly, doubling the
+//!    iteration count until a batch takes ≥ 2 ms; the per-sample iteration
+//!    count is then chosen so one sample takes ≈ 10 ms.
+//! 2. **Sampling** — `sample_size` timed samples (default 20) record the
+//!    mean nanoseconds per iteration each.
+//! 3. **Reporting** — one human line per benchmark (median ± deviation,
+//!    plus elements/second when a throughput is set), and a JSON report
+//!    written at exit for machine consumption.
+//!
+//! CLI (all flags optional; unknown flags are ignored so cargo's own
+//! arguments pass through):
+//!
+//! * `<substring>` — run only benchmarks whose `group/name` matches.
+//! * `--json <path>` — JSON report path (default
+//!   `target/doma-bench/<binary>.json`; `DOMA_BENCH_JSON` also works).
+//! * `--sample-size <n>` — override every group's sample count.
+//! * `--quick` (or `DOMA_BENCH_QUICK=1`) — single sample, minimal iters.
+//! * `--test` — passed by `cargo test`: smoke-run each benchmark once and
+//!   skip the JSON report.
+
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Group name (one group per bench binary section).
+    pub group: String,
+    /// Benchmark id within the group (`name` or `name/param`).
+    pub name: String,
+    /// Samples taken.
+    pub samples: usize,
+    /// Timed iterations per sample.
+    pub iters_per_sample: u64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Sample standard deviation of the per-sample means (ns).
+    pub stddev_ns: f64,
+    /// Fastest sample (ns/iter).
+    pub min_ns: f64,
+    /// Slowest sample (ns/iter).
+    pub max_ns: f64,
+    /// Declared elements processed per iteration, if any.
+    pub throughput_elems: Option<u64>,
+}
+
+impl Record {
+    /// Elements per second implied by the median, if a throughput is set.
+    pub fn elems_per_sec(&self) -> Option<f64> {
+        self.throughput_elems
+            .map(|e| e as f64 / (self.median_ns * 1e-9))
+    }
+}
+
+/// Identifies a benchmark: a function name with an optional parameter
+/// (rendered `name/param`).
+#[derive(Debug, Clone)]
+pub struct BenchId {
+    name: String,
+    param: Option<String>,
+}
+
+impl BenchId {
+    /// A parameterized id, rendered `name/param`.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchId {
+            name: name.into(),
+            param: Some(param.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.param {
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchId {
+    fn from(name: &str) -> Self {
+        BenchId {
+            name: name.to_string(),
+            param: None,
+        }
+    }
+}
+
+impl From<String> for BenchId {
+    fn from(name: String) -> Self {
+        BenchId { name, param: None }
+    }
+}
+
+/// The top-level harness: parses the CLI, owns the results, writes the
+/// JSON report.
+#[derive(Debug)]
+pub struct Bench {
+    filter: Option<String>,
+    json_path: Option<PathBuf>,
+    sample_size_override: Option<usize>,
+    quick: bool,
+    test_mode: bool,
+    results: Vec<Record>,
+}
+
+impl Bench {
+    /// Builds the harness from `std::env::args` (see module docs for the
+    /// CLI) and the `DOMA_BENCH_*` environment variables.
+    pub fn from_args() -> Self {
+        let mut filter = None;
+        let mut json_path = std::env::var_os("DOMA_BENCH_JSON").map(PathBuf::from);
+        let mut sample_size_override = None;
+        let mut quick = std::env::var_os("DOMA_BENCH_QUICK").is_some();
+        let mut test_mode = false;
+
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--json" => json_path = args.next().map(PathBuf::from),
+                "--sample-size" => {
+                    sample_size_override = args.next().and_then(|s| s.parse().ok())
+                }
+                "--quick" => quick = true,
+                "--test" => test_mode = true,
+                "--bench" => {} // passed by `cargo bench`
+                s if s.starts_with('-') => {} // ignore unknown flags
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Bench {
+            filter,
+            json_path,
+            sample_size_override,
+            quick,
+            test_mode,
+            results: Vec::new(),
+        }
+    }
+
+    /// A fresh harness that measures nothing beyond a single smoke
+    /// iteration — what `--test` mode uses; also handy in unit tests.
+    pub fn smoke() -> Self {
+        Bench {
+            filter: None,
+            json_path: None,
+            sample_size_override: None,
+            quick: true,
+            test_mode: true,
+            results: Vec::new(),
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group {
+            bench: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput_elems: None,
+        }
+    }
+
+    /// All records measured so far.
+    pub fn records(&self) -> &[Record] {
+        &self.results
+    }
+
+    /// Prints the summary and writes the JSON report. Call once, last.
+    pub fn finish(self) {
+        if self.test_mode {
+            return; // smoke mode: compile-and-run coverage only
+        }
+        let path = self.json_path.clone().unwrap_or_else(default_json_path);
+        match write_json(&path, &self.results) {
+            Ok(()) => println!(
+                "\n{} benchmarks -> {}",
+                self.results.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        match self.filter.as_deref() {
+            Some(f) => full_name.contains(f),
+            None => true,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sample-size and throughput
+/// settings.
+pub struct Group<'a> {
+    bench: &'a mut Bench,
+    name: String,
+    sample_size: usize,
+    throughput_elems: Option<u64>,
+}
+
+impl Group<'_> {
+    /// Sets the number of timed samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares that each iteration processes `elems` elements, enabling
+    /// elements/second reporting.
+    pub fn throughput_elements(&mut self, elems: u64) -> &mut Self {
+        self.throughput_elems = Some(elems);
+        self
+    }
+
+    /// Measures `f`, which receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] exactly once.
+    pub fn bench_function(&mut self, id: impl Into<BenchId>, f: impl FnOnce(&mut Bencher)) {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.render());
+        if !self.bench.matches(&full) {
+            return;
+        }
+        let samples = self
+            .bench
+            .sample_size_override
+            .unwrap_or(self.sample_size);
+        let mut bencher = Bencher {
+            samples,
+            quick: self.bench.quick || self.bench.test_mode,
+            measurement: None,
+        };
+        f(&mut bencher);
+        let Some((sample_ns, iters)) = bencher.measurement else {
+            eprintln!("warning: benchmark {full} never called Bencher::iter");
+            return;
+        };
+        let record = summarize(&self.name, &id.render(), sample_ns, iters, self.throughput_elems);
+        if !self.bench.test_mode {
+            println!("{}", render_line(&full, &record));
+        }
+        self.bench.results.push(record);
+    }
+
+    /// [`Group::bench_function`] with an explicit input reference —
+    /// mirrors the shape criterion's `bench_with_input` had, so call
+    /// sites stay one-line diffs.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchId>,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (kept for symmetry; dropping works too).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] runs the timed
+/// loop.
+pub struct Bencher {
+    samples: usize,
+    quick: bool,
+    measurement: Option<(Vec<f64>, u64)>,
+}
+
+impl Bencher {
+    /// Times `f`, recording nanoseconds per iteration. The return value
+    /// is passed through [`black_box`] so the work is not optimized away.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if self.quick {
+            let start = Instant::now();
+            black_box(f());
+            let ns = start.elapsed().as_nanos() as f64;
+            self.measurement = Some((vec![ns.max(1.0)], 1));
+            return;
+        }
+
+        // Calibrate: double the batch size until a batch takes >= 2 ms,
+        // then size samples to ~10 ms each (capped at 2^20 iterations).
+        let mut batch: u64 = 1;
+        let per_iter_ns = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            if elapsed >= 2_000_000.0 || batch >= (1 << 20) {
+                break (elapsed / batch as f64).max(0.1);
+            }
+            batch *= 2;
+        };
+        let iters = ((10_000_000.0 / per_iter_ns) as u64).clamp(1, 1 << 20);
+
+        let mut sample_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            sample_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.measurement = Some((sample_ns, iters));
+    }
+}
+
+fn summarize(
+    group: &str,
+    name: &str,
+    mut sample_ns: Vec<f64>,
+    iters: u64,
+    throughput_elems: Option<u64>,
+) -> Record {
+    sample_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let n = sample_ns.len();
+    let mean = sample_ns.iter().sum::<f64>() / n as f64;
+    let median = if n % 2 == 1 {
+        sample_ns[n / 2]
+    } else {
+        (sample_ns[n / 2 - 1] + sample_ns[n / 2]) / 2.0
+    };
+    let var = if n > 1 {
+        sample_ns.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    Record {
+        group: group.to_string(),
+        name: name.to_string(),
+        samples: n,
+        iters_per_sample: iters,
+        mean_ns: mean,
+        median_ns: median,
+        stddev_ns: var.sqrt(),
+        min_ns: sample_ns[0],
+        max_ns: sample_ns[n - 1],
+        throughput_elems,
+    }
+}
+
+/// Renders nanoseconds human-readably (`ns`, `µs`, `ms`, `s`).
+pub fn human_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn render_line(full: &str, r: &Record) -> String {
+    let mut line = format!(
+        "{full:<44} {:>12}  ±{:<10} ({} samples × {} iters)",
+        human_ns(r.median_ns),
+        human_ns(r.stddev_ns),
+        r.samples,
+        r.iters_per_sample
+    );
+    if let Some(eps) = r.elems_per_sec() {
+        line.push_str(&format!("  {:.2} Melem/s", eps / 1e6));
+    }
+    line
+}
+
+fn default_json_path() -> PathBuf {
+    // Prefer the cargo target dir; else walk up from the CWD looking for
+    // an existing `target/` (bench binaries run from the package root,
+    // which for workspace members is below the shared target dir).
+    let base = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .or_else(|| {
+            let mut dir = std::env::current_dir().ok()?;
+            for _ in 0..4 {
+                if dir.join("target").is_dir() {
+                    return Some(dir.join("target"));
+                }
+                if !dir.pop() {
+                    break;
+                }
+            }
+            None
+        })
+        .unwrap_or_else(|| PathBuf::from("target"));
+    let stem = std::env::args()
+        .next()
+        .map(|a| {
+            PathBuf::from(a)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "bench".to_string())
+        })
+        .unwrap_or_else(|| "bench".to_string());
+    // Cargo suffixes bench binaries with a metadata hash; strip it.
+    let stem = match stem.rfind('-') {
+        Some(i) if stem[i + 1..].len() == 16 && stem[i + 1..].bytes().all(|b| b.is_ascii_hexdigit()) => {
+            stem[..i].to_string()
+        }
+        _ => stem,
+    };
+    base.join("doma-bench").join(format!("{stem}.json"))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_json(path: &std::path::Path, records: &[Record]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"group\": \"{}\", \"name\": \"{}\", \"samples\": {}, \
+             \"iters_per_sample\": {}, \"mean_ns\": {:.3}, \"median_ns\": {:.3}, \
+             \"stddev_ns\": {:.3}, \"min_ns\": {:.3}, \"max_ns\": {:.3}",
+            json_escape(&r.group),
+            json_escape(&r.name),
+            r.samples,
+            r.iters_per_sample,
+            r.mean_ns,
+            r.median_ns,
+            r.stddev_ns,
+            r.min_ns,
+            r.max_ns,
+        ));
+        if let Some(e) = r.throughput_elems {
+            out.push_str(&format!(", \"throughput_elems\": {e}"));
+            if let Some(eps) = r.elems_per_sec() {
+                out.push_str(&format!(", \"elems_per_sec\": {eps:.1}"));
+            }
+        }
+        out.push('}');
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out)
+}
+
+/// Declares the `main` of a `harness = false` bench binary: builds a
+/// [`Bench`] from the CLI, runs each listed function, writes the report.
+#[macro_export]
+macro_rules! bench_main {
+    ($($func:path),+ $(,)?) => {
+        fn main() {
+            let mut harness = $crate::bench::Bench::from_args();
+            $($func(&mut harness);)+
+            harness.finish();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_measures_once_and_records() {
+        let mut bench = Bench::smoke();
+        let mut calls = 0u32;
+        {
+            let mut group = bench.group("g");
+            group.throughput_elements(100);
+            group.bench_function("counted", |b| {
+                b.iter(|| {
+                    calls += 1;
+                    calls
+                })
+            });
+            group.bench_with_input(BenchId::new("param", 42), &7u32, |b, &x| {
+                b.iter(|| x * 2)
+            });
+            group.finish();
+        }
+        assert_eq!(calls, 1, "smoke mode runs exactly one iteration");
+        assert_eq!(bench.records().len(), 2);
+        assert_eq!(bench.records()[0].name, "counted");
+        assert_eq!(bench.records()[1].name, "param/42");
+        assert!(bench.records()[0].elems_per_sec().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn summarize_computes_order_statistics() {
+        let r = summarize("g", "n", vec![3.0, 1.0, 2.0], 10, Some(5));
+        assert_eq!(r.median_ns, 2.0);
+        assert_eq!(r.min_ns, 1.0);
+        assert_eq!(r.max_ns, 3.0);
+        assert!((r.mean_ns - 2.0).abs() < 1e-12);
+        assert!(r.stddev_ns > 0.9 && r.stddev_ns < 1.1);
+    }
+
+    #[test]
+    fn json_report_is_valid_enough() {
+        let dir = std::env::temp_dir().join("doma-testkit-bench-test");
+        let path = dir.join("report.json");
+        let records = vec![summarize("grp\"x", "name", vec![1.0, 2.0], 3, None)];
+        write_json(&path, &records).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("[\n"));
+        assert!(body.contains("\\\"x\""), "escaped quote: {body}");
+        assert!(body.trim_end().ends_with(']'));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn human_ns_scales() {
+        assert_eq!(human_ns(12.0), "12.0 ns");
+        assert_eq!(human_ns(1_500.0), "1.50 µs");
+        assert_eq!(human_ns(2_500_000.0), "2.50 ms");
+        assert_eq!(human_ns(3_200_000_000.0), "3.200 s");
+    }
+
+    #[test]
+    fn filter_matches_substring() {
+        let mut bench = Bench::smoke();
+        bench.filter = Some("only_this".to_string());
+        let mut ran = false;
+        {
+            let mut group = bench.group("g");
+            group.bench_function("only_this_one", |b| {
+                b.iter(|| {
+                    ran = true;
+                })
+            });
+            group.bench_function("not_that", |b| b.iter(|| ()));
+            group.finish();
+        }
+        assert!(ran);
+        assert_eq!(bench.records().len(), 1);
+    }
+}

@@ -2,8 +2,7 @@
 
 use crate::ScheduleGen;
 use doma_core::{DomaError, ProcessorId, Request, Result, Schedule};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use doma_testkit::rng::{Rng, TestRng};
 
 /// A sequence of immutable objects (e.g. one satellite image per minute),
 /// each *generated* at one of the first `generators` stations (a write of
@@ -55,7 +54,7 @@ impl ScheduleGen for AppendOnlyWorkload {
     }
 
     fn generate(&self, len: usize, seed: u64) -> Schedule {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = TestRng::seed_from_u64(seed);
         // Continue-reading probability giving mean reads_per_write reads.
         let p_more = self.reads_per_write / (1.0 + self.reads_per_write);
         let mut s = Schedule::new();

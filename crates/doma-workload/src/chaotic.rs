@@ -3,8 +3,7 @@
 
 use crate::ScheduleGen;
 use doma_core::{DomaError, ProcessorId, Request, Result, Schedule};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use doma_testkit::rng::{Rng, TestRng};
 
 /// Every `redraw_every` requests, a fresh random weight vector over
 /// processors and a fresh read probability are drawn; requests within the
@@ -37,7 +36,7 @@ impl ScheduleGen for ChaoticWorkload {
     }
 
     fn generate(&self, len: usize, seed: u64) -> Schedule {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = TestRng::seed_from_u64(seed);
         let mut s = Schedule::new();
         let mut weights: Vec<f64> = vec![1.0; self.n];
         let mut read_prob = 0.5;

@@ -2,8 +2,7 @@
 
 use crate::ScheduleGen;
 use doma_core::{DomaError, ProcessorId, Request, Result, Schedule};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use doma_testkit::rng::{Rng, TestRng};
 
 /// A workload with a relocating read hotspot: time is divided into phases
 /// of `phase_len` requests; within a phase one processor (the *hotspot*,
@@ -56,7 +55,7 @@ impl ScheduleGen for HotspotWorkload {
     }
 
     fn generate(&self, len: usize, seed: u64) -> Schedule {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = TestRng::seed_from_u64(seed);
         let mut s = Schedule::new();
         for k in 0..len {
             let hot = self.hotspot_of_phase(k / self.phase_len);

@@ -2,8 +2,7 @@
 
 use crate::ScheduleGen;
 use doma_core::{DomaError, ProcessorId, Request, Result, Schedule};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use doma_testkit::rng::{Rng, TestRng};
 
 /// A mobile user's *location object*:
 ///
@@ -68,7 +67,7 @@ impl ScheduleGen for MobileWorkload {
     }
 
     fn generate(&self, len: usize, seed: u64) -> Schedule {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = TestRng::seed_from_u64(seed);
         let mut current_cell = 1 + rng.gen_range(0..self.cells);
         let mut s = Schedule::new();
         for _ in 0..len {

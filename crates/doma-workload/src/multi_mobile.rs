@@ -7,8 +7,7 @@
 //! placement policies of `doma_algorithms::multi` are built for.
 
 use doma_core::{DomaError, MultiSchedule, ObjectId, ProcessorId, Request, Result};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use doma_testkit::rng::{Rng, TestRng};
 
 /// Generates interleaved location-tracking traffic for `users` mobile
 /// users over `cells` cell processors and `callers` caller processors.
@@ -75,7 +74,7 @@ impl MultiMobileWorkload {
 
     /// Generates `len` interleaved requests. Deterministic per seed.
     pub fn generate_multi(&self, len: usize, seed: u64) -> MultiSchedule {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = TestRng::seed_from_u64(seed);
         // Each user starts in a random cell.
         let mut location: Vec<usize> = (0..self.users)
             .map(|_| 1 + rng.gen_range(0..self.cells))

@@ -2,8 +2,7 @@
 
 use crate::ScheduleGen;
 use doma_core::{DomaError, ProcessorId, Request, Result, Schedule};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use doma_testkit::rng::{Rng, TestRng};
 
 /// Requests drawn i.i.d.: issuer uniform over `n` processors, operation a
 /// read with probability `read_fraction`.
@@ -43,7 +42,7 @@ impl ScheduleGen for UniformWorkload {
     }
 
     fn generate(&self, len: usize, seed: u64) -> Schedule {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = TestRng::seed_from_u64(seed);
         (0..len)
             .map(|_| {
                 let p = ProcessorId::new(rng.gen_range(0..self.n));

@@ -2,8 +2,7 @@
 
 use crate::ScheduleGen;
 use doma_core::{DomaError, ProcessorId, Request, Result, Schedule};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use doma_testkit::rng::{Rng, TestRng};
 
 /// An inverse-CDF sampler for the Zipf distribution over `{0, …, n-1}`:
 /// `P(k) ∝ 1 / (k+1)^theta`.
@@ -41,7 +40,7 @@ impl ZipfSampler {
 
     /// Samples a rank in `0..n` (rank 0 is the most popular).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
+        let u = rng.gen_f64();
         match self
             .cdf
             .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
@@ -100,7 +99,7 @@ impl ScheduleGen for ZipfWorkload {
     }
 
     fn generate(&self, len: usize, seed: u64) -> Schedule {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = TestRng::seed_from_u64(seed);
         (0..len)
             .map(|_| {
                 let p = ProcessorId::new(self.sampler.sample(&mut rng));
@@ -147,7 +146,7 @@ mod tests {
     #[test]
     fn skew_shows_in_samples() {
         let s = ZipfSampler::new(10, 1.5).unwrap();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = TestRng::seed_from_u64(0);
         let mut counts = [0u32; 10];
         for _ in 0..20_000 {
             counts[s.sample(&mut rng)] += 1;

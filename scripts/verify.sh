@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the workspace must build and test fully offline,
+# with no registry dependencies anywhere. Run from any directory.
+#
+#   scripts/verify.sh
+#
+# Exits non-zero if (a) any Cargo.toml declares a non-path dependency,
+# (b) Cargo.lock references a crate outside the workspace, or (c) the
+# offline build or test run fails.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+# ---------------------------------------------------------------------------
+# Guard 1: every dependency in every manifest must be a path (or workspace =
+# true, which resolves to a path in the root manifest). A version string,
+# git URL or registry field means someone reintroduced a network dep.
+# ---------------------------------------------------------------------------
+fail=0
+while IFS= read -r manifest; do
+    # Inspect only dependency sections; flag entries that carry neither
+    # `path = ...` nor `workspace = true`.
+    bad=$(awk '
+        /^\[/ { indeps = ($0 ~ /dependencies/) }
+        indeps && /^[A-Za-z0-9_-]+[ \t]*=/ {
+            if ($0 !~ /path[ \t]*=/ && $0 !~ /workspace[ \t]*=[ \t]*true/) print FILENAME ": " $0
+        }
+    ' "$manifest")
+    if [ -n "$bad" ]; then
+        echo "error: non-path dependency found:" >&2
+        echo "$bad" >&2
+        fail=1
+    fi
+done < <(find . -name Cargo.toml -not -path "./target/*")
+
+if [ "$fail" -ne 0 ]; then
+    echo "verify: FAILED (hermetic-dependency guard)" >&2
+    exit 1
+fi
+
+# ---------------------------------------------------------------------------
+# Guard 2: the lockfile must contain only workspace members — every package
+# entry must carry no `source` field (registry packages always do).
+# ---------------------------------------------------------------------------
+if grep -q '^source = ' Cargo.lock; then
+    echo "error: Cargo.lock references external sources:" >&2
+    grep -B2 '^source = ' Cargo.lock >&2
+    echo "verify: FAILED (lockfile guard)" >&2
+    exit 1
+fi
+
+# ---------------------------------------------------------------------------
+# Build + test, fully offline.
+# ---------------------------------------------------------------------------
+cargo build --release --offline
+cargo test -q --offline --workspace
+
+echo "verify: OK"

@@ -1,105 +1,134 @@
 //! Property-based tests of the model's core invariants, spanning
-//! `doma-core`, `doma-algorithms` and the cost engine.
+//! `doma-core`, `doma-algorithms` and the cost engine. Runs on the
+//! in-tree `doma-testkit` harness; a failure prints the minimal shrunk
+//! schedule plus a `DOMA_PROP_SEED` replay line.
 
 use doma::algorithms::bounds::per_request_lower_bound;
-use doma::algorithms::{
-    DynamicAllocation, NaiveDpOptimal, OfflineOptimal, StaticAllocation,
-};
+use doma::algorithms::{DynamicAllocation, NaiveDpOptimal, OfflineOptimal, StaticAllocation};
 use doma::core::{
     cost_of_schedule, run_offline, run_online, validate_allocation, CostModel, ProcSet,
     ProcessorId, Request, Schedule,
 };
-use proptest::prelude::*;
+use doma_testkit::property::{self as prop, Gen};
+use doma_testkit::TestRng;
 
 const N: usize = 5;
 
-fn arb_request() -> impl Strategy<Value = Request> {
-    (0..N, any::<bool>()).prop_map(|(p, is_read)| {
-        if is_read {
+/// Requests over `N` issuers; shrinks writes to reads and issuers toward 0.
+struct RequestGen {
+    n: usize,
+}
+
+impl Gen for RequestGen {
+    type Value = Request;
+
+    fn generate(&self, rng: &mut TestRng) -> Request {
+        let p = prop::range(0usize..self.n).generate(rng);
+        if prop::bools().generate(rng) {
             Request::read(p)
         } else {
             Request::write(p)
         }
-    })
+    }
+
+    fn shrink(&self, v: &Request) -> Vec<Request> {
+        let mut out = Vec::new();
+        if v.op == doma::core::Op::Write {
+            out.push(Request::read(v.issuer));
+        }
+        for issuer in prop::range(0usize..self.n).shrink(&v.issuer.index()) {
+            out.push(Request {
+                op: v.op,
+                issuer: ProcessorId::new(issuer),
+            });
+        }
+        out
+    }
 }
 
-fn arb_schedule(max_len: usize) -> impl Strategy<Value = Schedule> {
-    proptest::collection::vec(arb_request(), 0..max_len).prop_map(Schedule::from_requests)
+fn arb_schedule(max_len: usize) -> impl Gen<Value = Schedule> {
+    prop::iso(
+        prop::vec_in(RequestGen { n: N }, 0..max_len),
+        Schedule::from_requests,
+        |s: &Schedule| s.iter().collect(),
+    )
 }
 
-fn arb_sc_model() -> impl Strategy<Value = CostModel> {
-    (0.0f64..2.0, 0.0f64..2.0).prop_map(|(a, b)| {
-        let (cc, cd) = if a <= b { (a, b) } else { (b, a) };
-        CostModel::stationary(cc, cd).expect("cc <= cd by construction")
-    })
+/// Stationary models with `0 <= cc <= cd < 2`, shrinking both toward 0.
+fn arb_sc_model() -> impl Gen<Value = CostModel> {
+    prop::map(
+        prop::pair(prop::range(0.0f64..2.0), prop::range(0.0f64..2.0)),
+        |(a, b)| {
+            let (cc, cd) = if a <= b { (a, b) } else { (b, a) };
+            CostModel::stationary(cc, cd).expect("cc <= cd by construction")
+        },
+    )
 }
 
-fn arb_mc_model() -> impl Strategy<Value = CostModel> {
-    (0.01f64..2.0, 0.0f64..1.0).prop_map(|(cd, frac)| {
-        CostModel::mobile(cd * frac, cd).expect("cc <= cd by construction")
-    })
+/// Mobile models with `cd > 0` and `cc = cd * frac <= cd`.
+fn arb_mc_model() -> impl Gen<Value = CostModel> {
+    prop::map(
+        prop::pair(prop::range(0.01f64..2.0), prop::range(0.0f64..1.0)),
+        |(cd, frac)| CostModel::mobile(cd * frac, cd).expect("cc <= cd by construction"),
+    )
 }
 
-proptest! {
+doma_testkit::property! {
     /// SA and DA always produce legal, t-available allocation schedules
     /// (run_online validates internally and would return Err otherwise),
     /// and the standalone validator agrees.
-    #[test]
     fn sa_da_outputs_are_always_valid(schedule in arb_schedule(40)) {
         let q = ProcSet::from_iter([0, 1]);
         let mut sa = StaticAllocation::new(q).unwrap();
         let sa_run = run_online(&mut sa, &schedule).expect("SA must be valid");
-        prop_assert!(validate_allocation(&sa_run.alloc, 2).is_valid());
+        assert!(validate_allocation(&sa_run.alloc, 2).is_valid());
 
         let mut da = DynamicAllocation::new(ProcSet::from_iter([0]), ProcessorId::new(1)).unwrap();
         let da_run = run_online(&mut da, &schedule).expect("DA must be valid");
-        prop_assert!(validate_allocation(&da_run.alloc, 2).is_valid());
+        assert!(validate_allocation(&da_run.alloc, 2).is_valid());
 
         // DA's core invariant: F is in the scheme at every step.
         for k in 0..=schedule.len() {
-            prop_assert!(da_run.alloc.scheme_at(k).contains(ProcessorId::new(0)));
+            assert!(da_run.alloc.scheme_at(k).contains(ProcessorId::new(0)));
         }
     }
 
     /// OPT is a true lower bound for every online algorithm, sits above
     /// the analytic per-request bound, and its reconstructed allocation
     /// schedule re-costs to exactly the DP value.
-    #[test]
     fn opt_sandwich(schedule in arb_schedule(25), model in arb_sc_model()) {
         let init = ProcSet::from_iter([0, 1]);
         let opt = OfflineOptimal::new(N, 2, init, model).unwrap();
         let opt_run = run_offline(&opt, &schedule).expect("OPT output must validate");
         let opt_cost = opt_run.costed.total_cost(&model);
         let dp_cost = opt.optimal_cost(&schedule).unwrap();
-        prop_assert!((opt_cost - dp_cost).abs() < 1e-6,
+        assert!((opt_cost - dp_cost).abs() < 1e-6,
             "reconstruction {opt_cost} != DP {dp_cost}");
 
         let lb = per_request_lower_bound(&schedule, &model, 2);
-        prop_assert!(lb <= dp_cost + 1e-6, "lower bound {lb} > OPT {dp_cost}");
+        assert!(lb <= dp_cost + 1e-6, "lower bound {lb} > OPT {dp_cost}");
 
         let mut sa = StaticAllocation::new(init).unwrap();
         let sa_cost = run_online(&mut sa, &schedule).unwrap().costed.total_cost(&model);
-        prop_assert!(dp_cost <= sa_cost + 1e-6);
+        assert!(dp_cost <= sa_cost + 1e-6);
 
         let mut da = DynamicAllocation::new(ProcSet::from_iter([0]), ProcessorId::new(1)).unwrap();
         let da_cost = run_online(&mut da, &schedule).unwrap().costed.total_cost(&model);
-        prop_assert!(dp_cost <= da_cost + 1e-6);
+        assert!(dp_cost <= da_cost + 1e-6);
     }
 
     /// The optimized O(2^n·n) DP agrees exactly with the naive O(4^n)
     /// reference on every input.
-    #[test]
     fn fast_dp_equals_naive_dp(schedule in arb_schedule(15), model in arb_sc_model()) {
         let init = ProcSet::from_iter([0, 1]);
         let fast = OfflineOptimal::new(N, 2, init, model).unwrap();
         let naive = NaiveDpOptimal::new(N, 2, init, model).unwrap();
         let a = fast.optimal_cost(&schedule).unwrap();
         let b = naive.optimal_cost(&schedule).unwrap();
-        prop_assert!((a - b).abs() < 1e-9, "fast {a} != naive {b} on {schedule}");
+        assert!((a - b).abs() < 1e-9, "fast {a} != naive {b} on {schedule}");
     }
 
     /// Theorem 1: SA never exceeds (1 + cc + cd) · OPT in SC.
-    #[test]
     fn theorem_1_holds(schedule in arb_schedule(30), model in arb_sc_model()) {
         let init = ProcSet::from_iter([0, 1]);
         let opt = OfflineOptimal::new(N, 2, init, model).unwrap();
@@ -107,12 +136,11 @@ proptest! {
         let mut sa = StaticAllocation::new(init).unwrap();
         let sa_cost = run_online(&mut sa, &schedule).unwrap().costed.total_cost(&model);
         let bound = model.sa_bound().unwrap();
-        prop_assert!(sa_cost <= bound * opt_cost + 1e-6,
+        assert!(sa_cost <= bound * opt_cost + 1e-6,
             "SA {sa_cost} > {bound} * OPT {opt_cost} on {schedule}");
     }
 
     /// Theorems 2 & 3: DA never exceeds its SC bound.
-    #[test]
     fn theorems_2_3_hold(schedule in arb_schedule(30), model in arb_sc_model()) {
         let init = ProcSet::from_iter([0, 1]);
         let opt = OfflineOptimal::new(N, 2, init, model).unwrap();
@@ -120,12 +148,11 @@ proptest! {
         let mut da = DynamicAllocation::new(ProcSet::from_iter([0]), ProcessorId::new(1)).unwrap();
         let da_cost = run_online(&mut da, &schedule).unwrap().costed.total_cost(&model);
         let bound = model.da_bound().unwrap();
-        prop_assert!(da_cost <= bound * opt_cost + 1e-6,
+        assert!(da_cost <= bound * opt_cost + 1e-6,
             "DA {da_cost} > {bound} * OPT {opt_cost} on {schedule}");
     }
 
     /// Theorem 4: DA never exceeds (2 + 3cc/cd) · OPT in MC.
-    #[test]
     fn theorem_4_holds(schedule in arb_schedule(30), model in arb_mc_model()) {
         let init = ProcSet::from_iter([0, 1]);
         let opt = OfflineOptimal::new(N, 2, init, model).unwrap();
@@ -133,32 +160,69 @@ proptest! {
         let mut da = DynamicAllocation::new(ProcSet::from_iter([0]), ProcessorId::new(1)).unwrap();
         let da_cost = run_online(&mut da, &schedule).unwrap().costed.total_cost(&model);
         let bound = model.da_bound().unwrap();
-        prop_assert!(da_cost <= bound * opt_cost + 1e-6,
+        assert!(da_cost <= bound * opt_cost + 1e-6,
             "DA {da_cost} > {bound} * OPT {opt_cost} on {schedule}");
     }
 
     /// Cost accounting is internally consistent: the per-request tallies
     /// sum to the total, and re-costing a schedule is deterministic.
-    #[test]
     fn cost_accounting_is_additive(schedule in arb_schedule(30)) {
         let mut da = DynamicAllocation::new(ProcSet::from_iter([0]), ProcessorId::new(1)).unwrap();
         let run = run_online(&mut da, &schedule).unwrap();
         let sum: doma::core::CostVector =
             run.costed.per_request.iter().map(|p| p.cost).sum();
-        prop_assert_eq!(sum, run.costed.total);
+        assert_eq!(sum, run.costed.total);
         let again = cost_of_schedule(&run.alloc, 2).unwrap();
-        prop_assert_eq!(again.total, run.costed.total);
+        assert_eq!(again.total, run.costed.total);
     }
 
     /// Scheme evolution bookkeeping agrees between the incremental engine
     /// and the O(k) `scheme_at` recomputation.
-    #[test]
     fn scheme_at_matches_engine(schedule in arb_schedule(20)) {
         let mut da = DynamicAllocation::new(ProcSet::from_iter([0]), ProcessorId::new(1)).unwrap();
         let run = run_online(&mut da, &schedule).unwrap();
         for (k, pr) in run.costed.per_request.iter().enumerate() {
-            prop_assert_eq!(run.alloc.scheme_at(k), pr.scheme);
+            assert_eq!(run.alloc.scheme_at(k), pr.scheme);
         }
-        prop_assert_eq!(run.alloc.final_scheme(), run.costed.final_scheme);
+        assert_eq!(run.alloc.final_scheme(), run.costed.final_scheme);
+    }
+}
+
+/// Fixed-seed anchors: deterministic schedules that exercise the same
+/// invariants as the properties above, pinned so a generator change can
+/// never silently shift coverage.
+#[cfg(test)]
+mod regressions {
+    use super::*;
+    use doma::workload::{ScheduleGen, UniformWorkload};
+
+    #[test]
+    fn theorem_1_on_fixed_seed_workload() {
+        let schedule = UniformWorkload::new(N, 0.5).unwrap().generate(30, 0xD0AA);
+        let model = CostModel::stationary(0.25, 1.0).unwrap();
+        let init = ProcSet::from_iter([0, 1]);
+        let opt_cost = OfflineOptimal::new(N, 2, init, model)
+            .unwrap()
+            .optimal_cost(&schedule)
+            .unwrap();
+        let mut sa = StaticAllocation::new(init).unwrap();
+        let sa_cost = run_online(&mut sa, &schedule)
+            .unwrap()
+            .costed
+            .total_cost(&model);
+        assert!(sa_cost <= model.sa_bound().unwrap() * opt_cost + 1e-6);
+    }
+
+    #[test]
+    fn dp_agreement_on_fixed_seed_workload() {
+        let schedule = UniformWorkload::new(N, 0.7).unwrap().generate(12, 7);
+        let model = CostModel::stationary(0.5, 1.5).unwrap();
+        let init = ProcSet::from_iter([0, 1]);
+        let fast = OfflineOptimal::new(N, 2, init, model).unwrap();
+        let naive = NaiveDpOptimal::new(N, 2, init, model).unwrap();
+        assert!(
+            (fast.optimal_cost(&schedule).unwrap() - naive.optimal_cost(&schedule).unwrap()).abs()
+                < 1e-9
+        );
     }
 }

@@ -1,47 +1,73 @@
 //! Property test: the simulated wire protocols and the analytic cost
 //! engine agree *exactly* on arbitrary schedules — the strongest statement
 //! of the repository's central cross-validation invariant.
+//!
+//! Runs on the in-tree `doma-testkit` harness with a reduced case count:
+//! each case drives a full protocol simulation.
 
 use doma::algorithms::{DynamicAllocation, StaticAllocation};
 use doma::core::{run_online, ProcSet, ProcessorId, Request, Schedule};
 use doma::protocol::ProtocolSim;
-use proptest::prelude::*;
+use doma_testkit::property::{self as prop, Gen};
+use doma_testkit::TestRng;
 
 const N: usize = 6;
 
-fn arb_schedule() -> impl Strategy<Value = Schedule> {
-    proptest::collection::vec((0..N, any::<bool>()), 0..60).prop_map(|reqs| {
-        reqs.into_iter()
-            .map(|(p, is_read)| {
-                if is_read {
-                    Request::read(p)
-                } else {
-                    Request::write(p)
-                }
-            })
-            .collect()
-    })
+/// Requests over `N` issuers; shrinks writes to reads and issuers toward 0.
+struct RequestGen;
+
+impl Gen for RequestGen {
+    type Value = Request;
+
+    fn generate(&self, rng: &mut TestRng) -> Request {
+        let p = prop::range(0usize..N).generate(rng);
+        if prop::bools().generate(rng) {
+            Request::read(p)
+        } else {
+            Request::write(p)
+        }
+    }
+
+    fn shrink(&self, v: &Request) -> Vec<Request> {
+        let mut out = Vec::new();
+        if v.op == doma::core::Op::Write {
+            out.push(Request::read(v.issuer));
+        }
+        for issuer in prop::range(0usize..N).shrink(&v.issuer.index()) {
+            out.push(Request {
+                op: v.op,
+                issuer: ProcessorId::new(issuer),
+            });
+        }
+        out
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arb_schedule() -> impl Gen<Value = Schedule> {
+    prop::iso(
+        prop::vec_in(RequestGen, 0..60),
+        Schedule::from_requests,
+        |s: &Schedule| s.iter().collect(),
+    )
+}
 
+doma_testkit::property! {
+    #[cases(64)]
     /// SA: protocol tallies == analytic tallies, replica set == scheme.
-    #[test]
     fn sa_parity(schedule in arb_schedule()) {
         let q = ProcSet::from_iter([0, 1]);
         let mut sim = ProtocolSim::new_sa(N, q).unwrap();
         let report = sim.execute(&schedule).unwrap();
         let mut sa = StaticAllocation::new(q).unwrap();
         let analytic = run_online(&mut sa, &schedule).unwrap();
-        prop_assert_eq!(report.cost, analytic.costed.total, "on {}", schedule);
-        prop_assert_eq!(report.final_holders, analytic.costed.final_scheme);
-        prop_assert_eq!(report.dropped_messages, 0);
-        prop_assert_eq!(report.reads_completed as usize, schedule.read_count());
+        assert_eq!(report.cost, analytic.costed.total, "on {}", schedule);
+        assert_eq!(report.final_holders, analytic.costed.final_scheme);
+        assert_eq!(report.dropped_messages, 0);
+        assert_eq!(report.reads_completed as usize, schedule.read_count());
     }
 
+    #[cases(64)]
     /// DA: same, with join-lists and floater tracking in play.
-    #[test]
     fn da_parity(schedule in arb_schedule()) {
         let f = ProcSet::from_iter([0]);
         let p = ProcessorId::new(1);
@@ -49,14 +75,14 @@ proptest! {
         let report = sim.execute(&schedule).unwrap();
         let mut da = DynamicAllocation::new(f, p).unwrap();
         let analytic = run_online(&mut da, &schedule).unwrap();
-        prop_assert_eq!(report.cost, analytic.costed.total, "on {}", schedule);
-        prop_assert_eq!(report.final_holders, analytic.costed.final_scheme);
-        prop_assert_eq!(report.reads_completed as usize, schedule.read_count());
+        assert_eq!(report.cost, analytic.costed.total, "on {}", schedule);
+        assert_eq!(report.final_holders, analytic.costed.final_scheme);
+        assert_eq!(report.reads_completed as usize, schedule.read_count());
     }
 
+    #[cases(64)]
     /// DA with a wider core (t = 3): the invalidation bookkeeping is the
     /// subtle part, so cover a second configuration.
-    #[test]
     fn da_parity_wider_core(schedule in arb_schedule()) {
         let f = ProcSet::from_iter([2, 4]);
         let p = ProcessorId::new(0);
@@ -64,7 +90,7 @@ proptest! {
         let report = sim.execute(&schedule).unwrap();
         let mut da = DynamicAllocation::new(f, p).unwrap();
         let analytic = run_online(&mut da, &schedule).unwrap();
-        prop_assert_eq!(report.cost, analytic.costed.total, "on {}", schedule);
-        prop_assert_eq!(report.final_holders, analytic.costed.final_scheme);
+        assert_eq!(report.cost, analytic.costed.total, "on {}", schedule);
+        assert_eq!(report.final_holders, analytic.costed.final_scheme);
     }
 }
