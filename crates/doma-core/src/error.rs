@@ -38,6 +38,14 @@ pub enum DomaError {
     /// An algorithm or experiment was configured inconsistently (message
     /// explains what).
     InvalidConfig(String),
+    /// A protocol node was asked to serve an object it has no config for
+    /// (a routing bug, or a fault-injected message for a foreign object).
+    UnknownObject {
+        /// The node that received the request.
+        node: usize,
+        /// The unconfigured object (its raw id).
+        object: u64,
+    },
 }
 
 impl fmt::Display for DomaError {
@@ -65,6 +73,9 @@ impl fmt::Display for DomaError {
                 write!(f, "empty execution set at position {position}")
             }
             DomaError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DomaError::UnknownObject { node, object } => {
+                write!(f, "node {node} has no config for obj{object}")
+            }
         }
     }
 }

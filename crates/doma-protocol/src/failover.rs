@@ -30,6 +30,16 @@ pub struct FailoverDriver {
     crashed: Vec<bool>,
     /// Tallies recorded before the current failure episode started.
     normal_cost_before_failure: Option<CostVector>,
+    /// A core-member crash was scheduled mid-schedule and the failure
+    /// detector has not reacted yet (it reacts at the next quiescence).
+    pending_detection: bool,
+    /// Whether a quorum-mode broadcast is currently in force. Gating the
+    /// `ModeChange { quorum: false }` broadcasts on this matters: the
+    /// false-broadcast is *destructive* (it resets DA allocation to
+    /// F ∪ {p}, invalidating the current floater), so sending one after
+    /// an episode that never engaged quorum mode — e.g. a non-core crash
+    /// — would itself break t-availability.
+    quorum_engaged: bool,
 }
 
 impl FailoverDriver {
@@ -40,6 +50,8 @@ impl FailoverDriver {
             n,
             crashed: vec![false; n],
             normal_cost_before_failure: None,
+            pending_detection: false,
+            quorum_engaged: false,
         }
     }
 
@@ -53,13 +65,22 @@ impl FailoverDriver {
         &mut self.sim
     }
 
-    /// Crashes a processor. If it is a DA core member, the cluster is
-    /// switched to quorum mode (the paper's fallback).
+    /// Whether `p` is a member of the protocol's home allocation scheme —
+    /// DA's `F ∪ {p}` or SA's `Q`. A crash of any such member endangers
+    /// the next write: DA execution sets snap back to `F ∪ {p}` on
+    /// core-or-floater writes and SA always writes all of `Q`, so a data
+    /// message would target the crashed member and its copy would be
+    /// silently lost. The failure detector therefore falls back to quorum
+    /// mode for the whole scheme, not just the core.
+    fn in_home_scheme(&self, p: ProcessorId) -> bool {
+        self.sim.config().initial_scheme().contains(p)
+    }
+
+    /// Crashes a processor. If it is a member of the home allocation
+    /// scheme, the cluster is switched to quorum mode (the paper's
+    /// fallback).
     pub fn crash(&mut self, p: ProcessorId) {
-        let was_core = match self.sim.config() {
-            crate::ProtocolConfig::Da { f, .. } => f.contains(p),
-            crate::ProtocolConfig::Sa { .. } => false,
-        };
+        let was_scheme = self.in_home_scheme(p);
         if self.normal_cost_before_failure.is_none() {
             self.normal_cost_before_failure = Some(self.sim.report().cost);
         }
@@ -67,21 +88,56 @@ impl FailoverDriver {
         let node = NodeId(p.index());
         self.sim.engine_mut().schedule_crash(node, 0);
         self.sim.engine_mut().run_until_idle();
-        if was_core {
+        if was_scheme {
+            self.broadcast_mode(true);
+        }
+    }
+
+    /// Schedules a crash of `p` after `delay` ticks *without* running the
+    /// cluster to quiescence first — the crash lands in the middle of
+    /// whatever the next [`FailoverDriver::execute_request`] sets in
+    /// motion (a write's propagation, a read's round trip). The failure
+    /// detector reacts at the next quiescence, exactly like a real
+    /// timeout-based detector that only notices once traffic stalls.
+    pub fn crash_in(&mut self, p: ProcessorId, delay: u64) {
+        let was_scheme = self.in_home_scheme(p);
+        if self.normal_cost_before_failure.is_none() {
+            self.normal_cost_before_failure = Some(self.sim.report().cost);
+        }
+        self.crashed[p.index()] = true;
+        self.sim.engine_mut().schedule_crash(NodeId(p.index()), delay);
+        self.pending_detection |= was_scheme;
+    }
+
+    /// Runs the cluster to quiescence and lets the failure detector react
+    /// to any crash scheduled via [`FailoverDriver::crash_in`] (switching
+    /// to quorum mode if a home-scheme member went down).
+    pub fn detect_failures(&mut self) {
+        self.sim.engine_mut().run_until_idle();
+        if self.pending_detection {
+            self.pending_detection = false;
             self.broadcast_mode(true);
         }
     }
 
     /// Recovers a processor: replays its log, performs the missing-writes
-    /// catch-up, and — once no core member remains down — returns the
-    /// cluster to normal mode.
+    /// catch-up, and — once no home-scheme member remains down — returns
+    /// the cluster to normal mode.
     pub fn recover(&mut self, p: ProcessorId) {
         self.crashed[p.index()] = false;
         let node = NodeId(p.index());
         self.sim.engine_mut().schedule_recover(node, 0);
         self.sim.engine_mut().run_until_idle();
+        if self.quorum_engaged {
+            // Re-sync the recovered node's mode flag *before* its
+            // catch-up (it may have crashed before the original
+            // broadcast, and a catch-up in the wrong mode fetches from
+            // the wrong place); the missing-writes push riding on the
+            // broadcast also refreshes it.
+            self.broadcast_mode(true);
+        }
         // Missing-writes transition: quorum-read the latest version of
-        // every object in the catalog.
+        // every object in the catalog (scheme-fetch in normal mode).
         let objects: Vec<doma_core::ObjectId> =
             self.sim.catalog().keys().copied().collect();
         for object in objects {
@@ -90,18 +146,23 @@ impl FailoverDriver {
                 .inject(node, 1, DomMsg::CatchUp { object });
             self.sim.engine_mut().run_until_idle();
         }
-        let any_core_down = match self.sim.config() {
-            crate::ProtocolConfig::Da { f, .. } => {
-                f.iter().any(|m| self.crashed[m.index()])
-            }
-            crate::ProtocolConfig::Sa { .. } => false,
-        };
-        if !any_core_down {
+        let any_scheme_down = self
+            .sim
+            .config()
+            .initial_scheme()
+            .iter()
+            .any(|m| self.crashed[m.index()]);
+        if !any_scheme_down && self.quorum_engaged {
+            // Normal mode resumes only once the whole home scheme is back
+            // (the `ModeChange { quorum: false }` reset re-homes the
+            // allocation to exactly that scheme, so all of it must be live
+            // and refreshed).
             self.broadcast_mode(false);
         }
     }
 
     fn broadcast_mode(&mut self, quorum: bool) {
+        self.quorum_engaged = quorum;
         for i in 0..self.n {
             if !self.crashed[i] {
                 self.sim
@@ -112,9 +173,55 @@ impl FailoverDriver {
         self.sim.engine_mut().run_until_idle();
     }
 
-    /// Executes a request in whatever mode the cluster is in.
+    /// Broadcasts a mode change to every live node — the failure
+    /// detector's interface, exposed so fault-injection harnesses can
+    /// degrade the cluster *before* making the network lossy (quorum mode
+    /// is the only mode whose reads and writes tolerate message loss) and
+    /// restore it afterwards.
+    pub fn set_quorum_mode(&mut self, quorum: bool) {
+        self.broadcast_mode(quorum);
+    }
+
+    /// Full repair after an arbitrary fault episode: recovers every
+    /// crashed processor, runs a missing-writes [`DomMsg::CatchUp`] on
+    /// every node for every object (partition/loss faults can leave *any*
+    /// node behind, not just crashed ones), and returns the cluster to
+    /// normal mode.
+    pub fn heal(&mut self) {
+        for i in 0..self.n {
+            if self.crashed[i] {
+                self.recover(ProcessorId::new(i));
+            }
+        }
+        let objects: Vec<doma_core::ObjectId> = self.sim.catalog().keys().copied().collect();
+        for i in 0..self.n {
+            for object in &objects {
+                self.sim
+                    .engine_mut()
+                    .inject(NodeId(i), 1, DomMsg::CatchUp { object: *object });
+                self.sim.engine_mut().run_until_idle();
+            }
+        }
+        if self.quorum_engaged {
+            self.broadcast_mode(false);
+        }
+    }
+
+    /// Whether `p` is currently crashed (as far as the driver knows).
+    pub fn is_crashed(&self, p: ProcessorId) -> bool {
+        self.crashed[p.index()]
+    }
+
+    /// Executes a request in whatever mode the cluster is in. If a crash
+    /// scheduled via [`FailoverDriver::crash_in`] landed during the
+    /// request, the failure detector reacts once the cluster quiesces.
     pub fn execute_request(&mut self, request: Request) -> Result<()> {
-        self.sim.execute_request(request)
+        self.sim.execute_request(request)?;
+        if self.pending_detection {
+            self.pending_detection = false;
+            self.broadcast_mode(true);
+        }
+        Ok(())
     }
 
     /// The normal-mode tallies recorded just before the first failure (so

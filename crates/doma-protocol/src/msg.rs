@@ -43,6 +43,13 @@ pub enum DomMsg {
         object: ObjectId,
         /// Whether the reply will be saved at the requester.
         saving: bool,
+        /// The requester's quorum-operation round, echoed back by replies
+        /// (0 = a normal-mode forwarded read, outside any quorum op).
+        /// Under fault injection a delayed or duplicated reply from an
+        /// earlier quorum operation must never be counted toward a later
+        /// one; the round tag is what makes them distinguishable on the
+        /// wire.
+        round: u64,
     },
     /// The object, in reply to [`DomMsg::ReadReq`] or a quorum read.
     ObjData {
@@ -54,11 +61,16 @@ pub enum DomMsg {
         payload: Vec<u8>,
         /// Whether the requester should output it to its local database.
         save: bool,
+        /// The round of the [`DomMsg::ReadReq`] this answers (0 = not a
+        /// quorum reply).
+        round: u64,
     },
     /// Quorum-read reply from a node with no valid replica.
     NoData {
         /// The object that was requested.
         object: ObjectId,
+        /// The round of the [`DomMsg::ReadReq`] this answers.
+        round: u64,
     },
     /// A write propagated to a member of the execution set.
     WriteProp {
@@ -109,11 +121,11 @@ impl DomMsg {
             DomMsg::ClientWrite { object, version, .. } => {
                 format!("ClientWrite({object},{version})")
             }
-            DomMsg::ReadReq { object, saving } => {
+            DomMsg::ReadReq { object, saving, .. } => {
                 format!("ReadReq({object}{})", if *saving { ",saving" } else { "" })
             }
             DomMsg::ObjData { object, version, .. } => format!("ObjData({object},{version})"),
-            DomMsg::NoData { object } => format!("NoData({object})"),
+            DomMsg::NoData { object, .. } => format!("NoData({object})"),
             DomMsg::WriteProp { object, version, .. } => {
                 format!("WriteProp({object},{version})")
             }
@@ -138,7 +150,8 @@ mod tests {
             object: OBJ,
             version: Version(1),
             payload: vec![],
-            save: false
+            save: false,
+            round: 0
         }
         .is_data());
         assert!(DomMsg::WriteProp {
@@ -150,7 +163,8 @@ mod tests {
         .is_data());
         assert!(!DomMsg::ReadReq {
             object: OBJ,
-            saving: true
+            saving: true,
+            round: 0
         }
         .is_data());
         assert!(!DomMsg::Invalidate {
@@ -158,7 +172,7 @@ mod tests {
             version: Version(2)
         }
         .is_data());
-        assert!(!DomMsg::NoData { object: OBJ }.is_data());
+        assert!(!DomMsg::NoData { object: OBJ, round: 0 }.is_data());
         assert!(!DomMsg::ModeChange { quorum: true }.is_data());
         assert!(!DomMsg::CatchUp { object: OBJ }.is_data());
     }

@@ -1,7 +1,7 @@
 //! The per-processor protocol state machine.
 
 use crate::DomMsg;
-use doma_core::{ObjectId, ProcSet, ProcessorId};
+use doma_core::{DomaError, ObjectId, ProcSet, ProcessorId};
 use doma_sim::{Actor, Context, MsgKind, NodeId, SimTime};
 use doma_storage::{CacheStats, CachedStore, IoStats, LocalStore, Version};
 use std::collections::BTreeMap;
@@ -70,14 +70,37 @@ fn node(p: ProcessorId) -> NodeId {
 /// In-flight quorum operation state (failure mode only).
 #[derive(Debug, Clone)]
 struct PendingQuorum {
-    /// Responses assembled so far (the local replica counts as one).
-    responses: usize,
+    /// Distinct processors whose response has been counted (the local
+    /// replica counts as one). A set, not a counter: under fault
+    /// injection a duplicated reply must not double-count its sender, or
+    /// a "majority" could be assembled from fewer distinct nodes and lose
+    /// the quorum-intersection property.
+    responders: ProcSet,
     /// Read-quorum size: a majority of the cluster, so it intersects
     /// every write quorum.
     needed: usize,
+    /// This operation's wire round tag. Replies carrying any other round
+    /// (a delayed straggler from an earlier operation, or a leftover reply
+    /// to an operation that already assembled its majority) are discarded
+    /// instead of being counted — their version information belongs to a
+    /// different point in time.
+    round: u64,
     best: Option<(Version, Vec<u8>)>,
     store_result: bool,
     started: SimTime,
+}
+
+/// One completed read, as observed by the issuing node — the record the
+/// fault-injection invariant checker audits for one-copy semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedRead {
+    /// The object read.
+    pub object: ObjectId,
+    /// The version returned (`None` for a quorum read that assembled a
+    /// majority of `NoData` replies — possible only on an empty store).
+    pub version: Option<Version>,
+    /// Request-to-completion latency in ticks.
+    pub latency: u64,
 }
 
 /// Per-object DA bookkeeping held by core members.
@@ -106,9 +129,20 @@ pub struct DomNode {
     configs: BTreeMap<ObjectId, ProtocolConfig>,
     store: CachedStore,
     da: BTreeMap<ObjectId, DaObjectState>,
+    /// Per object, the highest version an [`DomMsg::Invalidate`] named as
+    /// superseding the local replica. Replicas older than this must never
+    /// be (re-)validated or served: under fault injection a delayed or
+    /// duplicated data message could otherwise resurrect a replica whose
+    /// invalidation was already processed.
+    invalidated_below: BTreeMap<ObjectId, Version>,
     // --- failure mode ---
     quorum_mode: bool,
     pending: BTreeMap<ObjectId, PendingQuorum>,
+    /// Monotone counter tagging each quorum operation this node starts
+    /// (round 0 is reserved for plain forwarded reads). Deliberately NOT
+    /// reset on crash: a reply to a pre-crash operation must never match a
+    /// post-recovery one.
+    quorum_round: u64,
     // --- metrics ---
     /// FIFO queues of outstanding read start-times, per object (open-loop
     /// execution can have several reads of one object in flight at once).
@@ -116,6 +150,11 @@ pub struct DomNode {
     reads_completed: u64,
     read_latency_ticks: u64,
     read_latencies: Vec<u64>,
+    completed_reads: Vec<CompletedRead>,
+    /// Protocol-level errors (for example a request for an unconfigured
+    /// object). [`Actor::on_message`] cannot return them, so they are
+    /// recorded here for harnesses to assert on.
+    errors: Vec<DomaError>,
 }
 
 impl DomNode {
@@ -159,12 +198,16 @@ impl DomNode {
             configs,
             store: CachedStore::wrap(store, cache_capacity),
             da,
+            invalidated_below: BTreeMap::new(),
             quorum_mode: false,
             pending: BTreeMap::new(),
+            quorum_round: 0,
             read_started: BTreeMap::new(),
             reads_completed: 0,
             read_latency_ticks: 0,
             read_latencies: Vec::new(),
+            completed_reads: Vec::new(),
+            errors: Vec::new(),
         }
     }
 
@@ -230,6 +273,17 @@ impl DomNode {
         &self.read_latencies
     }
 
+    /// Every completed read with the version it returned, in completion
+    /// order (the one-copy-semantics audit trail).
+    pub fn completed_reads(&self) -> &[CompletedRead] {
+        &self.completed_reads
+    }
+
+    /// Protocol-level errors recorded so far (empty on healthy runs).
+    pub fn protocol_errors(&self) -> &[DomaError] {
+        &self.errors
+    }
+
     /// The core member's current join-list for object 0.
     pub fn join_list(&self) -> ProcSet {
         self.da
@@ -251,21 +305,64 @@ impl DomNode {
         self.read_started.clear();
     }
 
-    fn config(&self, object: ObjectId) -> &ProtocolConfig {
-        self.configs
-            .get(&object)
-            .unwrap_or_else(|| panic!("node {} has no config for {object}", self.id))
+    fn config(&self, object: ObjectId) -> Result<&ProtocolConfig, DomaError> {
+        self.configs.get(&object).ok_or(DomaError::UnknownObject {
+            node: self.id.index(),
+            object: object.0,
+        })
+    }
+
+    /// Like [`DomNode::config`] but records the error and returns `None`
+    /// — the shape message handlers need, since [`Actor::on_message`]
+    /// cannot propagate a `Result`.
+    fn config_or_record(&mut self, object: ObjectId) -> Option<ProtocolConfig> {
+        match self.config(object) {
+            Ok(c) => Some(c.clone()),
+            Err(e) => {
+                self.errors.push(e);
+                None
+            }
+        }
     }
 
     fn is_da_core(&self, object: ObjectId) -> bool {
-        matches!(self.config(object), ProtocolConfig::Da { f, .. } if f.contains(self.id))
+        matches!(self.config(object), Ok(ProtocolConfig::Da { f, .. }) if f.contains(self.id))
     }
 
     fn is_da_primary(&self, object: ObjectId) -> bool {
-        matches!(self.config(object), ProtocolConfig::Da { f, .. } if f.any_member() == Some(self.id))
+        matches!(self.config(object), Ok(ProtocolConfig::Da { f, .. }) if f.any_member() == Some(self.id))
     }
 
-    fn complete_read(&mut self, object: ObjectId, now: SimTime) {
+    /// Whether `version` is news to the local store: strictly newer than
+    /// the local replica, or the same version while the local copy is
+    /// invalid (re-validation). Under fault injection, delayed or
+    /// duplicated `WriteProp`/`ObjData` messages can arrive out of order;
+    /// applying them blindly would regress the replica.
+    /// The lowest version still allowed to (re-)validate the local
+    /// replica, per processed invalidations.
+    fn invalidated_floor(&self, object: ObjectId) -> Version {
+        self.invalidated_below
+            .get(&object)
+            .copied()
+            .unwrap_or(Version::INITIAL)
+    }
+
+    fn fresher_than_local(&self, object: ObjectId, version: Version) -> bool {
+        if version < self.invalidated_floor(object) {
+            // An already-processed invalidation proved this version
+            // obsolete; a delayed or duplicated carrier must not
+            // resurrect it.
+            return false;
+        }
+        match self.replica_version_of(object) {
+            Some(local) => {
+                version > local || (version == local && !self.store.holds_valid(object))
+            }
+            None => true,
+        }
+    }
+
+    fn complete_read(&mut self, object: ObjectId, version: Option<Version>, now: SimTime) {
         if let Some(queue) = self.read_started.get_mut(&object) {
             if !queue.is_empty() {
                 // Replies are served FIFO (the engine and the bus are
@@ -276,6 +373,11 @@ impl DomNode {
                 let latency = now.ticks() - started.ticks();
                 self.read_latency_ticks += latency;
                 self.read_latencies.push(latency);
+                self.completed_reads.push(CompletedRead {
+                    object,
+                    version,
+                    latency,
+                });
             }
             if queue.is_empty() {
                 self.read_started.remove(&object);
@@ -300,11 +402,18 @@ impl DomNode {
 
     fn start_quorum_read(&mut self, ctx: &mut Context<DomMsg>, object: ObjectId, store_result: bool) {
         let local = self.store.input(object);
+        let mut responders = ProcSet::EMPTY;
+        if local.is_some() {
+            responders.insert(self.id);
+        }
+        self.quorum_round += 1;
+        let round = self.quorum_round;
         self.pending.insert(
             object,
             PendingQuorum {
-                responses: usize::from(local.is_some()),
+                responders,
                 needed: self.quorum_size(),
+                round,
                 best: local,
                 store_result,
                 started: ctx.now(),
@@ -317,6 +426,7 @@ impl DomNode {
                 DomMsg::ReadReq {
                     object,
                     saving: false,
+                    round,
                 },
             );
         }
@@ -325,17 +435,22 @@ impl DomNode {
     }
 
     fn handle_client_read(&mut self, ctx: &mut Context<DomMsg>, object: ObjectId) {
-        self.read_started.entry(object).or_default().push(ctx.now());
         if self.quorum_mode {
+            self.read_started.entry(object).or_default().push(ctx.now());
             self.start_quorum_read(ctx, object, false);
             return;
         }
-        match self.config(object).clone() {
+        let Some(config) = self.config_or_record(object) else {
+            return;
+        };
+        self.read_started.entry(object).or_default().push(ctx.now());
+        match config {
             ProtocolConfig::Sa { q } => {
                 if q.contains(self.id) {
                     let got = self.store.input(object);
                     debug_assert!(got.is_some(), "SA member must hold a valid replica");
-                    self.complete_read(object, ctx.now());
+                    let version = got.map(|(v, _)| v);
+                    self.complete_read(object, version, ctx.now());
                 } else {
                     let server = q.any_member().expect("Q non-empty");
                     ctx.send(
@@ -344,17 +459,19 @@ impl DomNode {
                         DomMsg::ReadReq {
                             object,
                             saving: false,
+                            round: 0,
                         },
                     );
                 }
             }
             ProtocolConfig::Da { f, .. } => {
                 if self.store.holds_valid(object) {
-                    self.store.input(object);
-                    self.complete_read(object, ctx.now());
+                    let got = self.store.input(object);
+                    let version = got.map(|(v, _)| v);
+                    self.complete_read(object, version, ctx.now());
                 } else {
                     let members: Vec<ProcessorId> = f.iter().collect();
-                    let state = self.da.get_mut(&object).expect("configured object");
+                    let state = self.da.entry(object).or_default();
                     let server = members[state.serve_cursor % members.len()];
                     state.serve_cursor = state.serve_cursor.wrapping_add(1);
                     ctx.send(
@@ -363,6 +480,7 @@ impl DomNode {
                         DomMsg::ReadReq {
                             object,
                             saving: true,
+                            round: 0,
                         },
                     );
                 }
@@ -396,7 +514,10 @@ impl DomNode {
             }
             return;
         }
-        match self.config(object).clone() {
+        let Some(config) = self.config_or_record(object) else {
+            return;
+        };
+        match config {
             ProtocolConfig::Sa { q } => {
                 if q.contains(self.id) {
                     self.store.output(object, version, payload.clone());
@@ -415,7 +536,7 @@ impl DomNode {
                 }
             }
             ProtocolConfig::Da { .. } => {
-                let exec = self.config(object).da_exec_set(self.id);
+                let exec = config.da_exec_set(self.id);
                 debug_assert!(exec.contains(self.id), "DA writers are always in X");
                 self.store.output(object, version, payload.clone());
                 for member in exec.iter().filter(|&m| m != self.id) {
@@ -449,11 +570,13 @@ impl DomNode {
         version: Version,
         writer: ProcessorId,
     ) {
-        let config = self.config(object).clone();
+        let Some(config) = self.config_or_record(object) else {
+            return;
+        };
         let exec = config.da_exec_set(writer);
         let spare = exec.with(writer);
         let primary = self.is_da_primary(object);
-        let state = self.da.get_mut(&object).expect("configured object");
+        let state = self.da.entry(object).or_default();
         for member in state.join_list.iter().filter(|m| !spare.contains(*m)) {
             ctx.send(
                 node(member),
@@ -490,19 +613,36 @@ impl DomNode {
     fn handle_quorum_reply(
         &mut self,
         ctx: &mut Context<DomMsg>,
+        from: NodeId,
         object: ObjectId,
+        round: u64,
         reply: Option<(Version, Vec<u8>)>,
     ) {
         let Some(pending) = self.pending.get_mut(&object) else {
+            // No operation in flight (or it already assembled its
+            // majority): a straggler reply, not actionable.
             return;
         };
+        if pending.round != round {
+            // A delayed reply from an *earlier* quorum operation on the
+            // same object. Counting it would both attribute a stale
+            // version to the responder and mask the responder's fresh
+            // reply as a duplicate.
+            return;
+        }
+        let responder = proc(from);
+        if pending.responders.contains(responder) {
+            // A duplicated reply carries no new information and must not
+            // count toward the majority.
+            return;
+        }
+        pending.responders.insert(responder);
         if let Some((v, d)) = reply {
             match &pending.best {
                 Some((bv, _)) if *bv >= v => {}
                 _ => pending.best = Some((v, d)),
             }
         }
-        pending.responses += 1;
         self.maybe_finish_quorum(ctx, object);
     }
 
@@ -510,16 +650,17 @@ impl DomNode {
         let finished = self
             .pending
             .get(&object)
-            .is_some_and(|p| p.responses >= p.needed);
+            .is_some_and(|p| p.responders.len() >= p.needed);
         if finished {
             let done = self.pending.remove(&object).expect("just checked");
+            let version = done.best.as_ref().map(|(v, _)| *v);
             if let Some((v, d)) = done.best {
-                if done.store_result {
+                if done.store_result && self.fresher_than_local(object, v) {
                     self.store.output(object, v, d);
                 }
             }
             if self.read_started.contains_key(&object) {
-                self.complete_read(object, ctx.now());
+                self.complete_read(object, version, ctx.now());
             } else {
                 // CatchUp completion: nothing further to do.
                 let _ = done.started;
@@ -554,15 +695,11 @@ impl Actor<DomMsg> for DomNode {
                 version,
                 payload,
             } => self.handle_client_write(ctx, object, version, payload),
-            DomMsg::ReadReq { object, saving } => {
+            DomMsg::ReadReq { object, saving, round } => {
                 match self.store.input(object) {
                     Some((version, payload)) => {
                         if saving && self.is_da_core(object) {
-                            self.da
-                                .get_mut(&object)
-                                .expect("configured object")
-                                .join_list
-                                .insert(proc(from));
+                            self.da.entry(object).or_default().join_list.insert(proc(from));
                         }
                         ctx.send(
                             from,
@@ -572,13 +709,14 @@ impl Actor<DomMsg> for DomNode {
                                 version,
                                 payload,
                                 save: saving,
+                                round,
                             },
                         );
                     }
                     None => {
                         // Only possible in quorum mode (normal-mode servers
                         // always hold valid replicas — asserted by tests).
-                        ctx.send(from, MsgKind::Control, DomMsg::NoData { object });
+                        ctx.send(from, MsgKind::Control, DomMsg::NoData { object, round });
                     }
                 }
             }
@@ -587,62 +725,158 @@ impl Actor<DomMsg> for DomNode {
                 version,
                 payload,
                 save,
+                round,
             } => {
-                if self.pending.contains_key(&object) {
-                    self.handle_quorum_reply(ctx, object, Some((version, payload)));
+                if round != 0 {
+                    // A quorum reply is only meaningful to the operation
+                    // that solicited it; handle_quorum_reply drops it when
+                    // that operation is gone or superseded. It must never
+                    // complete a forwarded read.
+                    self.handle_quorum_reply(ctx, from, object, round, Some((version, payload)));
                 } else {
-                    if save {
+                    if version < self.invalidated_floor(object) {
+                        // A delayed or duplicated reply carrying data an
+                        // invalidation already proved obsolete: answering
+                        // a read with it would violate one-copy
+                        // semantics. Drop it.
+                        return;
+                    }
+                    if save && self.fresher_than_local(object, version) {
                         self.store.output(object, version, payload);
                     }
-                    self.complete_read(object, ctx.now());
+                    self.complete_read(object, Some(version), ctx.now());
                 }
             }
-            DomMsg::NoData { object } => self.handle_quorum_reply(ctx, object, None),
+            DomMsg::NoData { object, round } => {
+                self.handle_quorum_reply(ctx, from, object, round, None)
+            }
             DomMsg::WriteProp {
                 object,
                 version,
                 payload,
                 writer,
             } => {
-                self.store.output(object, version, payload);
-                if !self.quorum_mode && self.is_da_core(object) {
-                    self.da_invalidate_duties(ctx, object, version, proc(writer));
+                // A delayed/duplicated propagation must not regress the
+                // replica; core invalidation duties still run so late
+                // joiners are flushed exactly once per write.
+                if self.fresher_than_local(object, version) {
+                    self.store.output(object, version, payload);
+                    if !self.quorum_mode && self.is_da_core(object) {
+                        self.da_invalidate_duties(ctx, object, version, proc(writer));
+                    }
                 }
             }
-            DomMsg::Invalidate { object, .. } => {
+            DomMsg::Invalidate { object, version } => {
+                let floor = self.invalidated_below.entry(object).or_insert(version);
+                if version > *floor {
+                    *floor = version;
+                }
                 self.store.invalidate(object);
             }
             DomMsg::ModeChange { quorum } => {
                 self.quorum_mode = quorum;
-                if !quorum {
+                if quorum {
+                    // Missing-writes transition (§2): a normal-mode write
+                    // lives on only t replicas — not necessarily a
+                    // majority — so quorum reads alone could miss it.
+                    // Every valid holder pushes its current version to all
+                    // peers (receivers keep the freshest), putting the
+                    // latest committed version on a write-majority before
+                    // quorum service starts.
+                    let objects: Vec<ObjectId> = self.configs.keys().copied().collect();
+                    for object in objects {
+                        if !self.store.holds_valid(object) {
+                            continue;
+                        }
+                        if let Some((version, payload)) = self.store.input(object) {
+                            for peer in self.all_peers() {
+                                ctx.send(
+                                    peer,
+                                    MsgKind::Data,
+                                    DomMsg::WriteProp {
+                                        object,
+                                        version,
+                                        payload: payload.clone(),
+                                        writer: node(self.id),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                } else {
                     // Re-entering normal mode: quorum writes replicated to
                     // everyone, but DA's invariant is that exactly
                     // F ∪ {p} hold each object (join-lists empty, floater
                     // = p). Nodes outside that set drop their replicas
                     // locally — no messages, the mode change itself was
                     // the coordination.
-                    let objects: Vec<ObjectId> = self.configs.keys().copied().collect();
-                    for object in objects {
-                        if let ProtocolConfig::Da { f, p } = self.config(object).clone() {
-                            if !f.with(p).contains(self.id) {
-                                self.store.invalidate(object);
+                    let objects: Vec<(ObjectId, ProtocolConfig)> = self
+                        .configs
+                        .iter()
+                        .map(|(o, c)| (*o, c.clone()))
+                        .collect();
+                    for (object, config) in objects {
+                        match config {
+                            ProtocolConfig::Da { f, p } => {
+                                if !f.with(p).contains(self.id) {
+                                    self.store.invalidate(object);
+                                }
+                                let primary = self.is_da_primary(object);
+                                let state = self.da.entry(object).or_default();
+                                if f.contains(self.id) {
+                                    state.join_list = ProcSet::EMPTY;
+                                }
+                                if primary {
+                                    state.extra = Some(p);
+                                }
                             }
-                            let primary = self.is_da_primary(object);
-                            let state = self.da.get_mut(&object).expect("configured");
-                            if f.contains(self.id) {
-                                state.join_list = ProcSet::EMPTY;
-                            }
-                            if primary {
-                                state.extra = Some(p);
+                            ProtocolConfig::Sa { q } => {
+                                // SA's scheme is exactly Q; replicas that
+                                // quorum writes left elsewhere are dropped.
+                                if !q.contains(self.id) {
+                                    self.store.invalidate(object);
+                                }
                             }
                         }
                     }
                 }
             }
             DomMsg::CatchUp { object } => {
-                // Missing-writes transition: quorum-read the latest version
-                // and store it locally before resuming service.
-                self.start_quorum_read(ctx, object, true);
+                if self.quorum_mode {
+                    // Missing-writes transition: quorum-read the latest
+                    // version and store it locally before resuming service.
+                    // Sound here because quorum-mode writes (and the
+                    // mode-entry push) put the latest version on a
+                    // majority, which every assembled read quorum
+                    // intersects.
+                    self.start_quorum_read(ctx, object, true);
+                } else {
+                    // In normal mode the latest write lives on only t
+                    // replicas — not necessarily a majority — so a quorum
+                    // read could legitimately miss it (fast NoData control
+                    // replies can assemble a majority before any data
+                    // arrives). The scheme members are known and always
+                    // current, so fetch from them directly; the freshest
+                    // reply wins and a saving fetch re-enters the join
+                    // list, restoring invalidation duties.
+                    let Some(config) = self.config_or_record(object) else {
+                        return;
+                    };
+                    for member in config.initial_scheme().iter() {
+                        if member == self.id {
+                            continue;
+                        }
+                        ctx.send(
+                            node(member),
+                            MsgKind::Control,
+                            DomMsg::ReadReq {
+                                object,
+                                saving: true,
+                                round: 0,
+                            },
+                        );
+                    }
+                }
             }
         }
     }
@@ -747,10 +981,61 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no config")]
-    fn unknown_object_panics() {
+    fn unknown_object_is_an_error_not_a_panic() {
         let cfg = ProtocolConfig::Sa { q: ps(&[0, 1]) };
         let n = DomNode::new(ProcessorId::new(0), 4, cfg);
-        let _ = n.config(ObjectId(99));
+        let err = n.config(ObjectId(99)).unwrap_err();
+        assert_eq!(err, DomaError::UnknownObject { node: 0, object: 99 });
+        assert!(err.to_string().contains("no config"), "{err}");
+    }
+
+    #[test]
+    fn unknown_object_requests_record_errors_and_send_nothing() {
+        use doma_sim::{Engine, EngineConfig};
+        let cfg = ProtocolConfig::Sa { q: ps(&[0, 1]) };
+        let mut engine: Engine<DomMsg, DomNode> = Engine::new(EngineConfig::default());
+        let a = engine.add_node(DomNode::new(ProcessorId::new(0), 2, cfg.clone()));
+        engine.add_node(DomNode::new(ProcessorId::new(1), 2, cfg));
+        engine.inject(a, 0, DomMsg::ClientRead { object: ObjectId(9) });
+        engine.inject(
+            a,
+            1,
+            DomMsg::ClientWrite {
+                object: ObjectId(9),
+                version: Version(1),
+                payload: vec![1],
+            },
+        );
+        engine.run_until_idle();
+        let errors = engine.actor(a).protocol_errors();
+        assert_eq!(errors.len(), 2, "{errors:?}");
+        assert!(errors
+            .iter()
+            .all(|e| *e == DomaError::UnknownObject { node: 0, object: 9 }));
+        // No messages escaped: the error path is local.
+        let stats = engine.net_stats().snapshot();
+        assert_eq!(stats.control_sent + stats.data_sent, 0);
+        assert_eq!(engine.actor(a).read_metrics(), (0, 0));
+    }
+
+    #[test]
+    fn stale_write_prop_does_not_regress_the_replica() {
+        use doma_sim::{Engine, EngineConfig};
+        let cfg = ProtocolConfig::Sa { q: ps(&[0, 1]) };
+        let mut engine: Engine<DomMsg, DomNode> = Engine::new(EngineConfig::default());
+        let a = engine.add_node(DomNode::new(ProcessorId::new(0), 2, cfg.clone()));
+        engine.add_node(DomNode::new(ProcessorId::new(1), 2, cfg));
+        let wp = |v: u64| DomMsg::WriteProp {
+            object: OBJECT,
+            version: Version(v),
+            payload: vec![v as u8],
+            writer: NodeId(1),
+        };
+        engine.inject(a, 0, wp(5));
+        engine.inject(a, 1, wp(3)); // late, out-of-order propagation
+        engine.inject(a, 2, wp(5)); // duplicate
+        engine.run_until_idle();
+        assert_eq!(engine.actor(a).replica_version(), Some(Version(5)));
+        assert!(engine.actor(a).holds_valid());
     }
 }

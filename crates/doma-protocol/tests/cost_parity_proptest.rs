@@ -1,0 +1,121 @@
+//! Property test (satellite of the fault-injection PR): on random
+//! *failure-free* schedules over random cluster shapes, the simulator's
+//! [`SimReport::cost`] tallies equal `doma_core::cost_of_schedule` applied
+//! to the analytic algorithm's own allocation decisions — message for
+//! message, I/O for I/O.
+//!
+//! This complements the repo-root `protocol_parity_proptest` (fixed
+//! configuration, via `run_online`) by randomizing the configuration and
+//! calling the cost engine directly, so a drift in either the protocol
+//! choreography or the cost table is caught even if `run_online` happens
+//! to compensate.
+//!
+//! Failures print a `DOMA_PROP_SEED=…` replay line via the testkit
+//! harness.
+
+use doma_algorithms::{DynamicAllocation, StaticAllocation};
+use doma_core::{
+    cost_of_schedule, AllocationSchedule, OnlineDom, ProcSet, ProcessorId, Request, Schedule,
+};
+use doma_protocol::ProtocolSim;
+use doma_testkit::property::{self as prop, Gen};
+use doma_testkit::rng::Rng;
+use doma_testkit::TestRng;
+
+/// One sampled parity case: a cluster size, a scheme (SA's `Q`, or DA's
+/// `F` plus floater as the last member), and a schedule over the cluster.
+#[derive(Debug, Clone)]
+struct Case {
+    n: usize,
+    scheme: Vec<usize>,
+    schedule: Schedule,
+}
+
+struct CaseGen;
+
+impl Gen for CaseGen {
+    type Value = Case;
+
+    fn generate(&self, rng: &mut TestRng) -> Case {
+        let n = prop::range(3usize..8).generate(rng);
+        let k = prop::range(2usize..n.min(4) + 1).generate(rng);
+        let mut members: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut members);
+        members.truncate(k);
+        let len = prop::range(0usize..50).generate(rng);
+        let requests: Vec<Request> = (0..len)
+            .map(|_| {
+                let p = prop::range(0usize..n).generate(rng);
+                if prop::bools().generate(rng) {
+                    Request::read(p)
+                } else {
+                    Request::write(p)
+                }
+            })
+            .collect();
+        Case {
+            n,
+            scheme: members,
+            schedule: Schedule::from_requests(requests),
+        }
+    }
+
+    fn shrink(&self, v: &Case) -> Vec<Case> {
+        // Shrink the schedule only (halve, drop head); the shape is cheap
+        // to keep fixed and usually irrelevant to a parity break.
+        let requests: Vec<Request> = v.schedule.iter().collect();
+        let mut out = Vec::new();
+        if !requests.is_empty() {
+            for shorter in [
+                requests[..requests.len() / 2].to_vec(),
+                requests[1..].to_vec(),
+            ] {
+                out.push(Case {
+                    n: v.n,
+                    scheme: v.scheme.clone(),
+                    schedule: Schedule::from_requests(shorter),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Replays the algorithm's own decisions through the analytic cost engine.
+fn analytic_total<A: OnlineDom>(algo: &mut A, schedule: &Schedule) -> doma_core::CostedSchedule {
+    algo.reset();
+    let mut alloc = AllocationSchedule::new(algo.initial_scheme());
+    for request in schedule.iter() {
+        let decision = algo.decide(request);
+        alloc.push(request, decision);
+    }
+    cost_of_schedule(&alloc, algo.t()).expect("online DA/SA schedules are always legal")
+}
+
+doma_testkit::property! {
+    #[cases(48)]
+    /// SA over a random `Q`: simulated tallies == cost_of_schedule.
+    fn sa_cost_matches_cost_of_schedule(case in CaseGen) {
+        let q: ProcSet = case.scheme.iter().copied().collect();
+        let mut sim = ProtocolSim::new_sa(case.n, q).unwrap();
+        let report = sim.execute(&case.schedule).unwrap();
+        let costed = analytic_total(&mut StaticAllocation::new(q).unwrap(), &case.schedule);
+        assert_eq!(report.cost, costed.total, "on {}", case.schedule);
+        assert_eq!(report.final_holders, costed.final_scheme);
+        assert_eq!(report.dropped_messages, 0);
+    }
+
+    #[cases(48)]
+    /// DA over a random `F ∪ {p}`: simulated tallies == cost_of_schedule.
+    fn da_cost_matches_cost_of_schedule(case in CaseGen) {
+        let (last, f_members) = case.scheme.split_last().unwrap();
+        let f: ProcSet = f_members.iter().copied().collect();
+        let p = ProcessorId::new(*last);
+        let mut sim = ProtocolSim::new_da(case.n, f, p).unwrap();
+        let report = sim.execute(&case.schedule).unwrap();
+        let costed = analytic_total(&mut DynamicAllocation::new(f, p).unwrap(), &case.schedule);
+        assert_eq!(report.cost, costed.total, "on {}", case.schedule);
+        assert_eq!(report.final_holders, costed.final_scheme);
+        assert_eq!(report.dropped_messages, 0);
+    }
+}

@@ -1,5 +1,6 @@
 //! The event loop: actors, contexts, and deterministic dispatch.
 
+use crate::fault::{FaultPlan, FaultState, FaultStats, Judgement};
 use crate::{MsgKind, Network, NetworkConfig, SimTime, StatsHandle, TraceHandle, TraceRecord};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -125,9 +126,10 @@ pub struct Engine<M, A: Actor<M>> {
     dispatched: u64,
     max_events: u64,
     tracer: Option<(TraceHandle, fn(&M) -> String)>,
+    faults: Option<FaultState>,
 }
 
-impl<M, A: Actor<M>> Engine<M, A> {
+impl<M: Clone, A: Actor<M>> Engine<M, A> {
     /// Creates an engine with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
         Engine {
@@ -140,6 +142,7 @@ impl<M, A: Actor<M>> Engine<M, A> {
             dispatched: 0,
             max_events: config.max_events,
             tracer: None,
+            faults: None,
         }
     }
 
@@ -219,6 +222,34 @@ impl<M, A: Actor<M>> Engine<M, A> {
         self.push(time, EventKind::Recover(node));
     }
 
+    /// Installs a [`FaultPlan`]: its message-fault rules and partitions
+    /// take effect on every subsequent send, and its crash/recover events
+    /// are scheduled immediately (`at` is an absolute tick; events in the
+    /// past fire at the current instant). Replaces any previous plan and
+    /// resets [`Engine::fault_stats`].
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        for ev in plan.crashes() {
+            let delay = ev.at.saturating_sub(self.now.ticks());
+            if ev.recover {
+                self.schedule_recover(ev.node, delay);
+            } else {
+                self.schedule_crash(ev.node, delay);
+            }
+        }
+        self.faults = Some(FaultState::new(plan));
+    }
+
+    /// Removes the installed fault plan (already-scheduled crash events
+    /// still fire), returning the final injection tallies.
+    pub fn clear_faults(&mut self) -> FaultStats {
+        self.faults.take().map(|s| s.stats()).unwrap_or_default()
+    }
+
+    /// Tallies of the faults injected by the installed plan so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|s| s.stats()).unwrap_or_default()
+    }
+
     fn dispatch_to(&mut self, node: NodeId, f: impl FnOnce(&mut A, &mut Context<M>)) {
         let mut ctx = Context {
             now: self.now,
@@ -228,17 +259,65 @@ impl<M, A: Actor<M>> Engine<M, A> {
         };
         f(&mut self.actors[node.0], &mut ctx);
         for (to, kind, msg) in ctx.sends {
+            // The sender pays for the transmission before any fault can
+            // eat it — send tallies match the paper's cost model even on
+            // lossy runs.
             self.network.stats().record_send(kind);
-            let time = SimTime(self.network.schedule_delivery(self.now.ticks(), kind));
-            self.push(
-                time,
-                EventKind::Deliver {
-                    from: node,
-                    to,
-                    kind,
-                    msg,
-                },
-            );
+            let natural = SimTime(self.network.schedule_delivery(self.now.ticks(), kind));
+            let verdict = match &mut self.faults {
+                Some(state) => state.judge(self.now.ticks(), node, to, kind),
+                None => Judgement::Deliver,
+            };
+            match verdict {
+                Judgement::Deliver => {
+                    self.push(
+                        natural,
+                        EventKind::Deliver {
+                            from: node,
+                            to,
+                            kind,
+                            msg,
+                        },
+                    );
+                }
+                Judgement::Lost { partition } => {
+                    self.network.stats().record_drop();
+                    if let Some((trace, labeller)) = &self.tracer {
+                        let cause = if partition { "fault-partition" } else { "fault-drop" };
+                        trace.record(TraceRecord {
+                            time: self.now,
+                            from: node,
+                            to,
+                            kind,
+                            delivered: false,
+                            label: format!("{cause}:{}", labeller(&msg)),
+                        });
+                    }
+                }
+                Judgement::Deliveries { extra, action } => {
+                    if let Some((trace, labeller)) = &self.tracer {
+                        trace.record(TraceRecord {
+                            time: self.now,
+                            from: node,
+                            to,
+                            kind,
+                            delivered: true,
+                            label: format!("fault-{action}:{}", labeller(&msg)),
+                        });
+                    }
+                    for offset in extra {
+                        self.push(
+                            natural + offset,
+                            EventKind::Deliver {
+                                from: node,
+                                to,
+                                kind,
+                                msg: msg.clone(),
+                            },
+                        );
+                    }
+                }
+            }
         }
         for (delay, token) in ctx.timers {
             let time = self.now + delay;
@@ -459,6 +538,138 @@ mod tests {
         let _ = b;
         engine.inject(a, 0, 1);
         engine.run_until_idle();
+    }
+
+    #[test]
+    fn installed_drop_rule_loses_the_message_but_keeps_the_send_tally() {
+        use crate::fault::{FaultAction, FaultPlan, FaultRule, LinkFilter};
+        let mut engine: Engine<u32, PingPong> = Engine::new(EngineConfig::default());
+        let a = engine.add_node(PingPong::new(Some(NodeId(1))));
+        let b = engine.add_node(PingPong::new(Some(NodeId(0))));
+        engine.install_faults(
+            FaultPlan::new(0)
+                .rule(FaultRule::always(LinkFilter::link(a, b), FaultAction::Drop).with_budget(1)),
+        );
+        engine.inject(a, 0, 4);
+        engine.run_until_idle();
+        // a's first reply (3→b) is eaten; the exchange dies there.
+        assert_eq!(engine.actor(a).seen, vec![4]);
+        assert!(engine.actor(b).seen.is_empty());
+        let stats = engine.net_stats().snapshot();
+        assert_eq!(stats.control_sent + stats.data_sent, 1, "sender still pays");
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(engine.fault_stats().dropped, 1);
+        assert_eq!(engine.clear_faults().dropped, 1);
+        assert_eq!(engine.fault_stats(), crate::fault::FaultStats::default());
+    }
+
+    #[test]
+    fn duplicate_rule_delivers_twice() {
+        use crate::fault::{FaultAction, FaultPlan, FaultRule, LinkFilter};
+        // One actor type covers both roles: forward if a peer is set,
+        // always record.
+        struct Both {
+            peer: Option<NodeId>,
+            got: Vec<u32>,
+        }
+        impl Actor<u32> for Both {
+            fn on_message(&mut self, ctx: &mut Context<u32>, _f: NodeId, _k: MsgKind, msg: u32) {
+                self.got.push(msg);
+                if let Some(peer) = self.peer {
+                    ctx.send(peer, MsgKind::Data, msg);
+                }
+            }
+        }
+        let mut engine: Engine<u32, Both> = Engine::new(EngineConfig::default());
+        let a = engine.add_node(Both {
+            peer: Some(NodeId(1)),
+            got: vec![],
+        });
+        let b = engine.add_node(Both {
+            peer: None,
+            got: vec![],
+        });
+        engine.install_faults(FaultPlan::new(0).rule(FaultRule::always(
+            LinkFilter::link(a, b),
+            FaultAction::Duplicate(4),
+        )));
+        engine.inject(a, 0, 9);
+        engine.run_until_idle();
+        assert_eq!(engine.actor(b).got, vec![9, 9], "original plus one copy");
+        assert_eq!(engine.fault_stats().duplicated, 1);
+        // Exactly one send was tallied: the duplicate is injected, not paid.
+        let stats = engine.net_stats().snapshot();
+        assert_eq!(stats.data_sent, 1);
+    }
+
+    #[test]
+    fn delay_rule_reorders_across_a_faster_message() {
+        use crate::fault::{FaultAction, FaultPlan, FaultRule, LinkFilter};
+        struct Rec {
+            got: Vec<u32>,
+        }
+        impl Actor<u32> for Rec {
+            fn on_message(&mut self, ctx: &mut Context<u32>, _f: NodeId, _k: MsgKind, msg: u32) {
+                self.got.push(msg);
+                // Node 0 fans out two messages to node 1 on injection.
+                if ctx.id() == NodeId(0) {
+                    ctx.send(NodeId(1), MsgKind::Control, 1);
+                    ctx.send(NodeId(1), MsgKind::Control, 2);
+                }
+            }
+        }
+        let mut engine: Engine<u32, Rec> = Engine::new(EngineConfig::default());
+        let a = engine.add_node(Rec { got: vec![] });
+        let b = engine.add_node(Rec { got: vec![] });
+        let _ = (a, b);
+        // Delay only the *first* matching message; the second overtakes it.
+        engine.install_faults(
+            FaultPlan::new(0).rule(
+                FaultRule::always(LinkFilter::link(NodeId(0), NodeId(1)), FaultAction::Delay(10))
+                    .with_budget(1),
+            ),
+        );
+        engine.inject(NodeId(0), 0, 0);
+        engine.run_until_idle();
+        assert_eq!(engine.actor(NodeId(1)).got, vec![2, 1], "reordered");
+        assert_eq!(engine.fault_stats().delayed, 1);
+    }
+
+    #[test]
+    fn plan_crash_events_fire_at_absolute_ticks() {
+        use crate::fault::FaultPlan;
+        let mut engine: Engine<u32, PingPong> = Engine::new(EngineConfig::default());
+        let a = engine.add_node(PingPong::new(Some(NodeId(1))));
+        let b = engine.add_node(PingPong::new(Some(NodeId(0))));
+        engine.install_faults(FaultPlan::new(0).crash_at(b, 0).recover_at(b, 5));
+        engine.inject(a, 1, 3); // a replies 2 → b at t=2 — b is down until t=5
+        engine.run_until_idle();
+        assert!(engine.is_alive(b));
+        assert_eq!(engine.actor(b).crashed, 1);
+        assert_eq!(engine.actor(b).recovered, 1);
+        assert!(engine.actor(b).seen.is_empty());
+        assert_eq!(engine.net_stats().snapshot().dropped, 1);
+    }
+
+    #[test]
+    fn fault_trace_records_are_labelled() {
+        use crate::fault::{FaultAction, FaultPlan, FaultRule, LinkFilter};
+        let mut engine: Engine<u32, PingPong> = Engine::new(EngineConfig::default());
+        let a = engine.add_node(PingPong::new(Some(NodeId(1))));
+        let b = engine.add_node(PingPong::new(Some(NodeId(0))));
+        let trace = TraceHandle::new(16);
+        engine.set_tracer(trace.clone(), |m| format!("m{m}"));
+        engine.install_faults(
+            FaultPlan::new(0)
+                .rule(FaultRule::always(LinkFilter::link(a, b), FaultAction::Drop).with_budget(1)),
+        );
+        engine.inject(a, 0, 4);
+        engine.run_until_idle();
+        let records = trace.snapshot();
+        assert!(
+            records.iter().any(|r| r.label == "fault-drop:m3" && !r.delivered),
+            "expected a fault-drop trace record, got {records:?}"
+        );
     }
 
     #[test]

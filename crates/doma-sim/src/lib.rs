@@ -12,6 +12,10 @@
 //!   delivered in `(time, sequence)` order, so runs are fully
 //!   deterministic. Crash/recover events model processor failures:
 //!   messages to a crashed node are dropped (and counted as such).
+//! * [`FaultPlan`] — deterministic fault injection: declarative
+//!   drop/delay/duplicate/jitter rules, partitions and crash schedules,
+//!   installed via [`Engine::install_faults`] and reproducible from a
+//!   single seed.
 //!
 //! The simulator is intentionally single-threaded: determinism is worth
 //! more than parallelism at these workload sizes, and the analysis crate
@@ -21,11 +25,13 @@
 #![warn(rust_2018_idioms)]
 
 mod engine;
+mod fault;
 mod network;
 mod time;
 mod trace;
 
 pub use engine::{Actor, Context, Engine, EngineConfig, NodeId};
+pub use fault::{CrashEvent, FaultAction, FaultPlan, FaultRule, FaultStats, LinkFilter, Partition};
 pub use network::{Medium, MsgKind, NetStats, Network, NetworkConfig, StatsHandle};
 pub use time::SimTime;
 pub use trace::{TraceHandle, TraceRecord};

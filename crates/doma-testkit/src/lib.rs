@@ -15,6 +15,9 @@
 //! * [`bench`] — a micro-benchmark harness with warmup, iteration
 //!   calibration and JSON output, driving every `[[bench]]` target via
 //!   [`bench_main!`].
+//! * [`replay`] — shared seed plumbing: `DOMA_*_SEED` parsing and the
+//!   replay-line conventions used by both the property harness and the
+//!   fault-injection torture driver (`DOMA_FAULT_SEED`).
 //!
 //! Determinism is the design center: the paper's adversarial lower-bound
 //! constructions (and the regressions they guard) are only useful if a
@@ -25,6 +28,7 @@
 
 pub mod bench;
 pub mod property;
+pub mod replay;
 pub mod rng;
 
 pub use rng::{Rng, TestRng};

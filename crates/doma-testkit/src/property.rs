@@ -419,25 +419,10 @@ pub struct Config {
 impl Config {
     /// The default configuration, with environment overrides applied.
     pub fn from_env() -> Self {
-        fn parse_u64(s: &str) -> Option<u64> {
-            let s = s.trim();
-            if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
-                u64::from_str_radix(hex, 16).ok()
-            } else {
-                s.parse().ok()
-            }
-        }
-        let cases = std::env::var("DOMA_PROP_CASES")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(96);
-        let seed = std::env::var("DOMA_PROP_SEED")
-            .ok()
-            .and_then(|s| parse_u64(&s))
-            .unwrap_or(0xD0AA_5EED_0000_0001);
-        let only_case = std::env::var("DOMA_PROP_CASE")
-            .ok()
-            .and_then(|s| parse_u64(&s));
+        use crate::replay::env_u64;
+        let cases = env_u64("DOMA_PROP_CASES").map(|n| n as u32).unwrap_or(96);
+        let seed = env_u64("DOMA_PROP_SEED").unwrap_or(0xD0AA_5EED_0000_0001);
+        let only_case = env_u64("DOMA_PROP_CASE");
         Config {
             cases,
             seed,

@@ -1,0 +1,134 @@
+//! Shared seed plumbing for replayable randomized harnesses.
+//!
+//! Both the property harness ([`crate::property`], `DOMA_PROP_*`) and the
+//! fault-injection torture driver (`DOMA_FAULT_*`, see `doma-fault`) read
+//! their seeds through this module, so the parsing rules — decimal or
+//! `0x`-prefixed hex — and the replay-line conventions are identical
+//! everywhere.
+//!
+//! Torture-driver environment contract:
+//!
+//! * `DOMA_FAULT_SEEDS=n` — number of seeded fault plans per matrix cell
+//!   (default 32).
+//! * `DOMA_FAULT_SEED=0x…` — replay exactly one plan: the driver runs only
+//!   the episode whose derived seed matches, with full logging.
+//!
+//! On an invariant violation the driver prints a line produced by
+//! [`replay_line`]; pasting it into a shell reproduces the exact
+//! interleaving, because every random decision in an episode is derived
+//! from that one seed.
+
+use crate::rng::splitmix64;
+
+/// Parses a `u64` from decimal or `0x`/`0X`-prefixed hex (the format every
+/// `DOMA_*_SEED` variable accepts, and the format replay lines print).
+pub fn parse_u64(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Reads an environment variable as a [`parse_u64`] integer.
+pub fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|s| parse_u64(&s))
+}
+
+/// Default base seed of the torture driver's fault-plan sequence.
+pub const FAULT_BASE_SEED: u64 = 0xFA57_5EED_0000_0001;
+
+/// Default number of seeded fault plans per torture-matrix cell.
+pub const FAULT_DEFAULT_SEEDS: u64 = 32;
+
+/// How a torture run decides which episode seeds to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSeeds {
+    /// Run `count` episodes with seeds derived from `base`.
+    Sweep {
+        /// Base seed the per-episode seeds are split from.
+        base: u64,
+        /// Number of episodes.
+        count: u64,
+    },
+    /// Replay exactly one episode seed (from `DOMA_FAULT_SEED`).
+    Replay(u64),
+}
+
+impl FaultSeeds {
+    /// Reads the torture-seed configuration from the environment:
+    /// `DOMA_FAULT_SEED` forces a single-episode replay, otherwise
+    /// `DOMA_FAULT_SEEDS` (default [`FAULT_DEFAULT_SEEDS`]) sizes a sweep
+    /// from the fixed base seed.
+    pub fn from_env() -> Self {
+        if let Some(seed) = env_u64("DOMA_FAULT_SEED") {
+            return FaultSeeds::Replay(seed);
+        }
+        let count = env_u64("DOMA_FAULT_SEEDS").unwrap_or(FAULT_DEFAULT_SEEDS);
+        FaultSeeds::Sweep {
+            base: FAULT_BASE_SEED,
+            count,
+        }
+    }
+
+    /// The episode seeds this configuration denotes, in execution order.
+    /// Sweep seeds are derived with SplitMix64 so neighbouring indices are
+    /// statistically unrelated.
+    pub fn seeds(&self) -> Vec<u64> {
+        match *self {
+            FaultSeeds::Replay(seed) => vec![seed],
+            FaultSeeds::Sweep { base, count } => {
+                let mut state = base;
+                (0..count).map(|_| splitmix64(&mut state)).collect()
+            }
+        }
+    }
+}
+
+/// Formats the one-line replay recipe the torture driver prints on an
+/// invariant violation. `scenario` names the matrix cell (for example
+/// `da/partition`), `test` the `cargo test` filter that reaches it.
+pub fn replay_line(seed: u64, scenario: &str, test: &str) -> String {
+    format!("replay: DOMA_FAULT_SEED={seed:#x} cargo test {test}   # scenario {scenario}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_decimal_and_hex() {
+        assert_eq!(parse_u64("42"), Some(42));
+        assert_eq!(parse_u64(" 0x2A "), Some(42));
+        assert_eq!(parse_u64("0XFF"), Some(255));
+        assert_eq!(parse_u64("nope"), None);
+        assert_eq!(parse_u64("0x"), None);
+    }
+
+    #[test]
+    fn sweep_seeds_are_deterministic_and_distinct() {
+        let sweep = FaultSeeds::Sweep { base: 7, count: 32 };
+        let a = sweep.seeds();
+        let b = sweep.seeds();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 32);
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 32, "splitmix should not collide here");
+    }
+
+    #[test]
+    fn replay_pins_a_single_seed() {
+        assert_eq!(FaultSeeds::Replay(9).seeds(), vec![9]);
+    }
+
+    #[test]
+    fn replay_line_mentions_seed_and_test() {
+        let line = replay_line(0xABC, "sa/crash", "fault_torture");
+        assert!(line.contains("DOMA_FAULT_SEED=0xabc"), "{line}");
+        assert!(line.contains("cargo test fault_torture"), "{line}");
+        assert!(line.contains("sa/crash"), "{line}");
+    }
+}

@@ -56,4 +56,18 @@ fi
 cargo build --release --offline
 cargo test -q --offline --workspace
 
+# ---------------------------------------------------------------------------
+# Fault matrix: 32 seeded fault plans per {SA,DA} × {crash,partition,drop}
+# cell, with the invariant checker auditing every step. On a violation the
+# harness itself prints the exact `DOMA_FAULT_SEED=…` replay line; the hint
+# below covers infrastructure failures (build breaks, panics outside the
+# harness).
+# ---------------------------------------------------------------------------
+if ! DOMA_FAULT_SEEDS=32 cargo test -q --offline --test fault_torture; then
+    echo "verify: FAILED (fault matrix)" >&2
+    echo "hint: rerun one episode with DOMA_FAULT_SEED=0x<seed> cargo test --test fault_torture <cell>," >&2
+    echo "      using the seed from the 'replay:' line above; DOMA_FAULT_TRACE=1 dumps per-step state." >&2
+    exit 1
+fi
+
 echo "verify: OK"

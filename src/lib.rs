@@ -16,7 +16,9 @@
 //! * [`sim`] — deterministic discrete-event simulator;
 //! * [`protocol`] — SA/DA as message-passing protocols;
 //! * [`workload`] — schedule generators;
-//! * [`analysis`] — competitive-ratio harness, region maps, reports.
+//! * [`analysis`] — competitive-ratio harness, region maps, reports;
+//! * [`fault`] — fault-injection torture harness with invariant checking
+//!   and seed replay.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -25,6 +27,7 @@ pub mod guide;
 pub use doma_algorithms as algorithms;
 pub use doma_analysis as analysis;
 pub use doma_core as core;
+pub use doma_fault as fault;
 pub use doma_protocol as protocol;
 pub use doma_sim as sim;
 pub use doma_storage as storage;

@@ -101,6 +101,81 @@ fn store_recovery_is_exact_after_crash() {
 }
 
 #[test]
+fn crash_during_write_is_detected_at_quiescence() {
+    // The core member dies one tick into a write's propagation — after
+    // the WriteProp messages are sent but (data latency is 3 ticks)
+    // before they are delivered. The failure detector reacts at the next
+    // quiescence, like a timeout-based detector noticing stalled traffic.
+    let mut d = da_cluster(5);
+    d.execute_request(Request::write(2usize)).unwrap();
+    let v_before = d.sim().latest_version();
+
+    d.crash_in(ProcessorId::new(0), 1);
+    d.execute_request(Request::write(3usize)).unwrap();
+    let v_crash = d.sim().latest_version();
+    assert!(v_crash > v_before);
+
+    // Detection fired inside execute_request: the survivors are in quorum
+    // mode, and the mode-entry push spread the latest committed version
+    // to a write majority even though the core member never applied it.
+    for i in 1..5 {
+        assert!(
+            d.sim().engine_ref().actor(doma::sim::NodeId(i)).in_quorum_mode(),
+            "node {i} must have fallen back to quorum mode"
+        );
+    }
+    assert!(d.live_holders_of(v_crash) >= 3, "majority must hold the mid-crash write");
+
+    // Quorum service continues; recovery resolves the missing writes.
+    d.execute_request(Request::write(4usize)).unwrap();
+    let v_during = d.sim().latest_version();
+    d.recover(ProcessorId::new(0));
+    assert!(
+        d.sim().holders_of(v_during).contains(ProcessorId::new(0)),
+        "catch-up must deliver the writes the core member missed"
+    );
+    for i in 0..5 {
+        assert!(!d.sim().engine_ref().actor(doma::sim::NodeId(i)).in_quorum_mode());
+    }
+}
+
+#[test]
+fn floating_member_crash_engages_failover() {
+    // The floating member p is part of the home scheme F ∪ {p}: core
+    // writes snap the allocation back to it, so its crash endangers the
+    // next write exactly like a core crash and must engage the fallback.
+    let mut d = da_cluster(5);
+    d.execute_request(Request::write(0usize)).unwrap(); // core write: scheme F ∪ {p}
+    d.crash(ProcessorId::new(1)); // p down
+    assert!(
+        d.sim().engine_ref().actor(doma::sim::NodeId(0)).in_quorum_mode(),
+        "a scheme-member crash must trigger quorum fallback"
+    );
+
+    // Writes keep committing to live majorities while p is down.
+    d.execute_request(Request::write(0usize)).unwrap();
+    d.execute_request(Request::write(3usize)).unwrap();
+    let v = d.sim().latest_version();
+    assert!(d.live_holders_of(v) >= 3);
+
+    // Recovery: p catches up on the writes it missed, normal mode
+    // resumes, and the home scheme is fully current again.
+    d.recover(ProcessorId::new(1));
+    assert!(
+        d.sim().holders_of(v).contains(ProcessorId::new(1)),
+        "the floater must be current after catch-up"
+    );
+    for i in 0..5 {
+        assert!(!d.sim().engine_ref().actor(doma::sim::NodeId(i)).in_quorum_mode());
+    }
+    // Normal DA service: a core write reaches the whole home scheme.
+    d.execute_request(Request::write(0usize)).unwrap();
+    let v2 = d.sim().latest_version();
+    assert!(d.sim().holders_of(v2).contains(ProcessorId::new(0)));
+    assert!(d.sim().holders_of(v2).contains(ProcessorId::new(1)));
+}
+
+#[test]
 fn quorum_mode_intersects_reads_and_writes() {
     // With the core down, do several writes from different processors and
     // read from yet another: the read must return the *latest* version
