@@ -1,10 +1,10 @@
 //! E14 — ablations: what DA's ingredients (saving-reads, the availability
 //! core, history-awareness) each buy, on regular vs chaotic workloads.
 
-use doma_testkit::bench::Bench;
 use doma_algorithms::baselines::{DaNoSave, SlidingWindowConvergent, WriteInvalidateCache};
 use doma_algorithms::{DynamicAllocation, StaticAllocation};
 use doma_core::{run_online, CostModel, OnlineDom, ProcSet, ProcessorId, Schedule};
+use doma_testkit::bench::Bench;
 use doma_workload::{ChaoticWorkload, HotspotWorkload, ScheduleGen};
 
 fn cost(algo: &mut dyn OnlineDom, s: &Schedule, m: &CostModel) -> f64 {
@@ -16,7 +16,9 @@ fn bench(c: &mut Bench) {
     let regular = HotspotWorkload::new(5, 40, 0.85)
         .expect("valid")
         .generate(2_000, 7);
-    let chaotic = ChaoticWorkload::new(5, 10).expect("valid").generate(2_000, 7);
+    let chaotic = ChaoticWorkload::new(5, 10)
+        .expect("valid")
+        .generate(2_000, 7);
     let init = ProcSet::from_iter([0, 1]);
 
     println!("\nE14: total cost, 2000 requests (SC, cc=0.25, cd=1.0)");
@@ -25,7 +27,10 @@ fn bench(c: &mut Bench) {
     let p1 = ProcessorId::new(1);
     let mut rows: Vec<(&str, Box<dyn OnlineDom>)> = vec![
         ("SA", Box::new(StaticAllocation::new(init).expect("valid"))),
-        ("DA", Box::new(DynamicAllocation::new(f, p1).expect("valid"))),
+        (
+            "DA",
+            Box::new(DynamicAllocation::new(f, p1).expect("valid")),
+        ),
         ("DA-nosave", Box::new(DaNoSave::new(f, p1).expect("valid"))),
         (
             "Convergent",

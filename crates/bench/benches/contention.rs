@@ -1,10 +1,10 @@
 //! E15 — shared-bus contention: read-burst response time under the two
 //! media, and how DA's saving-reads collapse repeat-burst contention.
 
-use doma_testkit::bench::{Bench, BenchId};
 use doma_core::{ProcSet, ProcessorId};
 use doma_protocol::ProtocolSim;
 use doma_sim::NetworkConfig;
+use doma_testkit::bench::{Bench, BenchId};
 
 fn readers(k: usize) -> Vec<ProcessorId> {
     (2..2 + k).map(ProcessorId::new).collect()
@@ -32,8 +32,8 @@ fn bench(c: &mut Bench) {
     for k in [4usize, 16] {
         group.bench_with_input(BenchId::new("sa_bus_burst", k), &k, |bch, &k| {
             bch.iter(|| {
-                let mut bus = ProtocolSim::new_sa_with(n, q, NetworkConfig::shared_bus(1, 3))
-                    .expect("valid");
+                let mut bus =
+                    ProtocolSim::new_sa_with(n, q, NetworkConfig::shared_bus(1, 3)).expect("valid");
                 bus.execute_read_burst(&readers(k)).expect("burst")
             })
         });

@@ -1,9 +1,9 @@
 //! Core-engine throughput: costing allocation schedules and running the
 //! online algorithms, in requests per second.
 
-use doma_testkit::bench::{Bench, BenchId};
 use doma_algorithms::{DynamicAllocation, StaticAllocation};
 use doma_core::{cost_of_schedule, run_online, ProcSet, ProcessorId, Schedule};
+use doma_testkit::bench::{Bench, BenchId};
 use doma_workload::{ScheduleGen, UniformWorkload, ZipfWorkload};
 
 fn bench(c: &mut Bench) {

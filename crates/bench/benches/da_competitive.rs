@@ -2,12 +2,12 @@
 //! the Theorem 2/3 bounds (SC), the Theorem 4 bound (MC), and the
 //! exhaustive lower-bound search behind Proposition 2.
 
-use doma_testkit::bench::{Bench, BenchId};
 use doma_algorithms::search::{exhaustive_worst_case, SearchConfig};
 use doma_algorithms::DynamicAllocation;
 use doma_analysis::battery::standard_battery;
 use doma_analysis::ratio::summarize;
 use doma_core::{CostModel, ProcSet, ProcessorId};
+use doma_testkit::bench::{Bench, BenchId};
 
 fn da() -> DynamicAllocation {
     DynamicAllocation::new(ProcSet::from_iter([0]), ProcessorId::new(1)).expect("valid")
@@ -51,26 +51,22 @@ fn bench(c: &mut Bench) {
         b.iter(|| summarize(&mut algo, &model, 5, &battery).expect("measure"))
     });
     for len in [4usize, 5, 6] {
-        group.bench_with_input(
-            BenchId::new("exhaustive_search", len),
-            &len,
-            |b, &len| {
-                let small = CostModel::stationary(0.01, 0.01).expect("valid");
-                let mut algo = da();
-                b.iter(|| {
-                    exhaustive_worst_case(
-                        &mut algo,
-                        &SearchConfig {
-                            n: 3,
-                            t: 2,
-                            len,
-                            model: small,
-                        },
-                    )
-                    .expect("search")
-                })
-            },
-        );
+        group.bench_with_input(BenchId::new("exhaustive_search", len), &len, |b, &len| {
+            let small = CostModel::stationary(0.01, 0.01).expect("valid");
+            let mut algo = da();
+            b.iter(|| {
+                exhaustive_worst_case(
+                    &mut algo,
+                    &SearchConfig {
+                        n: 3,
+                        t: 2,
+                        len,
+                        model: small,
+                    },
+                )
+                .expect("search")
+            })
+        });
     }
     group.finish();
 }

@@ -4,9 +4,9 @@
 //! measured Figure 1 (printed once before timing) and benchmarks the cost
 //! of producing it at smoke and paper resolutions.
 
-use doma_testkit::bench::Bench;
 use doma_analysis::region::{empirical_region_map, RegionConfig};
 use doma_core::Environment;
+use doma_testkit::bench::Bench;
 
 fn fast_config() -> RegionConfig {
     RegionConfig {
@@ -20,8 +20,7 @@ fn fast_config() -> RegionConfig {
 
 fn bench(c: &mut Bench) {
     // Print the figure once, so `cargo bench` output contains the artifact.
-    let map = empirical_region_map(Environment::Stationary, &fast_config())
-        .expect("region map");
+    let map = empirical_region_map(Environment::Stationary, &fast_config()).expect("region map");
     println!("\n{}", map.render(false));
     println!("{}", map.render(true));
     println!(

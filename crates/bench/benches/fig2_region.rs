@@ -1,9 +1,9 @@
 //! E2 — Figure 2 (mobile-computing region map): DA dominates everywhere
 //! feasible.
 
-use doma_testkit::bench::Bench;
 use doma_analysis::region::{empirical_region_map, Region, RegionConfig};
 use doma_core::Environment;
+use doma_testkit::bench::Bench;
 
 fn bench(c: &mut Bench) {
     let config = RegionConfig {

@@ -2,13 +2,15 @@
 //! transitions against the naive O(4ⁿ) reference, across system sizes and
 //! schedule lengths.
 
-use doma_testkit::bench::{Bench, BenchId};
 use doma_algorithms::{NaiveDpOptimal, OfflineOptimal};
 use doma_core::{CostModel, ProcSet, Schedule};
+use doma_testkit::bench::{Bench, BenchId};
 use doma_workload::{ScheduleGen, UniformWorkload};
 
 fn schedule_for(n: usize, len: usize) -> Schedule {
-    UniformWorkload::new(n, 0.6).expect("valid").generate(len, 42)
+    UniformWorkload::new(n, 0.6)
+        .expect("valid")
+        .generate(len, 42)
 }
 
 fn bench(c: &mut Bench) {

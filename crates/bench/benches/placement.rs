@@ -1,8 +1,8 @@
 //! E18 — multi-object core placement: load hotspot vs policy, plus
 //! catalog throughput.
 
-use doma_testkit::bench::{Bench, BenchId};
 use doma_algorithms::multi::{run_multi, Placement};
+use doma_testkit::bench::{Bench, BenchId};
 use doma_workload::MultiMobileWorkload;
 
 fn bench(c: &mut Bench) {
@@ -10,7 +10,11 @@ fn bench(c: &mut Bench) {
     let n = workload.universe();
     let schedule = workload.generate_multi(3000, 17);
 
-    println!("\nE18: placement policy vs hotspot load ({} requests, {} users)", schedule.len(), 24);
+    println!(
+        "\nE18: placement policy vs hotspot load ({} requests, {} users)",
+        schedule.len(),
+        24
+    );
     for (name, placement) in [
         ("same-core", Placement::SameCore),
         ("round-robin", Placement::RoundRobin),

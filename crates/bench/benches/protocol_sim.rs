@@ -2,28 +2,28 @@
 //! message exchanges (SA vs DA, plus the mobile deployment), in requests
 //! per second.
 
-use doma_testkit::bench::{Bench, BenchId};
 use doma_core::{ProcSet, ProcessorId};
 use doma_protocol::ProtocolSim;
+use doma_testkit::bench::{Bench, BenchId};
 use doma_workload::{MobileWorkload, ScheduleGen, UniformWorkload};
 
 fn bench(c: &mut Bench) {
     let mut group = c.group("protocol_sim");
     for len in [200usize, 1_000] {
-        let schedule = UniformWorkload::new(8, 0.7).expect("valid").generate(len, 5);
+        let schedule = UniformWorkload::new(8, 0.7)
+            .expect("valid")
+            .generate(len, 5);
         group.throughput_elements(len as u64);
         group.bench_with_input(BenchId::new("sa_cluster8", len), &schedule, |b, s| {
             b.iter(|| {
-                let mut sim =
-                    ProtocolSim::new_sa(8, ProcSet::from_iter([0, 1])).expect("valid");
+                let mut sim = ProtocolSim::new_sa(8, ProcSet::from_iter([0, 1])).expect("valid");
                 sim.execute(s).expect("run")
             })
         });
         group.bench_with_input(BenchId::new("da_cluster8", len), &schedule, |b, s| {
             b.iter(|| {
-                let mut sim =
-                    ProtocolSim::new_da(8, ProcSet::from_iter([0]), ProcessorId::new(1))
-                        .expect("valid");
+                let mut sim = ProtocolSim::new_da(8, ProcSet::from_iter([0]), ProcessorId::new(1))
+                    .expect("valid");
                 sim.execute(s).expect("run")
             })
         });

@@ -1,9 +1,9 @@
 //! E9 — the read/write-mix sweep: prints the SA/DA/Convergent cost curves
 //! and the DA-beats-SA crossover, and benchmarks the sweep machinery.
 
-use doma_testkit::bench::Bench;
 use doma_analysis::sweep::{da_crossover, read_write_mix_sweep, SweepConfig};
 use doma_core::CostModel;
+use doma_testkit::bench::Bench;
 
 fn bench(c: &mut Bench) {
     let model = CostModel::stationary(0.25, 1.0).expect("valid");

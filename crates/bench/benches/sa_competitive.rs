@@ -1,9 +1,9 @@
 //! E3 — Theorem 1 / Proposition 1: SA's competitive ratio on the
 //! remote-reader adversary (printed series) and the cost of measuring it.
 
-use doma_testkit::bench::{Bench, BenchId};
 use doma_algorithms::{adversary, OfflineOptimal, StaticAllocation};
 use doma_core::{run_online, CostModel, ProcSet, ProcessorId};
+use doma_testkit::bench::{Bench, BenchId};
 
 fn bench(c: &mut Bench) {
     let model = CostModel::stationary(0.5, 1.5).expect("valid");

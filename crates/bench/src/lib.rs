@@ -1,1 +1,13 @@
+//! Anchor crate for the workspace's criterion-free benchmark harness.
+//!
+//! The benchmarks themselves live under `benches/` and run on the
+//! in-tree [`doma_testkit::bench`] harness; this library exists so the
+//! bench targets have a crate to attach to. It intentionally exports
+//! nothing of substance.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// Marker function proving the bench crate builds; the real entry points
+/// are the `benches/` targets.
 pub fn bench_crate() {}

@@ -106,12 +106,19 @@ mod tests {
 
     #[test]
     fn generators_shapes() {
-        assert_eq!(remote_reader(ProcessorId::new(3), 4).to_string(), "r3 r3 r3 r3");
+        assert_eq!(
+            remote_reader(ProcessorId::new(3), 4).to_string(),
+            "r3 r3 r3 r3"
+        );
         assert_eq!(
             read_write_ping_pong(ProcessorId::new(2), ProcessorId::new(0), 2).to_string(),
             "r2 w0 r2 w0"
         );
-        let rr = rotating_reader(&[ProcessorId::new(2), ProcessorId::new(3)], ProcessorId::new(0), 2);
+        let rr = rotating_reader(
+            &[ProcessorId::new(2), ProcessorId::new(3)],
+            ProcessorId::new(0),
+            2,
+        );
         assert_eq!(rr.to_string(), "r2 r3 w0 r2 r3 w0");
         assert_eq!(
             bursty_reader(ProcessorId::new(2), ProcessorId::new(0), 3, 1).to_string(),
@@ -208,8 +215,7 @@ mod tests {
             bursty_reader(ProcessorId::new(3), ProcessorId::new(2), 4, 6),
         ];
         for schedule in schedules {
-            let mut da =
-                DynamicAllocation::new(ps(&[0]), ProcessorId::new(1)).unwrap();
+            let mut da = DynamicAllocation::new(ps(&[0]), ProcessorId::new(1)).unwrap();
             let da_cost = run_online(&mut da, &schedule)
                 .unwrap()
                 .costed

@@ -328,8 +328,7 @@ mod tests {
             .unwrap()
             .costed
             .total_cost(&model);
-        let mut da =
-            crate::DynamicAllocation::new(ps(&[0]), ProcessorId::new(1)).unwrap();
+        let mut da = crate::DynamicAllocation::new(ps(&[0]), ProcessorId::new(1)).unwrap();
         let da_cost = run_online(&mut da, &schedule)
             .unwrap()
             .costed
@@ -374,8 +373,7 @@ mod tests {
             .unwrap()
             .costed
             .total_cost(&model);
-        let mut da =
-            crate::DynamicAllocation::new(ps(&[0]), ProcessorId::new(1)).unwrap();
+        let mut da = crate::DynamicAllocation::new(ps(&[0]), ProcessorId::new(1)).unwrap();
         let da_cost = run_online(&mut da, &schedule)
             .unwrap()
             .costed

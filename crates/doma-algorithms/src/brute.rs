@@ -10,8 +10,8 @@
 //!   exactly its job.
 
 use doma_core::{
-    cost_of_schedule, AllocationSchedule, CostModel, Decision, DomAlgorithm, DomaError,
-    OfflineDom, ProcSet, Request, Result, Schedule,
+    cost_of_schedule, AllocationSchedule, CostModel, Decision, DomAlgorithm, DomaError, OfflineDom,
+    ProcSet, Request, Result, Schedule,
 };
 
 /// O(4ⁿ)-per-write reference DP. Produces the same costs as

@@ -161,10 +161,7 @@ impl OnlineDom for DynamicAllocation {
             // and must itself be tracked for the *next* invalidation round.
             self.clear_join_lists();
             if !core_or_floater.contains(i) {
-                let (_, list) = self
-                    .join_lists
-                    .first_mut()
-                    .expect("F is non-empty");
+                let (_, list) = self.join_lists.first_mut().expect("F is non-empty");
                 list.insert(i);
             }
             Decision::exec(exec)
@@ -308,10 +305,16 @@ mod tests {
         let model = doma_core::CostModel::stationary(0.5, 1.0).unwrap();
 
         let mut sa = crate::StaticAllocation::new(ps(&[0, 1])).unwrap();
-        let sa_cost = run_online(&mut sa, &schedule).unwrap().costed.total_cost(&model);
+        let sa_cost = run_online(&mut sa, &schedule)
+            .unwrap()
+            .costed
+            .total_cost(&model);
 
         let mut da = da(&[1], 0);
-        let da_cost = run_online(&mut da, &schedule).unwrap().costed.total_cost(&model);
+        let da_cost = run_online(&mut da, &schedule)
+            .unwrap()
+            .costed
+            .total_cost(&model);
 
         assert!(
             da_cost < sa_cost,

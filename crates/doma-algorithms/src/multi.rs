@@ -109,10 +109,7 @@ impl MultiObjectDa {
         let t = self.t;
         let da = self.place(mr.object)?;
         let decision = da.decide(mr.request);
-        let transcript = self
-            .transcripts
-            .get_mut(&mr.object)
-            .expect("placed above");
+        let transcript = self.transcripts.get_mut(&mr.object).expect("placed above");
         transcript.push(mr.request, decision);
         // Incremental load attribution (same rule as per_processor_io).
         for member in decision.exec.iter() {
@@ -132,10 +129,7 @@ impl MultiObjectDa {
         let mut load = vec![0u64; self.n];
         for (object, transcript) in &self.transcripts {
             let costed = cost_of_schedule(transcript, self.t)?;
-            for (slot, l) in load
-                .iter_mut()
-                .zip(per_processor_io(&costed, self.n))
-            {
+            for (slot, l) in load.iter_mut().zip(per_processor_io(&costed, self.n)) {
                 *slot += l;
             }
             total += costed.total;
@@ -267,10 +261,7 @@ mod tests {
         let mut s = MultiSchedule::default();
         for obj in 0..12u64 {
             for k in 0..6 {
-                s.push(
-                    ObjectId(obj),
-                    Request::write(((obj as usize) + k) % 8),
-                );
+                s.push(ObjectId(obj), Request::write(((obj as usize) + k) % 8));
             }
         }
         let same = run_multi(8, 2, Placement::SameCore, &s).unwrap();

@@ -23,8 +23,8 @@
 //! kept in [`crate::NaiveDpOptimal`] and cross-checked by tests.
 
 use doma_core::{
-    AllocationSchedule, CostModel, Decision, DomAlgorithm, DomaError, OfflineDom, ProcSet,
-    Result, Schedule,
+    AllocationSchedule, CostModel, Decision, DomAlgorithm, DomaError, OfflineDom, ProcSet, Result,
+    Schedule,
 };
 
 /// Practical cap on the number of processors for the exact DP (2ⁿ states
@@ -160,7 +160,11 @@ impl OfflineOptimal {
                 // relax[w] = min over Y ⊇ w of cur[Y] + cc·|Y \ w|.
                 relax.copy_from_slice(&cur);
                 for (w, a) in relax_arg.iter_mut().enumerate() {
-                    *a = if cur[w].is_finite() { w as u32 } else { u32::MAX };
+                    *a = if cur[w].is_finite() {
+                        w as u32
+                    } else {
+                        u32::MAX
+                    };
                 }
                 for j in 0..self.n {
                     let jbit = 1usize << j;
@@ -392,7 +396,10 @@ mod tests {
         let out = run_offline(&opt, &schedule).unwrap();
         let exec = out.alloc.steps[0].exec;
         assert_eq!(exec.len(), 2, "no reason to store more than t copies");
-        assert!(exec.contains(ProcessorId::new(2)), "cheapest X contains the writer");
+        assert!(
+            exec.contains(ProcessorId::new(2)),
+            "cheapest X contains the writer"
+        );
         // Writer in X: cost = |Y\X|·cc + 1·cd + 2·cio; Y\X is {0,1} minus
         // whichever member X retains. Best: keep one of {0,1}: 1 invalidation.
         assert!((out.costed.total_cost(&model) - (0.1 + 0.4 + 2.0)).abs() < 1e-9);

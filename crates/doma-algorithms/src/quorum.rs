@@ -209,9 +209,15 @@ mod tests {
         let model = CostModel::stationary(0.2, 0.8).unwrap();
         let schedule: Schedule = "r3 r3 r3 r3 r3 r3 w0 r3 r3 r3".parse().unwrap();
         let mut q = QuorumConsensus::majority(5, ps(&[0, 1, 2])).unwrap();
-        let q_cost = run_online(&mut q, &schedule).unwrap().costed.total_cost(&model);
+        let q_cost = run_online(&mut q, &schedule)
+            .unwrap()
+            .costed
+            .total_cost(&model);
         let mut da = crate::DynamicAllocation::new(ps(&[0]), ProcessorId::new(1)).unwrap();
-        let da_cost = run_online(&mut da, &schedule).unwrap().costed.total_cost(&model);
+        let da_cost = run_online(&mut da, &schedule)
+            .unwrap()
+            .costed
+            .total_cost(&model);
         assert!(da_cost < q_cost, "DA {da_cost} should beat quorum {q_cost}");
     }
 

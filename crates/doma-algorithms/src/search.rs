@@ -370,7 +370,11 @@ mod tests {
         let mut da = DynamicAllocation::new(ps(&[0]), doma_core::ProcessorId::new(1)).unwrap();
         let result = exhaustive_worst_case(&mut da, &cfg).unwrap();
         let upper = model.da_bound().unwrap();
-        assert!(result.ratio > 1.2, "expected a nontrivial lower bound, got {}", result.ratio);
+        assert!(
+            result.ratio > 1.2,
+            "expected a nontrivial lower bound, got {}",
+            result.ratio
+        );
         assert!(
             result.ratio <= upper + 1e-9,
             "Theorem 2 violated: {} > {upper} on {}",

@@ -95,7 +95,11 @@ fn bound_formulas_match_the_theorems() {
         assert_eq!(sc.da_bound(), Some(expected_da), "Theorem 2/3 factor");
 
         let mc = CostModel::mobile(cc, cd).unwrap();
-        assert_eq!(mc.sa_bound(), None, "Proposition 3: SA not competitive in MC");
+        assert_eq!(
+            mc.sa_bound(),
+            None,
+            "Proposition 3: SA not competitive in MC"
+        );
         if cd > 0.0 {
             assert_eq!(mc.da_bound(), Some(2.0 + 3.0 * cc / cd), "Theorem 4 factor");
         }

@@ -15,8 +15,7 @@
 
 use doma_algorithms::{DynamicAllocation, OfflineOptimal, StaticAllocation};
 use doma_core::{
-    run_offline, run_online, schedule_stats, CostModel, ProcSet,
-    ProcessorId, RunOutcome, Schedule,
+    run_offline, run_online, schedule_stats, CostModel, ProcSet, ProcessorId, RunOutcome, Schedule,
 };
 use doma_protocol::ProtocolSim;
 use doma_workload::{
@@ -60,7 +59,10 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
 
 impl Opts {
     fn get(&self, key: &str, default: &str) -> String {
-        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
@@ -103,7 +105,9 @@ fn universe_for(schedule: &Schedule, opts: &Opts) -> Result<usize, String> {
     let min = schedule.min_processors().max(3);
     let n = opts.get_usize("n", min)?;
     if n < min {
-        return Err(format!("--n {n} too small; the schedule uses {min} processors"));
+        return Err(format!(
+            "--n {n} too small; the schedule uses {min} processors"
+        ));
     }
     Ok(n)
 }
@@ -150,15 +154,30 @@ fn cmd_cost(opts: &Opts) -> Result<(), String> {
     let err = |e: doma_core::DomaError| e.to_string();
     if algo == "sa" || algo == "all" {
         let mut sa = StaticAllocation::new(q).map_err(err)?;
-        print_outcome("SA", &run_online(&mut sa, &schedule).map_err(err)?, &model, opts.verbose);
+        print_outcome(
+            "SA",
+            &run_online(&mut sa, &schedule).map_err(err)?,
+            &model,
+            opts.verbose,
+        );
     }
     if algo == "da" || algo == "all" {
         let mut da = DynamicAllocation::new(f, p).map_err(err)?;
-        print_outcome("DA", &run_online(&mut da, &schedule).map_err(err)?, &model, opts.verbose);
+        print_outcome(
+            "DA",
+            &run_online(&mut da, &schedule).map_err(err)?,
+            &model,
+            opts.verbose,
+        );
     }
     if algo == "opt" || algo == "all" {
         let opt = OfflineOptimal::new(n, t, q, model).map_err(err)?;
-        print_outcome("OPT", &run_offline(&opt, &schedule).map_err(err)?, &model, opts.verbose);
+        print_outcome(
+            "OPT",
+            &run_offline(&opt, &schedule).map_err(err)?,
+            &model,
+            opts.verbose,
+        );
     }
     if !["sa", "da", "opt", "all"].contains(&algo.as_str()) {
         return Err(format!("--algo must be sa, da, opt or all, got '{algo}'"));
@@ -290,7 +309,15 @@ mod tests {
     #[test]
     fn schedule_and_model_extraction() {
         let o = parse_args(&args(&[
-            "cost", "--schedule", "r1 w2", "--model", "mc", "--cc", "0.2", "--cd", "0.9",
+            "cost",
+            "--schedule",
+            "r1 w2",
+            "--model",
+            "mc",
+            "--cc",
+            "0.2",
+            "--cd",
+            "0.9",
         ]))
         .unwrap();
         let s = o.schedule().unwrap();
@@ -309,7 +336,14 @@ mod tests {
         cmd_cost(&o).unwrap();
         let o = parse_args(&args(&["stats", "--schedule", "r1 r1 w0 r2"])).unwrap();
         cmd_stats(&o).unwrap();
-        let o = parse_args(&args(&["simulate", "--schedule", "r2 w3 r2", "--algo", "da"])).unwrap();
+        let o = parse_args(&args(&[
+            "simulate",
+            "--schedule",
+            "r2 w3 r2",
+            "--algo",
+            "da",
+        ]))
+        .unwrap();
         cmd_simulate(&o).unwrap();
         let o = parse_args(&args(&["generate", "--workload", "zipf", "--len", "10"])).unwrap();
         cmd_generate(&o).unwrap();

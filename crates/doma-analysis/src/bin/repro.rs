@@ -122,8 +122,26 @@ fn main() -> ExitCode {
         .map(String::as_str)
         .unwrap_or("all");
     let known = [
-        "all", "fig1", "fig2", "thm1", "thm23", "thm4", "prop2", "prop3", "sweep", "example13",
-        "mobile", "append", "ablation", "contention", "cache", "tindep", "placement", "fileallocation", "loadcurve", "failover",
+        "all",
+        "fig1",
+        "fig2",
+        "thm1",
+        "thm23",
+        "thm4",
+        "prop2",
+        "prop3",
+        "sweep",
+        "example13",
+        "mobile",
+        "append",
+        "ablation",
+        "contention",
+        "cache",
+        "tindep",
+        "placement",
+        "fileallocation",
+        "loadcurve",
+        "failover",
     ];
     if !known.contains(&which) {
         eprintln!(

@@ -45,7 +45,12 @@ impl ExpReport {
 
     /// Renders the report as markdown.
     pub fn to_markdown(&self) -> String {
-        let mut out = format!("## {} — {}\n\n{}", self.id, self.title, self.table.to_markdown());
+        let mut out = format!(
+            "## {} — {}\n\n{}",
+            self.id,
+            self.title,
+            self.table.to_markdown()
+        );
         for note in &self.notes {
             out.push_str(&format!("\n> {note}\n"));
         }
@@ -53,9 +58,20 @@ impl ExpReport {
     }
 }
 
-fn region_report(id: &'static str, env: Environment, config: &RegionConfig) -> Result<(ExpReport, RegionMap)> {
+fn region_report(
+    id: &'static str,
+    env: Environment,
+    config: &RegionConfig,
+) -> Result<(ExpReport, RegionMap)> {
     let map = empirical_region_map(env, config)?;
-    let mut table = Table::new(vec!["cc", "cd", "SA worst ratio", "DA worst ratio", "measured", "paper"]);
+    let mut table = Table::new(vec![
+        "cc",
+        "cd",
+        "SA worst ratio",
+        "DA worst ratio",
+        "measured",
+        "paper",
+    ]);
     for p in &map.points {
         table.push_row(vec![
             format!("{:.2}", p.cc),
@@ -103,7 +119,12 @@ pub fn thm1_sa_tightness(lengths: &[usize]) -> Result<ExpReport> {
     let bound = model.sa_bound().expect("SC");
     let (mut sa, _) = standard_algorithms();
     let opt = OfflineOptimal::new(5, 2, sa.initial_scheme(), model)?;
-    let mut table = Table::new(vec!["schedule length", "SA/OPT ratio", "bound 1+cc+cd", "% of bound"]);
+    let mut table = Table::new(vec![
+        "schedule length",
+        "SA/OPT ratio",
+        "bound 1+cc+cd",
+        "% of bound",
+    ]);
     let mut last_ratio = 0.0;
     for &len in lengths {
         let schedule = adversary::remote_reader(ProcessorId::new(2), len);
@@ -121,7 +142,10 @@ pub fn thm1_sa_tightness(lengths: &[usize]) -> Result<ExpReport> {
     let battery_worst = summarize(&mut sa, &model, 5, &battery)?;
     let mut report = ExpReport::new(
         "E3",
-        format!("Theorem 1 / Proposition 1 — SA tight ({}) at cc=0.5, cd=1.5", fmt_f64(bound)),
+        format!(
+            "Theorem 1 / Proposition 1 — SA tight ({}) at cc=0.5, cd=1.5",
+            fmt_f64(bound)
+        ),
         table,
     );
     report.notes.push(format!(
@@ -150,7 +174,12 @@ pub fn thm23_da_upper_bounds() -> Result<ExpReport> {
         (0.8, 2.0),
     ];
     let mut table = Table::new(vec![
-        "cc", "cd", "bound", "battery worst", "exhaustive worst (len 5, n 3)", "within bound",
+        "cc",
+        "cd",
+        "bound",
+        "battery worst",
+        "exhaustive worst (len 5, n 3)",
+        "within bound",
     ]);
     let mut max_frac: f64 = 0.0;
     for (cc, cd) in points {
@@ -185,7 +214,9 @@ pub fn thm23_da_upper_bounds() -> Result<ExpReport> {
         Table::new(vec![""]), // replaced below
     );
     report.table = table;
-    report.metrics.insert("max_fraction_of_bound".into(), max_frac);
+    report
+        .metrics
+        .insert("max_fraction_of_bound".into(), max_frac);
     Ok(report)
 }
 
@@ -320,7 +351,12 @@ pub fn prop3_sa_mc_divergence(lengths: &[usize]) -> Result<ExpReport> {
 /// E8: Theorem 4 — DA is `(2 + 3·cc/cd)`-competitive in MC (≤ 5).
 pub fn thm4_da_mobile() -> Result<ExpReport> {
     let ratios = [0.05, 0.25, 0.5, 0.75, 1.0];
-    let mut table = Table::new(vec!["cc/cd", "bound 2+3cc/cd", "battery worst", "within bound"]);
+    let mut table = Table::new(vec![
+        "cc/cd",
+        "bound 2+3cc/cd",
+        "battery worst",
+        "within bound",
+    ]);
     let mut max_frac: f64 = 0.0;
     for r in ratios {
         let cd = 1.0;
@@ -338,9 +374,15 @@ pub fn thm4_da_mobile() -> Result<ExpReport> {
             (worst <= bound + 1e-9).to_string(),
         ]);
     }
-    let mut report = ExpReport::new("E8", "Theorem 4 — DA in MC, bound 2+3cc/cd (≤5)", Table::new(vec![""]));
+    let mut report = ExpReport::new(
+        "E8",
+        "Theorem 4 — DA in MC, bound 2+3cc/cd (≤5)",
+        Table::new(vec![""]),
+    );
     report.table = table;
-    report.metrics.insert("max_fraction_of_bound".into(), max_frac);
+    report
+        .metrics
+        .insert("max_fraction_of_bound".into(), max_frac);
     Ok(report)
 }
 
@@ -370,7 +412,9 @@ pub fn sweep_e9(model: CostModel) -> Result<ExpReport> {
         table,
     );
     if let Some(c) = crossover {
-        report.notes.push(format!("DA overtakes SA at read fraction ≈ {c:.2}"));
+        report
+            .notes
+            .push(format!("DA overtakes SA at read fraction ≈ {c:.2}"));
         report.metrics.insert("crossover".into(), c);
     } else {
         report.notes.push("no crossover in the swept range".into());
@@ -471,8 +515,14 @@ pub fn append_e12(schedule_len: usize, seed: u64) -> Result<ExpReport> {
     let mut table = Table::new(vec!["model", "SA", "DA", "DA/SA"]);
     let mut metrics = BTreeMap::new();
     for (name, model) in [
-        ("SC cc=0.2 cd=0.8", CostModel::stationary(0.2, 0.8).expect("valid")),
-        ("MC cc=0.2 cd=0.8", CostModel::mobile(0.2, 0.8).expect("valid")),
+        (
+            "SC cc=0.2 cd=0.8",
+            CostModel::stationary(0.2, 0.8).expect("valid"),
+        ),
+        (
+            "MC cc=0.2 cd=0.8",
+            CostModel::mobile(0.2, 0.8).expect("valid"),
+        ),
     ] {
         let (mut sa, mut da) = standard_algorithms();
         let sa_cost = run_online(&mut sa, &schedule)?.costed.total_cost(&model);
@@ -483,11 +533,17 @@ pub fn append_e12(schedule_len: usize, seed: u64) -> Result<ExpReport> {
             fmt_f64(da_cost),
             fmt_f64(da_cost / sa_cost),
         ]);
-        metrics.insert(format!("da_over_sa_{}", model.environment()), da_cost / sa_cost);
+        metrics.insert(
+            format!("da_over_sa_{}", model.environment()),
+            da_cost / sa_cost,
+        );
     }
     let mut report = ExpReport::new(
         "E12",
-        format!("§6.2 append-only stream (6 stations, 2 generators, {} requests)", schedule.len()),
+        format!(
+            "§6.2 append-only stream (6 stations, 2 generators, {} requests)",
+            schedule.len()
+        ),
         table,
     );
     report.metrics = metrics;
@@ -527,7 +583,8 @@ pub fn ablation_e14(schedule_len: usize, seed: u64) -> Result<ExpReport> {
     run_all("Convergent", &mut conv)?;
     let mut cache = WriteInvalidateCache::new(init)?;
     run_all("WriteInvalidate (t=1)", &mut cache)?;
-    let mut quorum = doma_algorithms::QuorumConsensus::majority(5, ProcSet::from_iter([0usize, 1, 2]))?;
+    let mut quorum =
+        doma_algorithms::QuorumConsensus::majority(5, ProcSet::from_iter([0usize, 1, 2]))?;
     run_all("QuorumConsensus", &mut quorum)?;
 
     let mut report = ExpReport::new(
@@ -795,7 +852,11 @@ pub fn cache_e16(schedule_len: usize, seed: u64) -> Result<ExpReport> {
     let p1 = ProcessorId::new(1);
 
     let mut table = Table::new(vec![
-        "cluster", "cache", "I/Os", "cache hit ratio", "priced cost",
+        "cluster",
+        "cache",
+        "I/Os",
+        "cache hit ratio",
+        "priced cost",
     ]);
     let mut metrics = BTreeMap::new();
     for (name, cached) in [("SA", false), ("SA", true), ("DA", false), ("DA", true)] {
@@ -888,7 +949,9 @@ pub fn placement_e18(objects: u64, requests: usize, seed: u64) -> Result<ExpRepo
     }
     let mut report = ExpReport::new(
         "E18",
-        format!("Multi-object core placement ({objects} Zipf objects, {requests} requests, n={n}, t=2)"),
+        format!(
+            "Multi-object core placement ({objects} Zipf objects, {requests} requests, n={n}, t=2)"
+        ),
         table,
     );
     report.notes.push(

@@ -121,7 +121,11 @@ mod tests {
         let battery = standard_battery(5, 40, 2);
         let (mut sa, _) = standard_algorithms();
         let s = summarize(&mut sa, &model, 5, &battery).unwrap();
-        assert!(s.worst <= model.sa_bound().unwrap() + 1e-9, "worst={}", s.worst);
+        assert!(
+            s.worst <= model.sa_bound().unwrap() + 1e-9,
+            "worst={}",
+            s.worst
+        );
         assert!(s.worst >= 1.0);
         assert!(s.mean_finite >= 1.0 && s.mean_finite <= s.worst);
         assert_eq!(s.infinite, 0);
@@ -135,7 +139,11 @@ mod tests {
         let battery = standard_battery(5, 40, 2);
         let (_, mut da) = standard_algorithms();
         let s = summarize(&mut da, &model, 5, &battery).unwrap();
-        assert!(s.worst <= model.da_bound().unwrap() + 1e-9, "worst={}", s.worst);
+        assert!(
+            s.worst <= model.da_bound().unwrap() + 1e-9,
+            "worst={}",
+            s.worst
+        );
     }
 
     #[test]

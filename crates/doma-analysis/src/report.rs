@@ -130,7 +130,10 @@ mod tests {
         let mut t = Table::new(vec!["x", "y"]);
         t.push_row(vec!["a,b", "he said \"hi\""]);
         let csv = t.to_csv();
-        assert_eq!(csv.lines().nth(1).unwrap(), "\"a,b\",\"he said \"\"hi\"\"\"");
+        assert_eq!(
+            csv.lines().nth(1).unwrap(),
+            "\"a,b\",\"he said \"\"hi\"\"\""
+        );
     }
 
     #[test]

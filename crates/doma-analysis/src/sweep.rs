@@ -103,10 +103,7 @@ pub fn read_write_mix_sweep(config: &SweepConfig) -> Result<Vec<SweepPoint>> {
 /// The read fraction above which DA's mean cost drops below SA's, if the
 /// sweep crosses (linear scan; the curves are monotone enough in practice).
 pub fn da_crossover(points: &[SweepPoint]) -> Option<f64> {
-    points
-        .iter()
-        .find(|p| p.da < p.sa)
-        .map(|p| p.read_fraction)
+    points.iter().find(|p| p.da < p.sa).map(|p| p.read_fraction)
 }
 
 #[cfg(test)]

@@ -1,0 +1,68 @@
+//! Breadth-first re-search for a globally shortest counterexample.
+//!
+//! The DFS in [`crate::explore`] returns the *first* violating schedule
+//! it stumbles on, which is rarely the smallest. Because violations are
+//! safety properties over reached states, a breadth-first walk of the
+//! same (deduplicated) state graph finds a violating state at minimal
+//! dispatch depth — the trace to hand a human. Sleep sets are a
+//! depth-first device and are deliberately not used here; plain
+//! fingerprint deduplication keeps the frontier finite.
+
+use crate::explore::{CheckOptions, Counterexample, Progress, SearchState, TraceStep};
+use crate::scenario::Scenario;
+use doma_core::Result;
+use std::collections::{HashSet, VecDeque};
+
+/// Finds a shortest violating schedule of `scenario`, if one exists
+/// within the option budgets. Returns `None` when the bounded search
+/// space is clean (or the budget runs out first).
+pub(crate) fn shortest_counterexample(
+    scenario: &Scenario,
+    opts: &CheckOptions,
+) -> Result<Option<Counterexample>> {
+    let initial = SearchState::initial(scenario)?;
+    let mut frontier: VecDeque<(SearchState, Vec<TraceStep>)> = VecDeque::new();
+    frontier.push_back((initial, Vec::new()));
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut expanded: u64 = 0;
+    while let Some((mut state, trace)) = frontier.pop_front() {
+        match state.advance(scenario) {
+            Ok(Progress::Ready) => {}
+            Ok(Progress::Done) => continue,
+            Err(violation) => {
+                return Ok(Some(Counterexample {
+                    violation,
+                    steps: trace,
+                    minimized: true,
+                }));
+            }
+        }
+        if state.depth >= opts.max_depth {
+            continue;
+        }
+        if expanded >= opts.max_states {
+            return Ok(None);
+        }
+        if !visited.insert(state.fingerprint()) {
+            continue;
+        }
+        expanded += 1;
+        for ev in state.sim.pending_events() {
+            let mut child = state.fork();
+            let mut child_trace = trace.clone();
+            child_trace.push(TraceStep {
+                seq: ev.seq(),
+                label: ev.label().to_string(),
+            });
+            if let Err(violation) = child.step(scenario, ev.seq()) {
+                return Ok(Some(Counterexample {
+                    violation,
+                    steps: child_trace,
+                    minimized: true,
+                }));
+            }
+            frontier.push_back((child, child_trace));
+        }
+    }
+    Ok(None)
+}

@@ -20,7 +20,10 @@ pub struct Decision {
 impl Decision {
     /// A non-saving decision with execution set `exec`.
     pub fn exec(exec: ProcSet) -> Self {
-        Decision { exec, saving: false }
+        Decision {
+            exec,
+            saving: false,
+        }
     }
 
     /// A saving-read decision with execution set `exec`.

@@ -158,7 +158,10 @@ impl fmt::Display for CostModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CostModelError::Negative { cc, cd } => {
-                write!(f, "costs must be finite and non-negative (cc={cc}, cd={cd})")
+                write!(
+                    f,
+                    "costs must be finite and non-negative (cc={cc}, cd={cd})"
+                )
             }
             CostModelError::ControlExceedsData { cc, cd } => write!(
                 f,
@@ -250,11 +253,7 @@ impl Sum for CostVector {
 
 impl fmt::Display for CostVector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}cc + {}cd + {}io",
-            self.control, self.data, self.io
-        )
+        write!(f, "{}cc + {}cd + {}io", self.control, self.data, self.io)
     }
 }
 
@@ -324,7 +323,7 @@ mod tests {
         let mc = CostModel::mobile(0.5, 1.0).unwrap();
         assert_eq!(mc.sa_bound(), None); // Proposition 3
         assert!((mc.da_bound().unwrap() - 3.5).abs() < 1e-12); // 2 + 3cc/cd
-        // cc ≤ cd implies the MC bound is at most 5.
+                                                               // cc ≤ cd implies the MC bound is at most 5.
         let mc_eq = CostModel::mobile(1.0, 1.0).unwrap();
         assert!((mc_eq.da_bound().unwrap() - 5.0).abs() < 1e-12);
 

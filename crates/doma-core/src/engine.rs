@@ -123,10 +123,7 @@ impl CostedSchedule {
 /// * the scheme at every request has at least `t` members, as does the
 ///   final scheme (*t-availability*);
 /// * the initial scheme is non-empty and has at least `t` members.
-pub fn cost_of_schedule(
-    alloc: &AllocationSchedule,
-    t: usize,
-) -> Result<CostedSchedule> {
+pub fn cost_of_schedule(alloc: &AllocationSchedule, t: usize) -> Result<CostedSchedule> {
     if alloc.initial.len() < t {
         return Err(DomaError::AvailabilityViolation {
             position: 0,

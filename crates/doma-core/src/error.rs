@@ -46,6 +46,13 @@ pub enum DomaError {
         /// The unconfigured object (its raw id).
         object: u64,
     },
+    /// A simulation run stopped at its event budget before the network
+    /// drained — a runaway protocol, or an exploration bound set
+    /// deliberately tight.
+    EventBudgetExceeded {
+        /// Events dispatched when the budget tripped.
+        dispatched: u64,
+    },
 }
 
 impl fmt::Display for DomaError {
@@ -75,6 +82,13 @@ impl fmt::Display for DomaError {
             DomaError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             DomaError::UnknownObject { node, object } => {
                 write!(f, "node {node} has no config for obj{object}")
+            }
+            DomaError::EventBudgetExceeded { dispatched } => {
+                write!(
+                    f,
+                    "simulation stopped at its event budget after {dispatched} \
+                     events — runaway protocol?"
+                )
             }
         }
     }

@@ -69,4 +69,6 @@ pub use procset::{ProcSet, ProcSetIter, MAX_PROCESSORS};
 pub use request::{Op, Request};
 pub use schedule::{Schedule, ScheduleParseError};
 pub use stats::{schedule_stats, ProcessorActivity, ScheduleStats};
-pub use validate::{validate_allocation, AvailabilityViolation, LegalityViolation, ValidationReport};
+pub use validate::{
+    validate_allocation, AvailabilityViolation, LegalityViolation, ValidationReport,
+};

@@ -72,7 +72,6 @@ impl MultiSchedule {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

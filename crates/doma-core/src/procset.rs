@@ -47,7 +47,10 @@ impl ProcSet {
     /// Panics if `n > MAX_PROCESSORS`.
     #[inline]
     pub fn universe(n: usize) -> Self {
-        assert!(n <= MAX_PROCESSORS, "universe of {n} exceeds {MAX_PROCESSORS}");
+        assert!(
+            n <= MAX_PROCESSORS,
+            "universe of {n} exceeds {MAX_PROCESSORS}"
+        );
         if n == MAX_PROCESSORS {
             ProcSet(u64::MAX)
         } else {

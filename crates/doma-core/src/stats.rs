@@ -59,8 +59,7 @@ impl ScheduleStats {
         if self.read_run_lengths.is_empty() {
             0.0
         } else {
-            self.read_run_lengths.iter().sum::<usize>() as f64
-                / self.read_run_lengths.len() as f64
+            self.read_run_lengths.iter().sum::<usize>() as f64 / self.read_run_lengths.len() as f64
         }
     }
 }
@@ -108,8 +107,7 @@ pub fn schedule_stats(schedule: &Schedule) -> ScheduleStats {
         mean_readers_per_interval: if readers_per_interval.is_empty() {
             0.0
         } else {
-            readers_per_interval.iter().sum::<usize>() as f64
-                / readers_per_interval.len() as f64
+            readers_per_interval.iter().sum::<usize>() as f64 / readers_per_interval.len() as f64
         },
     }
 }
@@ -125,8 +123,20 @@ mod tests {
     #[test]
     fn per_processor_counts() {
         let s = stats_of("r1 r1 r2 w2 r2 r2 r2");
-        assert_eq!(s.per_processor[1], ProcessorActivity { reads: 2, writes: 0 });
-        assert_eq!(s.per_processor[2], ProcessorActivity { reads: 4, writes: 1 });
+        assert_eq!(
+            s.per_processor[1],
+            ProcessorActivity {
+                reads: 2,
+                writes: 0
+            }
+        );
+        assert_eq!(
+            s.per_processor[2],
+            ProcessorActivity {
+                reads: 4,
+                writes: 1
+            }
+        );
         assert_eq!(s.per_processor[0].total(), 0);
         assert!((s.read_fraction - 6.0 / 7.0).abs() < 1e-12);
     }

@@ -115,7 +115,10 @@ impl fmt::Display for Violation {
                 before,
                 after,
                 context,
-            } => write!(f, "[{context}] cost tallies regressed: {before:?} -> {after:?}"),
+            } => write!(
+                f,
+                "[{context}] cost tallies regressed: {before:?} -> {after:?}"
+            ),
             Violation::AttributionInverted {
                 normal,
                 total,
@@ -155,7 +158,10 @@ impl fmt::Display for Violation {
                 node,
                 error,
                 context,
-            } => write!(f, "[{context}] node {node} recorded protocol error: {error}"),
+            } => write!(
+                f,
+                "[{context}] node {node} recorded protocol error: {error}"
+            ),
         }
     }
 }
@@ -165,6 +171,11 @@ impl fmt::Display for Violation {
 /// injected, crash, heal) and it compares the cluster against what the
 /// previous steps committed. Single-object clusters (object 0) only — the
 /// shape every torture scenario uses.
+///
+/// `Clone` so a model checker can carry an independent copy of the
+/// auditor down each branch of its state-space search (the checker state
+/// — floor, cursors, last versions — is part of the explored state).
+#[derive(Debug, Clone)]
 pub struct InvariantChecker {
     n: usize,
     t: usize,
@@ -177,6 +188,15 @@ pub struct InvariantChecker {
     node_versions: Vec<Option<Version>>,
     /// Completed reads already audited, per node.
     read_cursor: Vec<usize>,
+    /// Floors captured when a read was *issued* (per node, FIFO). A model
+    /// checker stepping individual deliveries registers each read via
+    /// [`InvariantChecker::note_read_started`]; the audit then holds the
+    /// read to the floor it observed at start rather than the current one,
+    /// which is the strongest sound bound when reads overlap in-flight
+    /// quorum writes (a read issued before a write quorum assembled may
+    /// legally return the old version). Empty when driven at quiescence
+    /// (the torture-harness path), where both floors coincide.
+    read_start_floors: Vec<Vec<Version>>,
 }
 
 impl InvariantChecker {
@@ -194,6 +214,17 @@ impl InvariantChecker {
             floor: Version::INITIAL,
             node_versions,
             read_cursor: vec![0; n],
+            read_start_floors: vec![Vec::new(); n],
+        }
+    }
+
+    /// Records that `node` just issued a read: the read, once it
+    /// completes, must return at least the *current* committed floor.
+    /// Mid-flight model checking only — callers driving the cluster to
+    /// quiescence between requests never need this.
+    pub fn note_read_started(&mut self, node: usize) {
+        if node < self.n {
+            self.read_start_floors[node].push(self.floor);
         }
     }
 
@@ -201,6 +232,24 @@ impl InvariantChecker {
     /// least return).
     pub fn committed_floor(&self) -> Version {
         self.floor
+    }
+
+    /// A hash of the auditor's own state (floor, audited-read cursors,
+    /// last seen versions and tallies). A model checker must fold this
+    /// into its state fingerprints: two identical cluster states under
+    /// *different* audit states can still diverge on a future check.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.floor.hash(&mut h);
+        self.node_versions.hash(&mut h);
+        self.read_cursor.hash(&mut h);
+        self.read_start_floors.hash(&mut h);
+        self.last_cost.control.hash(&mut h);
+        self.last_cost.data.hash(&mut h);
+        self.last_cost.io.hash(&mut h);
+        h.finish()
     }
 
     /// Audits the cluster after one step.
@@ -216,7 +265,40 @@ impl InvariantChecker {
         wrote: Option<Version>,
         context: &str,
     ) -> Result<(), Violation> {
-        let sim = driver.sim();
+        self.check_sim(
+            driver.sim(),
+            driver.normal_mode_cost(),
+            regime,
+            wrote,
+            context,
+        )
+    }
+
+    /// Audits a bare [`ProtocolSim`] after one step — the
+    /// [`InvariantChecker::check`] body without the [`FailoverDriver`]
+    /// wrapper, so a model checker stepping the engine delivery-by-
+    /// delivery can reuse the same oracle. `normal_cost` is the
+    /// pre-failure snapshot when one exists (drives the attribution
+    /// invariant); pass `None` for failure-free exploration.
+    pub fn check_sim(
+        &mut self,
+        sim: &ProtocolSim,
+        normal_cost: Option<CostVector>,
+        regime: Regime,
+        wrote: Option<Version>,
+        context: &str,
+    ) -> Result<(), Violation> {
+        // A tripped event budget means the cluster never quiesced: the
+        // state below would be a lie, and the run is a protocol error.
+        if sim.engine_ref().budget_exhausted() {
+            return Err(Violation::ProtocolError {
+                node: 0,
+                error: DomaError::EventBudgetExceeded {
+                    dispatched: sim.engine_ref().dispatched(),
+                },
+                context: context.into(),
+            });
+        }
         let cost = sim.report().cost;
 
         // Cost conservation: tallies only grow.
@@ -234,7 +316,7 @@ impl InvariantChecker {
 
         // Failure-overhead attribution: the pre-failure snapshot is a
         // lower bound of the running totals.
-        if let Some(normal) = driver.normal_mode_cost() {
+        if let Some(normal) = normal_cost {
             if normal.control > cost.control || normal.data > cost.data || normal.io > cost.io {
                 return Err(Violation::AttributionInverted {
                     normal,
@@ -285,17 +367,25 @@ impl InvariantChecker {
             }
         }
 
-        // One-copy semantics: audit reads completed since the last check
-        // against the floor as it stood *before* this step.
+        // One-copy semantics: audit reads completed since the last check.
+        // Each read is held to the floor captured when it was issued
+        // (model-checker path, [`InvariantChecker::note_read_started`]) or,
+        // absent that, the floor as it stood *before* this step.
         for i in 0..self.n {
             let reads = sim.engine_ref().actor(NodeId(i)).completed_reads();
             for read in &reads[self.read_cursor[i]..] {
+                let expected = if self.read_start_floors[i].is_empty() {
+                    self.floor
+                } else {
+                    // Reads complete FIFO per node, matching issue order.
+                    self.read_start_floors[i].remove(0)
+                };
                 let got = read.version.unwrap_or(Version::INITIAL);
-                if got < self.floor {
+                if got < expected {
                     return Err(Violation::StaleRead {
                         node: i,
                         version: read.version,
-                        floor: self.floor,
+                        floor: expected,
                         context: context.into(),
                     });
                 }
@@ -400,7 +490,9 @@ mod tests {
         let v = d.sim().latest_version();
         checker.check(&d, Regime::Normal, Some(v), "w3").unwrap();
         d.crash(ProcessorId::new(0));
-        checker.check(&d, Regime::Degraded, None, "crash 0").unwrap();
+        checker
+            .check(&d, Regime::Degraded, None, "crash 0")
+            .unwrap();
         // The missing-writes push on mode entry keeps v quorum-visible.
         d.execute_request(Request::read(4usize)).unwrap();
         checker.check(&d, Regime::Degraded, None, "r4").unwrap();

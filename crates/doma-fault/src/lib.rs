@@ -17,6 +17,7 @@
 //!   (see [`doma_testkit::replay`]).
 
 #![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
 
 pub mod invariants;
 pub mod torture;

@@ -122,7 +122,11 @@ fn trace(driver: &FailoverDriver, n: usize, what: &str) {
             let a = driver.sim().engine_ref().actor(NodeId(i));
             format!(
                 "p{i}{}{}={:?}",
-                if driver.is_crashed(ProcessorId::new(i)) { "X" } else { "" },
+                if driver.is_crashed(ProcessorId::new(i)) {
+                    "X"
+                } else {
+                    ""
+                },
                 if a.holds_valid() { "+" } else { "-" },
                 a.replica_version().map(|v| v.0)
             )
@@ -425,7 +429,10 @@ pub fn run_episode(
 /// Runs the seed sweep (or single replay) configured in the environment —
 /// see [`FaultSeeds::from_env`] — for one matrix cell. Stops at the first
 /// violation.
-pub fn run_sweep(algo: Algo, class: FaultClass) -> Result<Vec<EpisodeOutcome>, Box<TortureFailure>> {
+pub fn run_sweep(
+    algo: Algo,
+    class: FaultClass,
+) -> Result<Vec<EpisodeOutcome>, Box<TortureFailure>> {
     FaultSeeds::from_env()
         .seeds()
         .into_iter()
@@ -457,8 +464,7 @@ mod tests {
             (Algo::Da, FaultClass::Partition, 5),
             (Algo::Da, FaultClass::Drop, 6),
         ] {
-            let out = run_episode(seed, algo, class)
-                .unwrap_or_else(|f| panic!("{f}"));
+            let out = run_episode(seed, algo, class).unwrap_or_else(|f| panic!("{f}"));
             assert!(out.requests_issued > 0, "{algo}/{class} issued nothing");
         }
     }

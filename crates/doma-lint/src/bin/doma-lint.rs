@@ -1,0 +1,108 @@
+//! Walks the workspace's `crates/` tree and applies the lint wall:
+//!
+//! * `no-panic` over `doma-protocol` and `doma-sim` non-test sources,
+//! * `exhaustive-dispatch` over `doma-protocol`,
+//! * `lint-headers` over every crate's `lib.rs`.
+//!
+//! ```text
+//! doma-lint [WORKSPACE_ROOT]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 bad invocation.
+
+use doma_lint::{
+    check_dispatch_exhaustive, check_lint_headers, check_no_panics, mask_cfg_test, mask_source,
+};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates whose non-test code must never panic.
+const NO_PANIC_CRATES: &[&str] = &["doma-protocol", "doma-sim"];
+/// Crates whose message dispatch must name every variant.
+const DISPATCH_CRATES: &[&str] = &["doma-protocol"];
+
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .display()
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let crates = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates) else {
+        eprintln!("doma-lint: no crates/ under {}", root.display());
+        return ExitCode::from(2);
+    };
+    let mut crate_dirs: Vec<_> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut findings = Vec::new();
+    let mut files_checked = 0usize;
+    for dir in &crate_dirs {
+        let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let lib = dir.join("src").join("lib.rs");
+        if let Ok(src) = std::fs::read_to_string(&lib) {
+            files_checked += 1;
+            findings.extend(check_lint_headers(&rel(&root, &lib), &src));
+        }
+        let no_panic = NO_PANIC_CRATES.contains(&name);
+        let dispatch = DISPATCH_CRATES.contains(&name);
+        if !no_panic && !dispatch {
+            continue;
+        }
+        let mut files = Vec::new();
+        rs_files(&dir.join("src"), &mut files);
+        for file in &files {
+            let Ok(src) = std::fs::read_to_string(file) else {
+                continue;
+            };
+            files_checked += 1;
+            let label = rel(&root, file);
+            let masked = mask_cfg_test(&mask_source(&src));
+            if no_panic {
+                findings.extend(check_no_panics(&label, &masked));
+            }
+            if dispatch {
+                findings.extend(check_dispatch_exhaustive(&label, &masked));
+            }
+        }
+    }
+
+    for finding in &findings {
+        println!("{finding}");
+    }
+    println!(
+        "doma-lint: {} crates, {files_checked} files checked, {} finding(s)",
+        crate_dirs.len(),
+        findings.len()
+    );
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,445 @@
+//! `doma-lint`: the workspace's protocol lint wall.
+//!
+//! A zero-dependency, text-level (AST-lite) linter enforcing the
+//! conventions that keep the protocol crates checkable:
+//!
+//! * **no-panic** — no `.unwrap()`, `.expect(…)` or `panic!` in
+//!   non-test code of `doma-protocol` and `doma-sim`. The simulation
+//!   engine and the protocol actors are driven by the fault injector and
+//!   the model checker through adversarial schedules; every failure mode
+//!   must surface as a [`DomaError`](https://docs.rs) value the
+//!   invariant checker can audit, never as a process abort.
+//! * **exhaustive-dispatch** — no `_ =>` arms at the top level of a
+//!   `match msg` message dispatch in `doma-protocol`. Adding a message
+//!   variant must break the build until every actor decides how to
+//!   handle it; a wildcard arm silently swallows new protocol messages.
+//! * **lint-headers** — every crate's `lib.rs` carries
+//!   `#![warn(missing_docs)]` and `#![warn(rust_2018_idioms)]`.
+//!
+//! The scanner masks comments, string/char literals and
+//! `#[cfg(test)]`-gated items before matching, so doc examples and unit
+//! tests may use `unwrap` freely.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// A single lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-indexed line number.
+    pub line: usize,
+    /// Short rule identifier (`no-panic`, `exhaustive-dispatch`,
+    /// `lint-headers`).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Replaces every comment, string literal and char literal with spaces,
+/// preserving newlines (so line numbers survive) and all other code
+/// verbatim. Handles nested block comments, escapes, raw strings
+/// (`r"…"`, `r#"…"#`) and distinguishes char literals from lifetimes.
+pub fn mask_source(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let blank = |out: &mut String, c: char| out.push(if c == '\n' { '\n' } else { ' ' });
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        let next = b.get(i + 1).copied();
+        // Line comment.
+        if c == '/' && next == Some('/') {
+            while i < b.len() && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nesting, as in Rust).
+        if c == '/' && next == Some('*') {
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    out.push_str("  ");
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string: r"…" / r#"…"# (not part of an identifier).
+        if c == 'r' && matches!(next, Some('"') | Some('#')) && (i == 0 || !is_ident(b[i - 1])) {
+            let mut j = i + 1;
+            let mut hashes = 0usize;
+            while b.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if b.get(j) == Some(&'"') {
+                for _ in i..=j {
+                    out.push(' ');
+                }
+                i = j + 1;
+                loop {
+                    if i >= b.len() {
+                        break;
+                    }
+                    if b[i] == '"'
+                        && b[i + 1..]
+                            .iter()
+                            .take(hashes)
+                            .filter(|&&h| h == '#')
+                            .count()
+                            == hashes
+                    {
+                        for _ in 0..=hashes {
+                            out.push(' ');
+                        }
+                        i += 1 + hashes;
+                        break;
+                    }
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Ordinary string literal (covers b"…" too: the `b` stays code).
+        if c == '"' {
+            out.push(' ');
+            i += 1;
+            while i < b.len() {
+                if b[i] == '\\' {
+                    out.push_str("  ");
+                    i += 2;
+                } else if b[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                } else {
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime: '\…' or 'x' is a literal, 'a as in
+        // `&'a str` (no closing quote right after) is a lifetime.
+        if c == '\'' {
+            let is_char = next == Some('\\') || b.get(i + 2) == Some(&'\'');
+            if is_char {
+                out.push(' ');
+                i += 1;
+                if b.get(i) == Some(&'\\') {
+                    out.push_str("  ");
+                    i += 2; // backslash + first escape char
+                }
+                while i < b.len() && b[i] != '\'' {
+                    out.push(' ');
+                    i += 1;
+                }
+                out.push(' ');
+                i += 1; // closing quote
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+/// Blanks every `#[cfg(test)]`-gated item (module, function or `use`) in
+/// an already [`mask_source`]d text, again preserving newlines. Brace
+/// matching is exact because strings and comments are gone.
+pub fn mask_cfg_test(masked: &str) -> String {
+    let chars: Vec<char> = masked.chars().collect();
+    let mut out = chars.clone();
+    let pat: Vec<char> = "#[cfg(test)]".chars().collect();
+    let mut i = 0;
+    while i + pat.len() <= chars.len() {
+        if chars[i..i + pat.len()] != pat[..] {
+            i += 1;
+            continue;
+        }
+        // Blank through the gated item: up to the matching `}` of its
+        // first block, or the `;` of a braceless item.
+        let mut j = i + pat.len();
+        let mut end = chars.len();
+        while j < chars.len() {
+            match chars[j] {
+                ';' => {
+                    end = j + 1;
+                    break;
+                }
+                '{' => {
+                    let mut depth = 1usize;
+                    let mut k = j + 1;
+                    while k < chars.len() && depth > 0 {
+                        match chars[k] {
+                            '{' => depth += 1,
+                            '}' => depth -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    end = k;
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        for slot in out.iter_mut().take(end).skip(i) {
+            if *slot != '\n' {
+                *slot = ' ';
+            }
+        }
+        i = end;
+    }
+    out.into_iter().collect()
+}
+
+/// The `no-panic` rule: flags `.unwrap()`, `.expect(` and `panic!` in a
+/// masked, test-stripped source. `debug_assert!` is deliberately allowed
+/// (compiled out of release protocol builds).
+pub fn check_no_panics(file: &str, masked_no_test: &str) -> Vec<Finding> {
+    const FORBIDDEN: &[&str] = &[".unwrap()", ".expect(", "panic!"];
+    let mut out = Vec::new();
+    for (idx, line) in masked_no_test.lines().enumerate() {
+        for pat in FORBIDDEN {
+            let mut from = 0;
+            while let Some(off) = line[from..].find(pat) {
+                let col = from + off;
+                // Patterns starting with `.` are self-delimiting; for
+                // `panic!` reject identifier tails like `foo_panic!`.
+                let boundary = pat.starts_with('.')
+                    || col == 0
+                    || !is_ident(line[..col].chars().next_back().unwrap_or(' '));
+                if boundary {
+                    out.push(Finding {
+                        file: file.to_string(),
+                        line: idx + 1,
+                        rule: "no-panic",
+                        message: format!("`{pat}` in protocol code"),
+                    });
+                    break;
+                }
+                from = col + pat.len();
+            }
+        }
+    }
+    out
+}
+
+/// The `exhaustive-dispatch` rule: flags a wildcard `_` arm at the top
+/// level of a `match msg { … }` block. Nested matches inside an arm's
+/// body (brace depth ≥ 2) and `_` inside tuple/struct patterns
+/// (paren/bracket depth > 0, or a `..` rest pattern) are not dispatch
+/// wildcards and are left alone.
+pub fn check_dispatch_exhaustive(file: &str, masked: &str) -> Vec<Finding> {
+    let chars: Vec<char> = masked.chars().collect();
+    let line_of = |pos: usize| 1 + chars[..pos].iter().filter(|&&c| c == '\n').count();
+    let pat: Vec<char> = "match msg".chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + pat.len() <= chars.len() {
+        if chars[i..i + pat.len()] != pat[..]
+            || (i > 0 && is_ident(chars[i - 1]))
+            || chars.get(i + pat.len()).copied().map(is_ident) == Some(true)
+        {
+            i += 1;
+            continue;
+        }
+        // Enter the match block.
+        let mut j = i + pat.len();
+        while j < chars.len() && chars[j] != '{' {
+            j += 1;
+        }
+        let mut brace = 1usize;
+        let mut paren = 0usize;
+        j += 1;
+        while j < chars.len() && brace > 0 {
+            match chars[j] {
+                '{' => brace += 1,
+                '}' => brace -= 1,
+                '(' | '[' => paren += 1,
+                ')' | ']' => paren = paren.saturating_sub(1),
+                '_' if brace == 1
+                    && paren == 0
+                    && !is_ident(chars[j.wrapping_sub(1)])
+                    && chars.get(j + 1).copied().map(is_ident) != Some(true) =>
+                {
+                    // A standalone `_` token at arm level: a wildcard
+                    // pattern (with or without a guard).
+                    let mut k = j + 1;
+                    while k < chars.len() && chars[k].is_whitespace() {
+                        k += 1;
+                    }
+                    let arm = chars.get(k) == Some(&'=') && chars.get(k + 1) == Some(&'>');
+                    let guarded = chars.get(k) == Some(&'i') && chars.get(k + 1) == Some(&'f');
+                    if arm || guarded {
+                        out.push(Finding {
+                            file: file.to_string(),
+                            line: line_of(j),
+                            rule: "exhaustive-dispatch",
+                            message: "wildcard `_` arm in message dispatch — name every \
+                                      message variant"
+                                .to_string(),
+                        });
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        i = j;
+    }
+    out
+}
+
+/// The `lint-headers` rule: every crate root must opt into the
+/// workspace's documentation and idiom lints.
+pub fn check_lint_headers(file: &str, src: &str) -> Vec<Finding> {
+    ["#![warn(missing_docs)]", "#![warn(rust_2018_idioms)]"]
+        .iter()
+        .filter(|pragma| !src.contains(*pragma))
+        .map(|pragma| Finding {
+            file: file.to_string(),
+            line: 1,
+            rule: "lint-headers",
+            message: format!("crate root missing `{pragma}`"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_strips_comments_strings_and_chars() {
+        let src = r##"
+let a = "panic! in a string .unwrap()"; // .unwrap() in a comment
+/* block .expect( comment /* nested */ still */
+let b = r#"raw .unwrap() string"#;
+let c = '\''; let d: &'static str = "x";
+real.unwrap();
+"##;
+        let masked = mask_source(src);
+        assert_eq!(masked.lines().count(), src.lines().count());
+        assert_eq!(masked.matches(".unwrap()").count(), 1);
+        assert!(!masked.contains("panic!"));
+        assert!(!masked.contains(".expect("));
+        assert!(masked.contains("&'static str"), "lifetimes survive");
+    }
+
+    #[test]
+    fn cfg_test_items_are_blanked() {
+        let src = "
+fn live() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn t() { y.unwrap(); panic!(); }
+}
+#[cfg(test)]
+use std::collections::HashMap;
+fn also_live() {}
+";
+        let masked = mask_cfg_test(&mask_source(src));
+        assert_eq!(masked.matches("unwrap").count(), 1);
+        assert!(!masked.contains("panic!"));
+        assert!(!masked.contains("HashMap"));
+        assert!(masked.contains("also_live"));
+    }
+
+    #[test]
+    fn no_panic_flags_each_forbidden_call() {
+        let src = "
+fn f() {
+    a.unwrap();
+    b.expect(\"boom\");
+    panic!(\"no\");
+    c.unwrap_or(0);
+    debug_assert!(ok);
+}
+";
+        let findings = check_no_panics("f.rs", &mask_cfg_test(&mask_source(src)));
+        assert_eq!(findings.len(), 3, "{findings:?}");
+        assert_eq!(findings[0].line, 3);
+        assert!(findings.iter().all(|f| f.rule == "no-panic"));
+    }
+
+    #[test]
+    fn dispatch_wildcard_is_flagged_only_at_arm_level() {
+        let src = "
+fn on_message(&mut self, msg: Msg) {
+    match msg {
+        Msg::A { x } => {
+            match x {
+                Some(_) => {}
+                _ => {}
+            }
+        }
+        Msg::B(other) => {
+            let (_, keep) = other;
+        }
+        _ => {}
+    }
+}
+";
+        let findings = check_dispatch_exhaustive("f.rs", &mask_source(src));
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 13);
+    }
+
+    #[test]
+    fn dispatch_wildcard_with_guard_is_flagged() {
+        let src = "match msg { Msg::A => {} _ if late => {} }";
+        let findings = check_dispatch_exhaustive("f.rs", &mask_source(src));
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn exhaustive_dispatch_passes_clean_match() {
+        let src = "match msg { Msg::A => {} Msg::B { any: _ } => {} }";
+        // `_` as a field binding sits inside the pattern's braces
+        // (depth 2), not at arm level.
+        assert!(check_dispatch_exhaustive("f.rs", &mask_source(src)).is_empty());
+    }
+
+    #[test]
+    fn lint_headers_requires_both_pragmas() {
+        let both = "#![warn(missing_docs)]\n#![warn(rust_2018_idioms)]\n";
+        assert!(check_lint_headers("lib.rs", both).is_empty());
+        let one = "#![warn(missing_docs)]\n";
+        let findings = check_lint_headers("lib.rs", one);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("rust_2018_idioms"));
+    }
+}

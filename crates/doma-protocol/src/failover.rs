@@ -40,6 +40,10 @@ pub struct FailoverDriver {
     /// an episode that never engaged quorum mode — e.g. a non-core crash
     /// — would itself break t-availability.
     quorum_engaged: bool,
+    /// Test-only reverted fix: broadcast the destructive
+    /// `ModeChange { quorum: false }` after every recovery, as the
+    /// pre-hardening driver did, even when quorum mode never engaged.
+    bug_destructive_mode_reset: bool,
 }
 
 impl FailoverDriver {
@@ -52,7 +56,15 @@ impl FailoverDriver {
             normal_cost_before_failure: None,
             pending_detection: false,
             quorum_engaged: false,
+            bug_destructive_mode_reset: false,
         }
+    }
+
+    /// Reverts the quorum-engaged gating of the destructive
+    /// `ModeChange { quorum: false }` broadcast (regression tests only).
+    #[doc(hidden)]
+    pub fn set_destructive_mode_reset(&mut self, on: bool) {
+        self.bug_destructive_mode_reset = on;
     }
 
     /// The wrapped simulator.
@@ -105,7 +117,9 @@ impl FailoverDriver {
             self.normal_cost_before_failure = Some(self.sim.report().cost);
         }
         self.crashed[p.index()] = true;
-        self.sim.engine_mut().schedule_crash(NodeId(p.index()), delay);
+        self.sim
+            .engine_mut()
+            .schedule_crash(NodeId(p.index()), delay);
         self.pending_detection |= was_scheme;
     }
 
@@ -138,8 +152,7 @@ impl FailoverDriver {
         }
         // Missing-writes transition: quorum-read the latest version of
         // every object in the catalog (scheme-fetch in normal mode).
-        let objects: Vec<doma_core::ObjectId> =
-            self.sim.catalog().keys().copied().collect();
+        let objects: Vec<doma_core::ObjectId> = self.sim.catalog().keys().copied().collect();
         for object in objects {
             self.sim
                 .engine_mut()
@@ -152,7 +165,7 @@ impl FailoverDriver {
             .initial_scheme()
             .iter()
             .any(|m| self.crashed[m.index()]);
-        if !any_scheme_down && self.quorum_engaged {
+        if !any_scheme_down && (self.quorum_engaged || self.bug_destructive_mode_reset) {
             // Normal mode resumes only once the whole home scheme is back
             // (the `ModeChange { quorum: false }` reset re-homes the
             // allocation to exactly that scheme, so all of it must be live
@@ -202,7 +215,7 @@ impl FailoverDriver {
                 self.sim.engine_mut().run_until_idle();
             }
         }
-        if self.quorum_engaged {
+        if self.quorum_engaged || self.bug_destructive_mode_reset {
             self.broadcast_mode(false);
         }
     }

@@ -39,5 +39,5 @@ mod node;
 mod sim;
 
 pub use msg::DomMsg;
-pub use node::{CompletedRead, DomNode, ProtocolConfig};
+pub use node::{BugSwitches, CompletedRead, DomNode, ProtocolConfig};
 pub use sim::{BurstReport, OpenLoopReport, ProtocolSim, SimReport};

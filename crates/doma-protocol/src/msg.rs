@@ -17,7 +17,7 @@ use doma_storage::Version;
 /// [`DomMsg::Invalidate`], [`DomMsg::NoData`], [`DomMsg::ModeChange`].
 /// Data messages (priced `cd`): [`DomMsg::ObjData`], [`DomMsg::WriteProp`]
 /// — they carry the object payload.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum DomMsg {
     /// Client request: read the object (injected locally by the driver).
     ClientRead {
@@ -118,15 +118,21 @@ impl DomMsg {
     pub fn label(&self) -> String {
         match self {
             DomMsg::ClientRead { object } => format!("ClientRead({object})"),
-            DomMsg::ClientWrite { object, version, .. } => {
+            DomMsg::ClientWrite {
+                object, version, ..
+            } => {
                 format!("ClientWrite({object},{version})")
             }
             DomMsg::ReadReq { object, saving, .. } => {
                 format!("ReadReq({object}{})", if *saving { ",saving" } else { "" })
             }
-            DomMsg::ObjData { object, version, .. } => format!("ObjData({object},{version})"),
+            DomMsg::ObjData {
+                object, version, ..
+            } => format!("ObjData({object},{version})"),
             DomMsg::NoData { object, .. } => format!("NoData({object})"),
-            DomMsg::WriteProp { object, version, .. } => {
+            DomMsg::WriteProp {
+                object, version, ..
+            } => {
                 format!("WriteProp({object},{version})")
             }
             DomMsg::Invalidate { object, version } => {
@@ -172,7 +178,11 @@ mod tests {
             version: Version(2)
         }
         .is_data());
-        assert!(!DomMsg::NoData { object: OBJ, round: 0 }.is_data());
+        assert!(!DomMsg::NoData {
+            object: OBJ,
+            round: 0
+        }
+        .is_data());
         assert!(!DomMsg::ModeChange { quorum: true }.is_data());
         assert!(!DomMsg::CatchUp { object: OBJ }.is_data());
     }

@@ -85,9 +85,36 @@ struct PendingQuorum {
     /// instead of being counted — their version information belongs to a
     /// different point in time.
     round: u64,
+    /// Raw accepted-reply count, *not* deduplicated by sender. Only
+    /// consulted when [`BugSwitches::count_duplicate_responders`] reverts
+    /// the set-based dedup (regression testing); `responders` is
+    /// authoritative otherwise.
+    counted: usize,
     best: Option<(Version, Vec<u8>)>,
     store_result: bool,
     started: SimTime,
+}
+
+/// Test-only switches that revert individual hardening fixes, so the
+/// model checker's regression suite can demonstrate each fix is load-
+/// bearing: with the switch on, `doma-check` must find the interleaving
+/// that violates the corresponding safety property.
+///
+/// Not part of the public protocol surface — never set these outside
+/// tests.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BugSwitches {
+    /// Revert the quorum-round wire tags: count any reply for this object
+    /// toward the current operation, as the pre-hardening protocol did.
+    pub ignore_round_tags: bool,
+    /// Revert responder deduplication: count duplicated replies toward
+    /// the quorum majority.
+    pub count_duplicate_responders: bool,
+    /// Revert the invalidation floor: let delayed/duplicated data
+    /// messages re-validate replicas whose invalidation was already
+    /// processed.
+    pub no_invalidated_floor: bool,
 }
 
 /// One completed read, as observed by the issuing node — the record the
@@ -155,6 +182,8 @@ pub struct DomNode {
     /// object). [`Actor::on_message`] cannot return them, so they are
     /// recorded here for harnesses to assert on.
     errors: Vec<DomaError>,
+    /// Reverted-fix switches for regression testing (all off normally).
+    bugs: BugSwitches,
 }
 
 impl DomNode {
@@ -208,7 +237,65 @@ impl DomNode {
             read_latencies: Vec::new(),
             completed_reads: Vec::new(),
             errors: Vec::new(),
+            bugs: BugSwitches::default(),
         }
+    }
+
+    /// Installs reverted-fix switches (regression tests only).
+    #[doc(hidden)]
+    pub fn set_bug_switches(&mut self, bugs: BugSwitches) {
+        self.bugs = bugs;
+    }
+
+    /// A hash of the node's *semantic* protocol state: replica versions
+    /// and validity, DA bookkeeping, invalidation floors, quorum-mode
+    /// state, in-flight quorum operations, outstanding-read depth and
+    /// completed-read count. Pure metrics (latencies, I/O tallies) are
+    /// excluded — two states differing only in them behave identically
+    /// going forward. `doma-check` combines these per-node hashes with
+    /// the pending-message multiset to deduplicate states reached along
+    /// different delivery schedules.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.id.hash(&mut h);
+        self.quorum_mode.hash(&mut h);
+        self.quorum_round.hash(&mut h);
+        self.reads_completed.hash(&mut h);
+        self.errors.len().hash(&mut h);
+        for object in self.configs.keys() {
+            object.hash(&mut h);
+            self.replica_version_of(*object).hash(&mut h);
+            self.store.holds_valid(*object).hash(&mut h);
+            self.invalidated_floor(*object).hash(&mut h);
+            if let Some(state) = self.da.get(object) {
+                state.join_list.hash(&mut h);
+                state.extra.hash(&mut h);
+                state.serve_cursor.hash(&mut h);
+            }
+            if let Some(p) = self.pending.get(object) {
+                p.responders.hash(&mut h);
+                p.needed.hash(&mut h);
+                p.round.hash(&mut h);
+                p.counted.hash(&mut h);
+                p.best.as_ref().map(|(v, _)| *v).hash(&mut h);
+                p.store_result.hash(&mut h);
+            }
+            self.read_started
+                .get(object)
+                .map(|q| q.len())
+                .unwrap_or(0)
+                .hash(&mut h);
+        }
+        // The record of which versions reads returned, in order: the
+        // oracle audits it against a rising floor, so it is part of the
+        // state a schedule can distinguish.
+        for read in &self.completed_reads {
+            read.object.hash(&mut h);
+            read.version.hash(&mut h);
+        }
+        h.finish()
     }
 
     /// Single-object node with a memory cache (object id 0).
@@ -348,16 +435,14 @@ impl DomNode {
     }
 
     fn fresher_than_local(&self, object: ObjectId, version: Version) -> bool {
-        if version < self.invalidated_floor(object) {
+        if version < self.invalidated_floor(object) && !self.bugs.no_invalidated_floor {
             // An already-processed invalidation proved this version
             // obsolete; a delayed or duplicated carrier must not
             // resurrect it.
             return false;
         }
         match self.replica_version_of(object) {
-            Some(local) => {
-                version > local || (version == local && !self.store.holds_valid(object))
-            }
+            Some(local) => version > local || (version == local && !self.store.holds_valid(object)),
             None => true,
         }
     }
@@ -400,7 +485,12 @@ impl DomNode {
         self.n / 2 + 1
     }
 
-    fn start_quorum_read(&mut self, ctx: &mut Context<DomMsg>, object: ObjectId, store_result: bool) {
+    fn start_quorum_read(
+        &mut self,
+        ctx: &mut Context<DomMsg>,
+        object: ObjectId,
+        store_result: bool,
+    ) {
         let local = self.store.input(object);
         let mut responders = ProcSet::EMPTY;
         if local.is_some() {
@@ -411,6 +501,7 @@ impl DomNode {
         self.pending.insert(
             object,
             PendingQuorum {
+                counted: responders.len(),
                 responders,
                 needed: self.quorum_size(),
                 round,
@@ -451,8 +542,7 @@ impl DomNode {
                     debug_assert!(got.is_some(), "SA member must hold a valid replica");
                     let version = got.map(|(v, _)| v);
                     self.complete_read(object, version, ctx.now());
-                } else {
-                    let server = q.any_member().expect("Q non-empty");
+                } else if let Some(server) = q.any_member() {
                     ctx.send(
                         node(server),
                         MsgKind::Control,
@@ -462,6 +552,12 @@ impl DomNode {
                             round: 0,
                         },
                     );
+                } else {
+                    // An empty Q is rejected at configuration time; a
+                    // request that still lands here is a harness bug worth
+                    // surfacing, not worth crashing the cluster for.
+                    self.errors
+                        .push(DomaError::InvalidConfig("SA scheme Q is empty".into()));
                 }
             }
             ProtocolConfig::Da { f, .. } => {
@@ -623,7 +719,7 @@ impl DomNode {
             // majority): a straggler reply, not actionable.
             return;
         };
-        if pending.round != round {
+        if pending.round != round && !self.bugs.ignore_round_tags {
             // A delayed reply from an *earlier* quorum operation on the
             // same object. Counting it would both attribute a stale
             // version to the responder and mask the responder's fresh
@@ -631,12 +727,13 @@ impl DomNode {
             return;
         }
         let responder = proc(from);
-        if pending.responders.contains(responder) {
+        if pending.responders.contains(responder) && !self.bugs.count_duplicate_responders {
             // A duplicated reply carries no new information and must not
             // count toward the majority.
             return;
         }
         pending.responders.insert(responder);
+        pending.counted += 1;
         if let Some((v, d)) = reply {
             match &pending.best {
                 Some((bv, _)) if *bv >= v => {}
@@ -647,12 +744,18 @@ impl DomNode {
     }
 
     fn maybe_finish_quorum(&mut self, ctx: &mut Context<DomMsg>, object: ObjectId) {
-        let finished = self
-            .pending
-            .get(&object)
-            .is_some_and(|p| p.responders.len() >= p.needed);
+        let finished = self.pending.get(&object).is_some_and(|p| {
+            let reached = if self.bugs.count_duplicate_responders {
+                p.counted
+            } else {
+                p.responders.len()
+            };
+            reached >= p.needed
+        });
         if finished {
-            let done = self.pending.remove(&object).expect("just checked");
+            let Some(done) = self.pending.remove(&object) else {
+                return;
+            };
             let version = done.best.as_ref().map(|(v, _)| *v);
             if let Some((v, d)) = done.best {
                 if done.store_result && self.fresher_than_local(object, v) {
@@ -695,11 +798,19 @@ impl Actor<DomMsg> for DomNode {
                 version,
                 payload,
             } => self.handle_client_write(ctx, object, version, payload),
-            DomMsg::ReadReq { object, saving, round } => {
+            DomMsg::ReadReq {
+                object,
+                saving,
+                round,
+            } => {
                 match self.store.input(object) {
                     Some((version, payload)) => {
                         if saving && self.is_da_core(object) {
-                            self.da.entry(object).or_default().join_list.insert(proc(from));
+                            self.da
+                                .entry(object)
+                                .or_default()
+                                .join_list
+                                .insert(proc(from));
                         }
                         ctx.send(
                             from,
@@ -734,7 +845,7 @@ impl Actor<DomMsg> for DomNode {
                     // complete a forwarded read.
                     self.handle_quorum_reply(ctx, from, object, round, Some((version, payload)));
                 } else {
-                    if version < self.invalidated_floor(object) {
+                    if version < self.invalidated_floor(object) && !self.bugs.no_invalidated_floor {
                         // A delayed or duplicated reply carrying data an
                         // invalidation already proved obsolete: answering
                         // a read with it would violate one-copy
@@ -810,11 +921,8 @@ impl Actor<DomMsg> for DomNode {
                     // = p). Nodes outside that set drop their replicas
                     // locally — no messages, the mode change itself was
                     // the coordination.
-                    let objects: Vec<(ObjectId, ProtocolConfig)> = self
-                        .configs
-                        .iter()
-                        .map(|(o, c)| (*o, c.clone()))
-                        .collect();
+                    let objects: Vec<(ObjectId, ProtocolConfig)> =
+                        self.configs.iter().map(|(o, c)| (*o, c.clone())).collect();
                     for (object, config) in objects {
                         match config {
                             ProtocolConfig::Da { f, p } => {
@@ -985,7 +1093,13 @@ mod tests {
         let cfg = ProtocolConfig::Sa { q: ps(&[0, 1]) };
         let n = DomNode::new(ProcessorId::new(0), 4, cfg);
         let err = n.config(ObjectId(99)).unwrap_err();
-        assert_eq!(err, DomaError::UnknownObject { node: 0, object: 99 });
+        assert_eq!(
+            err,
+            DomaError::UnknownObject {
+                node: 0,
+                object: 99
+            }
+        );
         assert!(err.to_string().contains("no config"), "{err}");
     }
 
@@ -996,7 +1110,13 @@ mod tests {
         let mut engine: Engine<DomMsg, DomNode> = Engine::new(EngineConfig::default());
         let a = engine.add_node(DomNode::new(ProcessorId::new(0), 2, cfg.clone()));
         engine.add_node(DomNode::new(ProcessorId::new(1), 2, cfg));
-        engine.inject(a, 0, DomMsg::ClientRead { object: ObjectId(9) });
+        engine.inject(
+            a,
+            0,
+            DomMsg::ClientRead {
+                object: ObjectId(9),
+            },
+        );
         engine.inject(
             a,
             1,

@@ -270,6 +270,22 @@ impl ProtocolSim {
 
     /// Executes one request against `object` to quiescence.
     pub fn execute_request_on(&mut self, object: ObjectId, request: Request) -> Result<()> {
+        self.inject_request_on(object, request)?;
+        self.run_settle()?;
+        Ok(())
+    }
+
+    /// Injects one request against object 0 *without* running the cluster
+    /// — the model checker's entry point: it then steps individual
+    /// deliveries via [`ProtocolSim::dispatch_by_seq`]. Returns the
+    /// injected client event's engine sequence number.
+    pub fn inject_request(&mut self, request: Request) -> Result<u64> {
+        self.inject_request_on(OBJECT, request)
+    }
+
+    /// Injects one request against `object` without running the cluster.
+    /// Returns the injected client event's engine sequence number.
+    pub fn inject_request_on(&mut self, object: ObjectId, request: Request) -> Result<u64> {
         if request.issuer.index() >= self.n {
             return Err(DomaError::InvalidConfig(format!(
                 "request {request} outside cluster of {}",
@@ -293,9 +309,85 @@ impl ProtocolSim {
                 payload: format!("payload-{}-{}", object.0, version.0).into_bytes(),
             }
         };
-        self.engine.inject(to, 1, msg);
-        self.engine.run_until_idle();
-        Ok(())
+        Ok(self.engine.inject(to, 1, msg))
+    }
+
+    /// Drains the event queue, surfacing the engine's event-budget valve
+    /// as an error instead of a panic.
+    fn run_settle(&mut self) -> Result<u64> {
+        let dispatched = self.engine.run_until_idle();
+        if self.engine.budget_exhausted() {
+            return Err(DomaError::EventBudgetExceeded { dispatched });
+        }
+        Ok(dispatched)
+    }
+
+    /// Runs the cluster to quiescence (after [`ProtocolSim::inject_request`]
+    /// or fault scheduling), surfacing a tripped event budget as
+    /// [`DomaError::EventBudgetExceeded`].
+    pub fn settle(&mut self) -> Result<u64> {
+        self.run_settle()
+    }
+
+    /// Every queued event as a model-checker choice point, labelled with
+    /// the wire message it would deliver. See
+    /// [`doma_sim::Engine::pending_events`].
+    pub fn pending_events(&self) -> Vec<doma_sim::PendingEvent> {
+        self.engine.pending_events(DomMsg::label)
+    }
+
+    /// Dispatches the queued event with the given engine sequence number
+    /// (out of natural order if the checker says so). Returns `false` if
+    /// no such event is queued or the event budget is exhausted.
+    pub fn dispatch_by_seq(&mut self, seq: u64) -> bool {
+        self.engine.dispatch_by_seq(seq)
+    }
+
+    /// Deep-copies the whole cluster: nodes, stores, in-flight messages,
+    /// clocks and tallies. Forks are fully independent; engine sequence
+    /// numbers continue from the same counter, so the same
+    /// [`ProtocolSim::dispatch_by_seq`] calls on two forks take the same
+    /// transitions — the property the model checker's search relies on.
+    pub fn fork(&self) -> Self {
+        ProtocolSim {
+            engine: self.engine.fork(),
+            configs: self.configs.clone(),
+            n: self.n,
+            next_version: self.next_version.clone(),
+        }
+    }
+
+    /// A hash of the cluster's semantic state: every node's
+    /// [`DomNode::fingerprint`], liveness, and the multiset of in-flight
+    /// messages (by content, not schedule position). States reached along
+    /// different delivery orders fingerprint equal iff no node nor the
+    /// network can distinguish them.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        for i in 0..self.n {
+            let id = NodeId(i);
+            self.engine.actor(id).fingerprint().hash(&mut h);
+            self.engine.is_alive(id).hash(&mut h);
+        }
+        let mut queued: Vec<u64> = self
+            .pending_events()
+            .iter()
+            .map(|p| p.content_hash())
+            .collect();
+        queued.sort_unstable();
+        queued.hash(&mut h);
+        h.finish()
+    }
+
+    /// Installs reverted-fix switches on every node (regression tests
+    /// only — see [`crate::BugSwitches`]).
+    #[doc(hidden)]
+    pub fn set_bug_switches(&mut self, bugs: crate::BugSwitches) {
+        for i in 0..self.n {
+            self.engine.actor_mut(NodeId(i)).set_bug_switches(bugs);
+        }
     }
 
     /// Open-loop execution: injects the schedule's requests at a fixed
@@ -335,12 +427,12 @@ impl ProtocolSim {
                 );
             } else {
                 // Barrier: drain the in-flight reads, then the write.
-                self.engine.run_until_idle();
+                self.run_settle()?;
                 pending_offset = 0;
                 self.execute_request(request)?;
             }
         }
-        self.engine.run_until_idle();
+        self.run_settle()?;
         let mut latencies = Vec::new();
         #[allow(clippy::needless_range_loop)] // i is both NodeId and index
         for i in 0..self.n {
@@ -386,10 +478,13 @@ impl ProtocolSim {
         let wait_before = self.engine.bus_queue_wait();
         let start = self.engine.now();
         for reader in readers {
-            self.engine
-                .inject(NodeId(reader.index()), 1, DomMsg::ClientRead { object: OBJECT });
+            self.engine.inject(
+                NodeId(reader.index()),
+                1,
+                DomMsg::ClientRead { object: OBJECT },
+            );
         }
-        self.engine.run_until_idle();
+        self.run_settle()?;
         let after = self.report();
         let completed = after.reads_completed - before.reads_completed;
         let total_latency_after = after.mean_read_latency * after.reads_completed as f64;
@@ -707,21 +802,16 @@ mod tests {
         // 30 reads from rotating outsiders at a 1-tick arrival interval:
         // on point-to-point links the response time stays flat; on a
         // shared bus the queue builds and p95 latency blows up.
-        let reads: Schedule = (0..30)
-            .map(|k| Request::read(2 + (k % 6)))
-            .collect();
+        let reads: Schedule = (0..30).map(|k| Request::read(2 + (k % 6))).collect();
         let mut p2p = ProtocolSim::new_sa(8, ps(&[0, 1])).unwrap();
         let a = p2p.execute_open_loop(&reads, 1).unwrap();
         assert_eq!(a.latencies.len(), 30);
         assert_eq!(a.mean_response, 4.0, "no contention on p2p links");
         assert_eq!(a.bus_queue_wait, 0);
 
-        let mut bus = ProtocolSim::new_sa_with(
-            8,
-            ps(&[0, 1]),
-            doma_sim::NetworkConfig::shared_bus(1, 3),
-        )
-        .unwrap();
+        let mut bus =
+            ProtocolSim::new_sa_with(8, ps(&[0, 1]), doma_sim::NetworkConfig::shared_bus(1, 3))
+                .unwrap();
         let b = bus.execute_open_loop(&reads, 1).unwrap();
         assert_eq!(b.latencies.len(), 30);
         assert!(
@@ -754,12 +844,9 @@ mod tests {
     fn open_loop_under_slow_arrivals_matches_closed_loop_latency() {
         // With arrivals far slower than service, open loop == closed loop.
         let reads: Schedule = (0..10).map(|k| Request::read(2 + (k % 3))).collect();
-        let mut bus = ProtocolSim::new_sa_with(
-            8,
-            ps(&[0, 1]),
-            doma_sim::NetworkConfig::shared_bus(1, 3),
-        )
-        .unwrap();
+        let mut bus =
+            ProtocolSim::new_sa_with(8, ps(&[0, 1]), doma_sim::NetworkConfig::shared_bus(1, 3))
+                .unwrap();
         let r = bus.execute_open_loop(&reads, 100).unwrap();
         assert_eq!(r.mean_response, 4.0, "no queueing at low load");
     }
@@ -777,12 +864,9 @@ mod tests {
         assert_eq!(r.bus_queue_wait, 0);
 
         // Shared bus: the six requests and six replies serialize.
-        let mut bus = ProtocolSim::new_sa_with(
-            8,
-            ps(&[0, 1]),
-            doma_sim::NetworkConfig::shared_bus(1, 3),
-        )
-        .unwrap();
+        let mut bus =
+            ProtocolSim::new_sa_with(8, ps(&[0, 1]), doma_sim::NetworkConfig::shared_bus(1, 3))
+                .unwrap();
         let r = bus.execute_read_burst(&readers).unwrap();
         assert_eq!(r.completed, 6);
         assert!(

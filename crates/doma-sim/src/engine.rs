@@ -3,8 +3,10 @@
 use crate::fault::{FaultPlan, FaultState, FaultStats, Judgement};
 use crate::{MsgKind, Network, NetworkConfig, SimTime, StatsHandle, TraceHandle, TraceRecord};
 use std::cmp::Reverse;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::BinaryHeap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// Identifies a node (actor) in the simulation. For protocol crates these
 /// coincide with [`doma_core::ProcessorId`] indices.
@@ -66,6 +68,7 @@ impl<M> Context<M> {
     }
 }
 
+#[derive(Clone)]
 enum EventKind<M> {
     Deliver {
         from: NodeId,
@@ -75,16 +78,98 @@ enum EventKind<M> {
     },
     /// Local injection (a client request arriving at its own node): not a
     /// network message, so not tallied.
-    Local { to: NodeId, msg: M },
-    Timer { node: NodeId, token: u64 },
+    Local {
+        to: NodeId,
+        msg: M,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
     Crash(NodeId),
     Recover(NodeId),
 }
 
+#[derive(Clone)]
 struct Event<M> {
     time: SimTime,
     seq: u64,
     kind: EventKind<M>,
+}
+
+/// The broad class of a queued event — what a model checker needs to know
+/// about a choice point without seeing the message payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PendingClass {
+    /// A network message in flight.
+    Deliver,
+    /// A locally injected client request.
+    Local,
+    /// A timer due to fire.
+    Timer,
+    /// A scheduled crash.
+    Crash,
+    /// A scheduled recovery.
+    Recover,
+}
+
+/// A snapshot of one schedulable event in the queue: the unit of choice
+/// for a model checker driving the engine one delivery at a time via
+/// [`Engine::pending_events`] / [`Engine::dispatch_by_seq`].
+#[derive(Debug, Clone)]
+pub struct PendingEvent {
+    seq: u64,
+    time: SimTime,
+    class: PendingClass,
+    target: NodeId,
+    source: Option<NodeId>,
+    content_hash: u64,
+    label: String,
+}
+
+impl PendingEvent {
+    /// The engine-assigned sequence number identifying this event. Stable
+    /// across [`Engine::fork`]: a fork dispatches the same seq to take the
+    /// same transition.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// When the event would fire under the natural (latency-ordered)
+    /// schedule.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// The event's class.
+    pub fn class(&self) -> PendingClass {
+        self.class
+    }
+
+    /// The node whose state dispatching this event mutates. Two pending
+    /// events with different targets commute (with a point-to-point
+    /// medium): dispatching them in either order yields the same state.
+    pub fn target(&self) -> NodeId {
+        self.target
+    }
+
+    /// The sending node, for [`PendingClass::Deliver`] events.
+    pub fn source(&self) -> Option<NodeId> {
+        self.source
+    }
+
+    /// A hash of the event's content (class, endpoints, payload) that
+    /// deliberately excludes `seq` and `time`, so states reached along
+    /// different schedules fingerprint equal when their queued futures
+    /// are equal.
+    pub fn content_hash(&self) -> u64 {
+        self.content_hash
+    }
+
+    /// A human-readable description (for counterexample traces).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
 }
 
 impl<M> PartialEq for Event<M> {
@@ -115,6 +200,10 @@ pub struct EngineConfig {
     pub max_events: u64,
 }
 
+/// A message tracer: the sink plus the labelling function applied to each
+/// message before recording.
+type Tracer<M> = (TraceHandle, fn(&M) -> String);
+
 /// The deterministic discrete-event engine.
 pub struct Engine<M, A: Actor<M>> {
     actors: Vec<A>,
@@ -125,7 +214,8 @@ pub struct Engine<M, A: Actor<M>> {
     seq: u64,
     dispatched: u64,
     max_events: u64,
-    tracer: Option<(TraceHandle, fn(&M) -> String)>,
+    overflowed: bool,
+    tracer: Option<Tracer<M>>,
     faults: Option<FaultState>,
 }
 
@@ -141,6 +231,7 @@ impl<M: Clone, A: Actor<M>> Engine<M, A> {
             seq: 0,
             dispatched: 0,
             max_events: config.max_events,
+            overflowed: false,
             tracer: None,
             faults: None,
         }
@@ -197,29 +288,33 @@ impl<M: Clone, A: Actor<M>> Engine<M, A> {
         self.now
     }
 
-    fn push(&mut self, time: SimTime, kind: EventKind<M>) {
+    fn push(&mut self, time: SimTime, kind: EventKind<M>) -> u64 {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse(Event { time, seq, kind }));
+        seq
     }
 
     /// Injects a client request into `to` after `delay` ticks. Local —
-    /// not a network message, not tallied.
-    pub fn inject(&mut self, to: NodeId, delay: u64, msg: M) {
+    /// not a network message, not tallied. Returns the queued event's
+    /// sequence number (usable with [`Engine::dispatch_by_seq`]).
+    pub fn inject(&mut self, to: NodeId, delay: u64, msg: M) -> u64 {
         let time = self.now + delay;
-        self.push(time, EventKind::Local { to, msg });
+        self.push(time, EventKind::Local { to, msg })
     }
 
-    /// Schedules a crash of `node` after `delay` ticks.
-    pub fn schedule_crash(&mut self, node: NodeId, delay: u64) {
+    /// Schedules a crash of `node` after `delay` ticks. Returns the
+    /// queued event's sequence number.
+    pub fn schedule_crash(&mut self, node: NodeId, delay: u64) -> u64 {
         let time = self.now + delay;
-        self.push(time, EventKind::Crash(node));
+        self.push(time, EventKind::Crash(node))
     }
 
-    /// Schedules a recovery of `node` after `delay` ticks.
-    pub fn schedule_recover(&mut self, node: NodeId, delay: u64) {
+    /// Schedules a recovery of `node` after `delay` ticks. Returns the
+    /// queued event's sequence number.
+    pub fn schedule_recover(&mut self, node: NodeId, delay: u64) -> u64 {
         let time = self.now + delay;
-        self.push(time, EventKind::Recover(node));
+        self.push(time, EventKind::Recover(node))
     }
 
     /// Installs a [`FaultPlan`]: its message-fault rules and partitions
@@ -283,7 +378,11 @@ impl<M: Clone, A: Actor<M>> Engine<M, A> {
                 Judgement::Lost { partition } => {
                     self.network.stats().record_drop();
                     if let Some((trace, labeller)) = &self.tracer {
-                        let cause = if partition { "fault-partition" } else { "fault-drop" };
+                        let cause = if partition {
+                            "fault-partition"
+                        } else {
+                            "fault-drop"
+                        };
                         trace.record(TraceRecord {
                             time: self.now,
                             from: node,
@@ -325,71 +424,236 @@ impl<M: Clone, A: Actor<M>> Engine<M, A> {
         }
     }
 
-    /// Runs until the event queue drains (or `max_events` trips).
+    fn dispatch_event(&mut self, kind: EventKind<M>) {
+        match kind {
+            EventKind::Deliver {
+                from,
+                to,
+                kind,
+                msg,
+            } => {
+                let delivered = self.alive[to.0];
+                if let Some((trace, labeller)) = &self.tracer {
+                    trace.record(TraceRecord {
+                        time: self.now,
+                        from,
+                        to,
+                        kind,
+                        delivered,
+                        label: labeller(&msg),
+                    });
+                }
+                if delivered {
+                    self.dispatch_to(to, |a, ctx| a.on_message(ctx, from, kind, msg));
+                } else {
+                    self.network.stats().record_drop();
+                }
+            }
+            EventKind::Local { to, msg } => {
+                if self.alive[to.0] {
+                    // Local requests arrive "from" the node itself.
+                    self.dispatch_to(to, |a, ctx| a.on_message(ctx, to, MsgKind::Control, msg));
+                }
+            }
+            EventKind::Timer { node, token } => {
+                if self.alive[node.0] {
+                    self.dispatch_to(node, |a, ctx| a.on_timer(ctx, token));
+                }
+            }
+            EventKind::Crash(node) => {
+                if self.alive[node.0] {
+                    self.alive[node.0] = false;
+                    self.actors[node.0].on_crash();
+                }
+            }
+            EventKind::Recover(node) => {
+                if !self.alive[node.0] {
+                    self.alive[node.0] = true;
+                    self.dispatch_to(node, |a, ctx| a.on_recover(ctx));
+                }
+            }
+        }
+    }
+
+    /// Runs until the event queue drains (or `max_events` trips, in which
+    /// case [`Engine::budget_exhausted`] turns true and the remaining
+    /// queue is left untouched — the driver decides how to report it).
     /// Returns the number of events dispatched by this call.
     pub fn run_until_idle(&mut self) -> u64 {
         let start = self.dispatched;
         while let Some(Reverse(event)) = self.queue.pop() {
+            if self.max_events > 0 && self.dispatched >= self.max_events {
+                // Put the event back: the state is inspectable, just not
+                // runnable any further under this budget.
+                self.queue.push(Reverse(event));
+                self.overflowed = true;
+                break;
+            }
             self.now = event.time;
             self.dispatched += 1;
-            if self.max_events > 0 && self.dispatched > self.max_events {
-                panic!(
-                    "simulation exceeded max_events={} — runaway protocol?",
-                    self.max_events
-                );
-            }
-            match event.kind {
-                EventKind::Deliver {
-                    from,
-                    to,
-                    kind,
-                    msg,
-                } => {
-                    let delivered = self.alive[to.0];
-                    if let Some((trace, labeller)) = &self.tracer {
-                        trace.record(TraceRecord {
-                            time: self.now,
-                            from,
-                            to,
-                            kind,
-                            delivered,
-                            label: labeller(&msg),
-                        });
-                    }
-                    if delivered {
-                        self.dispatch_to(to, |a, ctx| a.on_message(ctx, from, kind, msg));
-                    } else {
-                        self.network.stats().record_drop();
-                    }
-                }
-                EventKind::Local { to, msg } => {
-                    if self.alive[to.0] {
-                        // Local requests arrive "from" the node itself.
-                        self.dispatch_to(to, |a, ctx| {
-                            a.on_message(ctx, to, MsgKind::Control, msg)
-                        });
-                    }
-                }
-                EventKind::Timer { node, token } => {
-                    if self.alive[node.0] {
-                        self.dispatch_to(node, |a, ctx| a.on_timer(ctx, token));
-                    }
-                }
-                EventKind::Crash(node) => {
-                    if self.alive[node.0] {
-                        self.alive[node.0] = false;
-                        self.actors[node.0].on_crash();
-                    }
-                }
-                EventKind::Recover(node) => {
-                    if !self.alive[node.0] {
-                        self.alive[node.0] = true;
-                        self.dispatch_to(node, |a, ctx| a.on_recover(ctx));
-                    }
-                }
-            }
+            self.dispatch_event(event.kind);
         }
         self.dispatched - start
+    }
+
+    /// Whether a `run_until_idle` call tripped the `max_events` safety
+    /// valve (a runaway protocol, or an exploration budget set
+    /// deliberately tight). Sticky until the engine is dropped.
+    pub fn budget_exhausted(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Total events dispatched over the engine's lifetime.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+}
+
+impl<M: Clone + Hash, A: Actor<M>> Engine<M, A> {
+    /// Snapshots every queued event as a [`PendingEvent`] choice point,
+    /// ordered by the natural schedule (time, then send order). `labeller`
+    /// renders message payloads for counterexample traces.
+    pub fn pending_events(&self, labeller: impl Fn(&M) -> String) -> Vec<PendingEvent> {
+        let mut events: Vec<&Event<M>> = self.queue.iter().map(|Reverse(e)| e).collect();
+        events.sort_by_key(|e| (e.time, e.seq));
+        events
+            .into_iter()
+            .map(|e| {
+                let mut h = DefaultHasher::new();
+                let (class, target, source, label) = match &e.kind {
+                    EventKind::Deliver {
+                        from,
+                        to,
+                        kind,
+                        msg,
+                    } => {
+                        0u8.hash(&mut h);
+                        from.hash(&mut h);
+                        to.hash(&mut h);
+                        kind.hash(&mut h);
+                        msg.hash(&mut h);
+                        (
+                            PendingClass::Deliver,
+                            *to,
+                            Some(*from),
+                            format!("{from}->{to} {}", labeller(msg)),
+                        )
+                    }
+                    EventKind::Local { to, msg } => {
+                        1u8.hash(&mut h);
+                        to.hash(&mut h);
+                        msg.hash(&mut h);
+                        (
+                            PendingClass::Local,
+                            *to,
+                            None,
+                            format!("local@{to} {}", labeller(msg)),
+                        )
+                    }
+                    EventKind::Timer { node, token } => {
+                        2u8.hash(&mut h);
+                        node.hash(&mut h);
+                        token.hash(&mut h);
+                        (
+                            PendingClass::Timer,
+                            *node,
+                            None,
+                            format!("timer@{node} t{token}"),
+                        )
+                    }
+                    EventKind::Crash(node) => {
+                        3u8.hash(&mut h);
+                        node.hash(&mut h);
+                        (PendingClass::Crash, *node, None, format!("crash@{node}"))
+                    }
+                    EventKind::Recover(node) => {
+                        4u8.hash(&mut h);
+                        node.hash(&mut h);
+                        (
+                            PendingClass::Recover,
+                            *node,
+                            None,
+                            format!("recover@{node}"),
+                        )
+                    }
+                };
+                PendingEvent {
+                    seq: e.seq,
+                    time: e.time,
+                    class,
+                    target,
+                    source,
+                    content_hash: h.finish(),
+                    label,
+                }
+            })
+            .collect()
+    }
+
+    /// Removes the queued event with sequence number `seq` and dispatches
+    /// it now, regardless of its scheduled time (virtual time stays
+    /// monotone: it only advances, to the event's time if that is later).
+    /// Returns `false` if no such event is queued, or the event budget is
+    /// already exhausted (the event stays queued).
+    pub fn dispatch_by_seq(&mut self, seq: u64) -> bool {
+        if self.max_events > 0 && self.dispatched >= self.max_events {
+            self.overflowed = true;
+            return false;
+        }
+        let mut rest = Vec::with_capacity(self.queue.len());
+        let mut chosen = None;
+        for Reverse(e) in self.queue.drain() {
+            if e.seq == seq && chosen.is_none() {
+                chosen = Some(e);
+            } else {
+                rest.push(Reverse(e));
+            }
+        }
+        self.queue = rest.into();
+        match chosen {
+            Some(event) => {
+                self.now = self.now.max(event.time);
+                self.dispatched += 1;
+                self.dispatch_event(event.kind);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether any event is queued.
+    pub fn has_pending(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Number of queued events.
+    pub fn pending_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl<M: Clone, A: Actor<M> + Clone> Engine<M, A> {
+    /// Deep-copies the engine: actors, liveness, the event queue, virtual
+    /// clock, fault state, and an *independent* copy of the network
+    /// statistics (mutating the fork never shows in the original). The
+    /// tracer is not carried over. Sequence numbers continue from the
+    /// same counter, so the same `inject`/`dispatch_by_seq` calls on two
+    /// forks name the same events — the property a model checker's DFS
+    /// relies on.
+    pub fn fork(&self) -> Self {
+        Engine {
+            actors: self.actors.clone(),
+            alive: self.alive.clone(),
+            queue: self.queue.clone(),
+            network: self.network.fork(),
+            now: self.now,
+            seq: self.seq,
+            dispatched: self.dispatched,
+            max_events: self.max_events,
+            overflowed: self.overflowed,
+            tracer: None,
+            faults: self.faults.clone(),
+        }
     }
 }
 
@@ -520,7 +784,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "max_events")]
     fn runaway_protocol_trips_the_valve() {
         /// Replies forever.
         struct Flood;
@@ -537,7 +800,10 @@ mod tests {
         let b = engine.add_node(Flood);
         let _ = b;
         engine.inject(a, 0, 1);
-        engine.run_until_idle();
+        let dispatched = engine.run_until_idle();
+        assert!(engine.budget_exhausted(), "valve must trip");
+        assert_eq!(dispatched, 100, "stops exactly at the budget");
+        assert!(engine.has_pending(), "the undispatched event stays queued");
     }
 
     #[test]
@@ -625,8 +891,11 @@ mod tests {
         // Delay only the *first* matching message; the second overtakes it.
         engine.install_faults(
             FaultPlan::new(0).rule(
-                FaultRule::always(LinkFilter::link(NodeId(0), NodeId(1)), FaultAction::Delay(10))
-                    .with_budget(1),
+                FaultRule::always(
+                    LinkFilter::link(NodeId(0), NodeId(1)),
+                    FaultAction::Delay(10),
+                )
+                .with_budget(1),
             ),
         );
         engine.inject(NodeId(0), 0, 0);
@@ -667,7 +936,9 @@ mod tests {
         engine.run_until_idle();
         let records = trace.snapshot();
         assert!(
-            records.iter().any(|r| r.label == "fault-drop:m3" && !r.delivered),
+            records
+                .iter()
+                .any(|r| r.label == "fault-drop:m3" && !r.delivered),
             "expected a fault-drop trace record, got {records:?}"
         );
     }
@@ -690,5 +961,75 @@ mod tests {
         engine.inject(a, 5, 3);
         engine.run_until_idle();
         assert_eq!(engine.actor(a).got, vec![1, 2, 3]);
+    }
+
+    #[derive(Clone)]
+    struct Collect2 {
+        got: Vec<u32>,
+    }
+    impl Actor<u32> for Collect2 {
+        fn on_message(&mut self, _ctx: &mut Context<u32>, _f: NodeId, _k: MsgKind, msg: u32) {
+            self.got.push(msg);
+        }
+    }
+
+    #[test]
+    fn pending_events_snapshot_and_selective_dispatch() {
+        let mut engine: Engine<u32, Collect2> = Engine::new(EngineConfig::default());
+        let a = engine.add_node(Collect2 { got: Vec::new() });
+        let b = engine.add_node(Collect2 { got: Vec::new() });
+        engine.inject(a, 3, 10);
+        engine.inject(b, 1, 20);
+        let pending = engine.pending_events(|m| format!("m{m}"));
+        assert_eq!(pending.len(), 2);
+        // Sorted by natural schedule: b's injection (t=1) first.
+        assert_eq!(pending[0].target(), b);
+        assert_eq!(pending[0].class(), PendingClass::Local);
+        assert_eq!(pending[1].target(), a);
+        assert!(pending[1].label().contains("m10"));
+        // Dispatch out of natural order: a's event first.
+        assert!(engine.dispatch_by_seq(pending[1].seq()));
+        assert_eq!(engine.actor(a).got, vec![10]);
+        assert_eq!(engine.now(), SimTime(3), "clock jumps to the event's time");
+        assert!(engine.dispatch_by_seq(pending[0].seq()));
+        assert_eq!(engine.now(), SimTime(3), "clock never regresses");
+        assert!(!engine.has_pending());
+        assert!(!engine.dispatch_by_seq(999), "unknown seq is a no-op");
+    }
+
+    #[test]
+    fn content_hash_ignores_schedule_position() {
+        let mut e1: Engine<u32, Collect2> = Engine::new(EngineConfig::default());
+        let a1 = e1.add_node(Collect2 { got: Vec::new() });
+        e1.inject(a1, 5, 42);
+        let mut e2: Engine<u32, Collect2> = Engine::new(EngineConfig::default());
+        let a2 = e2.add_node(Collect2 { got: Vec::new() });
+        e2.inject(a2, 0, 7); // consumes seq 0 so the next event differs in seq/time
+        e2.inject(a2, 9, 42);
+        let p1 = e1.pending_events(|m| format!("{m}"));
+        let p2 = e2.pending_events(|m| format!("{m}"));
+        let h1 = p1[0].content_hash();
+        let h2 = p2
+            .iter()
+            .find(|p| p.label().contains("42"))
+            .unwrap()
+            .content_hash();
+        assert_eq!(h1, h2, "same payload+endpoints hash equal despite seq/time");
+    }
+
+    #[test]
+    fn fork_is_independent() {
+        let mut engine: Engine<u32, Collect2> = Engine::new(EngineConfig::default());
+        let a = engine.add_node(Collect2 { got: Vec::new() });
+        engine.inject(a, 0, 1);
+        engine.inject(a, 0, 2);
+        let mut fork = engine.fork();
+        fork.run_until_idle();
+        assert_eq!(fork.actor(a).got, vec![1, 2]);
+        assert!(engine.actor(a).got.is_empty(), "original untouched");
+        assert_eq!(engine.pending_len(), 2);
+        // Network stats are deep-copied, not shared.
+        fork.net_stats().record_drop();
+        assert_eq!(engine.net_stats().snapshot().dropped, 0);
     }
 }

@@ -89,9 +89,9 @@ impl LinkFilter {
     }
 
     fn matches(&self, from: NodeId, to: NodeId, kind: MsgKind) -> bool {
-        self.from.map_or(true, |f| f == from)
-            && self.to.map_or(true, |t| t == to)
-            && self.kind.map_or(true, |k| k == kind)
+        self.from.is_none_or(|f| f == from)
+            && self.to.is_none_or(|t| t == to)
+            && self.kind.is_none_or(|k| k == kind)
     }
 }
 
@@ -249,6 +249,16 @@ impl FaultPlan {
     /// The crash/recover events carried by the plan.
     pub fn crashes(&self) -> &[CrashEvent] {
         &self.crashes
+    }
+
+    /// The plan's message-fault rules, in evaluation order.
+    pub fn rules(&self) -> &[FaultRule] {
+        &self.rules
+    }
+
+    /// The plan's scheduled partitions.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
     }
 
     /// Whether the plan injects nothing at all.
@@ -517,8 +527,10 @@ mod tests {
 
     #[test]
     fn jitter_is_bounded_and_deterministic() {
-        let plan = FaultPlan::new(3)
-            .rule(FaultRule::always(LinkFilter::any(), FaultAction::Jitter { max: 4 }));
+        let plan = FaultPlan::new(3).rule(FaultRule::always(
+            LinkFilter::any(),
+            FaultAction::Jitter { max: 4 },
+        ));
         let mut a = FaultState::new(plan.clone());
         let mut b = FaultState::new(plan);
         for _ in 0..32 {
@@ -538,8 +550,10 @@ mod tests {
 
     #[test]
     fn duplicate_produces_two_copies() {
-        let plan = FaultPlan::new(0)
-            .rule(FaultRule::always(LinkFilter::any(), FaultAction::Duplicate(7)));
+        let plan = FaultPlan::new(0).rule(FaultRule::always(
+            LinkFilter::any(),
+            FaultAction::Duplicate(7),
+        ));
         let mut state = FaultState::new(plan);
         assert_eq!(
             state.judge(0, NodeId(0), NodeId(1), MsgKind::Data),

@@ -30,7 +30,7 @@ mod network;
 mod time;
 mod trace;
 
-pub use engine::{Actor, Context, Engine, EngineConfig, NodeId};
+pub use engine::{Actor, Context, Engine, EngineConfig, NodeId, PendingClass, PendingEvent};
 pub use fault::{CrashEvent, FaultAction, FaultPlan, FaultRule, FaultStats, LinkFilter, Partition};
 pub use network::{Medium, MsgKind, NetStats, Network, NetworkConfig, StatsHandle};
 pub use time::SimTime;

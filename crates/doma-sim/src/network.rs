@@ -38,16 +38,24 @@ impl StatsHandle {
 
     /// A snapshot of the current tallies.
     pub fn snapshot(&self) -> NetStats {
-        *self.0.lock().expect("lock poisoned")
+        // A poisoned lock only means another thread panicked mid-update;
+        // the u64 tallies are always structurally valid, so keep going.
+        *self.0.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Zeroes the tallies (e.g. between experiment phases).
     pub fn reset(&self) {
-        *self.0.lock().expect("lock poisoned") = NetStats::default();
+        *self.0.lock().unwrap_or_else(|e| e.into_inner()) = NetStats::default();
+    }
+
+    /// An independent handle starting from the same tallies (used by
+    /// [`crate::Engine::fork`]; updates no longer flow between the two).
+    pub fn fork(&self) -> Self {
+        StatsHandle(Arc::new(Mutex::new(self.snapshot())))
     }
 
     pub(crate) fn record_send(&self, kind: MsgKind) {
-        let mut s = self.0.lock().expect("lock poisoned");
+        let mut s = self.0.lock().unwrap_or_else(|e| e.into_inner());
         match kind {
             MsgKind::Control => s.control_sent += 1,
             MsgKind::Data => s.data_sent += 1,
@@ -55,7 +63,7 @@ impl StatsHandle {
     }
 
     pub(crate) fn record_drop(&self) {
-        self.0.lock().expect("lock poisoned").dropped += 1;
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).dropped += 1;
     }
 }
 
@@ -169,6 +177,18 @@ impl Network {
     /// The shared statistics handle.
     pub fn stats(&self) -> StatsHandle {
         self.stats.clone()
+    }
+
+    /// Deep copy: same config, bus state, and tallies, but an independent
+    /// stats cell — a plain `clone()` would share the `Arc`'d tallies and
+    /// let a forked engine's traffic leak into the original's accounting.
+    pub fn fork(&self) -> Self {
+        Network {
+            config: self.config,
+            stats: self.stats.fork(),
+            bus_busy_until: self.bus_busy_until,
+            total_queue_wait: self.total_queue_wait,
+        }
     }
 }
 

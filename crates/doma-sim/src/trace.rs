@@ -67,7 +67,7 @@ impl TraceHandle {
 
     /// Appends a record.
     pub fn record(&self, record: TraceRecord) {
-        let mut inner = self.inner.lock().expect("lock poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if inner.records.len() == inner.capacity {
             inner.records.pop_front();
             inner.discarded += 1;
@@ -77,17 +77,26 @@ impl TraceHandle {
 
     /// A snapshot of the retained records, oldest first.
     pub fn snapshot(&self) -> Vec<TraceRecord> {
-        self.inner.lock().expect("lock poisoned").records.iter().cloned().collect()
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .records
+            .iter()
+            .cloned()
+            .collect()
     }
 
     /// Number of records discarded due to the capacity bound.
     pub fn discarded(&self) -> u64 {
-        self.inner.lock().expect("lock poisoned").discarded
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .discarded
     }
 
     /// Drops all retained records.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("lock poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.records.clear();
         inner.discarded = 0;
     }

@@ -175,10 +175,7 @@ mod tests {
         assert_eq!(s.store().io_stats().inputs, 0);
         assert_eq!(s.cache_stats(), CacheStats { hits: 1, misses: 0 });
 
-        let mut cold = CachedStore::wrap(
-            LocalStore::with_initial(A, Version(1), b"a".to_vec()),
-            4,
-        );
+        let mut cold = CachedStore::wrap(LocalStore::with_initial(A, Version(1), b"a".to_vec()), 4);
         assert!(cold.input(A).is_some()); // miss: cache starts empty
         assert_eq!(cold.store().io_stats().inputs, 1);
         assert!(cold.input(A).is_some()); // now a hit

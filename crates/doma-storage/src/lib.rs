@@ -23,7 +23,7 @@ mod log;
 mod store;
 mod version;
 
-pub use cache::{CacheStats, CachedStore};
 pub use crate::log::{LogRecord, RedoLog};
+pub use cache::{CacheStats, CachedStore};
 pub use store::{IoStats, LocalStore, StoredObject};
 pub use version::Version;

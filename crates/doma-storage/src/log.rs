@@ -128,7 +128,9 @@ mod tests {
         let mut log = RedoLog::new();
         assert!(log.is_empty());
         log.append(put(1, 1, b"a"));
-        log.append(LogRecord::Invalidate { object: ObjectId(1) });
+        log.append(LogRecord::Invalidate {
+            object: ObjectId(1),
+        });
         assert_eq!(log.len(), 2);
         assert_eq!(log.tail().len(), 2);
         log.checkpoint();
@@ -145,10 +147,15 @@ mod tests {
         log.append(put(1, 1, b"a"));
         log.append(put(2, 1, b"x"));
         log.append(put(1, 2, b"b"));
-        log.append(LogRecord::Invalidate { object: ObjectId(2) });
+        log.append(LogRecord::Invalidate {
+            object: ObjectId(2),
+        });
         let state = log.replay();
         let o1 = state.iter().find(|e| e.0 == ObjectId(1)).unwrap();
-        assert_eq!((o1.1, o1.2.as_slice(), o1.3), (Version(2), b"b".as_ref(), true));
+        assert_eq!(
+            (o1.1, o1.2.as_slice(), o1.3),
+            (Version(2), b"b".as_ref(), true)
+        );
         let o2 = state.iter().find(|e| e.0 == ObjectId(2)).unwrap();
         assert!(!o2.3, "object 2 must be stale after invalidation");
     }
@@ -157,7 +164,9 @@ mod tests {
     fn replay_handles_remove() {
         let mut log = RedoLog::new();
         log.append(put(1, 1, b"a"));
-        log.append(LogRecord::Remove { object: ObjectId(1) });
+        log.append(LogRecord::Remove {
+            object: ObjectId(1),
+        });
         assert!(log.replay().is_empty());
     }
 }

@@ -199,7 +199,13 @@ mod tests {
         let (v, data) = s.input(OBJ).expect("replica present");
         assert_eq!(v, Version(1));
         assert_eq!(data, b"v1");
-        assert_eq!(s.io_stats(), IoStats { inputs: 1, outputs: 1 });
+        assert_eq!(
+            s.io_stats(),
+            IoStats {
+                inputs: 1,
+                outputs: 1
+            }
+        );
     }
 
     #[test]
@@ -209,7 +215,13 @@ mod tests {
         s.invalidate(OBJ);
         assert!(!s.holds_valid(OBJ));
         assert!(s.input(OBJ).is_none());
-        assert_eq!(s.io_stats(), IoStats { inputs: 0, outputs: 1 });
+        assert_eq!(
+            s.io_stats(),
+            IoStats {
+                inputs: 0,
+                outputs: 1
+            }
+        );
         // Idempotent: invalidating again appends nothing.
         let log_len = s.log().len();
         s.invalidate(OBJ);
@@ -254,7 +266,13 @@ mod tests {
         let mut s = LocalStore::new();
         s.output(OBJ, Version(1), b"a".to_vec());
         let _ = s.peek(OBJ);
-        assert_eq!(s.io_stats(), IoStats { inputs: 0, outputs: 1 });
+        assert_eq!(
+            s.io_stats(),
+            IoStats {
+                inputs: 0,
+                outputs: 1
+            }
+        );
     }
 
     #[test]

@@ -142,12 +142,10 @@ impl Bench {
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--json" => json_path = args.next().map(PathBuf::from),
-                "--sample-size" => {
-                    sample_size_override = args.next().and_then(|s| s.parse().ok())
-                }
+                "--sample-size" => sample_size_override = args.next().and_then(|s| s.parse().ok()),
                 "--quick" => quick = true,
                 "--test" => test_mode = true,
-                "--bench" => {} // passed by `cargo bench`
+                "--bench" => {}               // passed by `cargo bench`
                 s if s.starts_with('-') => {} // ignore unknown flags
                 s => filter = Some(s.to_string()),
             }
@@ -197,11 +195,7 @@ impl Bench {
         }
         let path = self.json_path.clone().unwrap_or_else(default_json_path);
         match write_json(&path, &self.results) {
-            Ok(()) => println!(
-                "\n{} benchmarks -> {}",
-                self.results.len(),
-                path.display()
-            ),
+            Ok(()) => println!("\n{} benchmarks -> {}", self.results.len(), path.display()),
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
         }
     }
@@ -245,10 +239,7 @@ impl Group<'_> {
         if !self.bench.matches(&full) {
             return;
         }
-        let samples = self
-            .bench
-            .sample_size_override
-            .unwrap_or(self.sample_size);
+        let samples = self.bench.sample_size_override.unwrap_or(self.sample_size);
         let mut bencher = Bencher {
             samples,
             quick: self.bench.quick || self.bench.test_mode,
@@ -259,7 +250,13 @@ impl Group<'_> {
             eprintln!("warning: benchmark {full} never called Bencher::iter");
             return;
         };
-        let record = summarize(&self.name, &id.render(), sample_ns, iters, self.throughput_elems);
+        let record = summarize(
+            &self.name,
+            &id.render(),
+            sample_ns,
+            iters,
+            self.throughput_elems,
+        );
         if !self.bench.test_mode {
             println!("{}", render_line(&full, &record));
         }
@@ -421,7 +418,10 @@ fn default_json_path() -> PathBuf {
         .unwrap_or_else(|| "bench".to_string());
     // Cargo suffixes bench binaries with a metadata hash; strip it.
     let stem = match stem.rfind('-') {
-        Some(i) if stem[i + 1..].len() == 16 && stem[i + 1..].bytes().all(|b| b.is_ascii_hexdigit()) => {
+        Some(i)
+            if stem[i + 1..].len() == 16
+                && stem[i + 1..].bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
             stem[..i].to_string()
         }
         _ => stem,
@@ -510,9 +510,7 @@ mod tests {
                     calls
                 })
             });
-            group.bench_with_input(BenchId::new("param", 42), &7u32, |b, &x| {
-                b.iter(|| x * 2)
-            });
+            group.bench_with_input(BenchId::new("param", 42), &7u32, |b, &x| b.iter(|| x * 2));
             group.finish();
         }
         assert_eq!(calls, 1, "smoke mode runs exactly one iteration");

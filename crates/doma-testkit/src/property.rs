@@ -663,9 +663,13 @@ mod tests {
 
     #[test]
     fn passing_property_passes() {
-        check("commutative", (range(0u32..100), range(0u32..100)), |(a, b)| {
-            assert_eq!(a + b, b + a);
-        });
+        check(
+            "commutative",
+            (range(0u32..100), range(0u32..100)),
+            |(a, b)| {
+                assert_eq!(a + b, b + a);
+            },
+        );
     }
 
     #[test]
@@ -742,11 +746,9 @@ mod tests {
     fn iso_shrinks_through_the_mapping() {
         #[derive(Clone, Debug, PartialEq)]
         struct Wrapper(Vec<u32>);
-        let gen = iso(
-            vec_in(range(0u32..5), 0..20),
-            Wrapper,
-            |w: &Wrapper| w.0.clone(),
-        );
+        let gen = iso(vec_in(range(0u32..5), 0..20), Wrapper, |w: &Wrapper| {
+            w.0.clone()
+        });
         let result = panic::catch_unwind(AssertUnwindSafe(|| {
             check_with(
                 Config {

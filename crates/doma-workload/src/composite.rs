@@ -79,14 +79,8 @@ mod tests {
 
     fn composite() -> CompositeWorkload {
         CompositeWorkload::new(vec![
-            (
-                Box::new(UniformWorkload::new(5, 0.9).unwrap()),
-                30,
-            ),
-            (
-                Box::new(HotspotWorkload::new(5, 10, 0.8).unwrap()),
-                20,
-            ),
+            (Box::new(UniformWorkload::new(5, 0.9).unwrap()), 30),
+            (Box::new(HotspotWorkload::new(5, 10, 0.8).unwrap()), 20),
         ])
         .unwrap()
     }
@@ -94,11 +88,10 @@ mod tests {
     #[test]
     fn validation() {
         assert!(CompositeWorkload::new(vec![]).is_err());
-        assert!(CompositeWorkload::new(vec![(
-            Box::new(UniformWorkload::new(4, 0.5).unwrap()),
-            0
-        )])
-        .is_err());
+        assert!(
+            CompositeWorkload::new(vec![(Box::new(UniformWorkload::new(4, 0.5).unwrap()), 0)])
+                .is_err()
+        );
     }
 
     #[test]

@@ -34,8 +34,8 @@ mod uniform;
 mod zipf;
 
 pub use append_only::AppendOnlyWorkload;
-pub use composite::CompositeWorkload;
 pub use chaotic::ChaoticWorkload;
+pub use composite::CompositeWorkload;
 pub use hotspot::HotspotWorkload;
 pub use mobile::MobileWorkload;
 pub use multi_mobile::MultiMobileWorkload;

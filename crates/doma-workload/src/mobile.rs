@@ -125,7 +125,10 @@ mod tests {
         let mut writers: Vec<usize> = s.iter().map(|r| r.issuer.index()).collect();
         writers.sort_unstable();
         writers.dedup();
-        assert!(writers.len() >= 3, "user should visit several cells: {writers:?}");
+        assert!(
+            writers.len() >= 3,
+            "user should visit several cells: {writers:?}"
+        );
     }
 
     #[test]

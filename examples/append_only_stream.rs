@@ -26,11 +26,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for reads_per_write in [0.5, 2.0, 8.0] {
         let workload = AppendOnlyWorkload::new(stations, generators, reads_per_write)?;
         let schedule = workload.generate(1200, 11);
-        for model in [CostModel::stationary(0.2, 0.8)?, CostModel::mobile(0.2, 0.8)?] {
+        for model in [
+            CostModel::stationary(0.2, 0.8)?,
+            CostModel::mobile(0.2, 0.8)?,
+        ] {
             let mut sa = StaticAllocation::new(ProcSet::from_iter([0, 1]))?;
             let sa_cost = run_online(&mut sa, &schedule)?.costed.total_cost(&model);
-            let mut da =
-                DynamicAllocation::new(ProcSet::from_iter([0]), ProcessorId::new(1))?;
+            let mut da = DynamicAllocation::new(ProcSet::from_iter([0]), ProcessorId::new(1))?;
             let da_cost = run_online(&mut da, &schedule)?.costed.total_cost(&model);
             println!(
                 "  {reads_per_write:>11} | {:>5} | {sa_cost:>7.0} | {da_cost:>7.0} | {:.2}",

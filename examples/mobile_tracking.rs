@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nmobile cost model (cc=0.2, cd=1.0, I/O free): SA = {sa_cost:.1}, DA = {da_cost:.1}  (DA/SA = {:.2})",
         da_cost / sa_cost
     );
-    assert!(da_cost < sa_cost, "Figure 2: DA dominates in mobile computing");
+    assert!(
+        da_cost < sa_cost,
+        "Figure 2: DA dominates in mobile computing"
+    );
 
     // --- 3. Base-station failure and recovery -----------------------------
     println!("\ninjecting base-station failure…");

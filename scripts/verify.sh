@@ -51,10 +51,42 @@ if grep -q '^source = ' Cargo.lock; then
 fi
 
 # ---------------------------------------------------------------------------
+# Static-analysis wall: formatting, clippy at -D warnings, and the in-tree
+# protocol linter (no panicking calls in protocol code, exhaustive message
+# dispatch, lint headers in every crate root).
+# ---------------------------------------------------------------------------
+if ! cargo fmt --check; then
+    echo "verify: FAILED (cargo fmt --check; run 'cargo fmt' and re-verify)" >&2
+    exit 1
+fi
+if ! cargo clippy --workspace --offline --all-targets -q -- -D warnings; then
+    echo "verify: FAILED (clippy -D warnings)" >&2
+    exit 1
+fi
+
+# ---------------------------------------------------------------------------
 # Build + test, fully offline.
 # ---------------------------------------------------------------------------
 cargo build --release --offline
+
+if ! cargo run -q --release --offline -p doma-lint --bin doma-lint -- .; then
+    echo "verify: FAILED (doma-lint wall)" >&2
+    exit 1
+fi
+
 cargo test -q --offline --workspace
+
+# ---------------------------------------------------------------------------
+# Exhaustive small-bound model check: every built-in doma-check scenario
+# (3–5 processors, up to 6 requests) must be explored to completion with
+# zero violations. Exit 1 = counterexample (the tool prints the replayable
+# trace); exit 2 = a budget was hit, which also fails tier-1 because the
+# built-ins are sized to finish.
+# ---------------------------------------------------------------------------
+if ! cargo run -q --release --offline -p doma-check --bin doma-check; then
+    echo "verify: FAILED (doma-check exhaustive small-bound scenarios)" >&2
+    exit 1
+fi
 
 # ---------------------------------------------------------------------------
 # Fault matrix: 32 seeded fault plans per {SA,DA} × {crash,partition,drop}

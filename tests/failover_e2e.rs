@@ -29,10 +29,7 @@ fn full_failure_cycle_preserves_latest_version() {
 
     // Recovery: catch-up then normal mode; more traffic.
     d.recover(ProcessorId::new(0));
-    assert!(d
-        .sim()
-        .holders_of(v_during)
-        .contains(ProcessorId::new(0)));
+    assert!(d.sim().holders_of(v_during).contains(ProcessorId::new(0)));
     d.execute_request(Request::write(4usize)).unwrap();
     d.execute_request(Request::read(3usize)).unwrap();
     let v_final = d.sim().latest_version();
@@ -120,11 +117,17 @@ fn crash_during_write_is_detected_at_quiescence() {
     // to a write majority even though the core member never applied it.
     for i in 1..5 {
         assert!(
-            d.sim().engine_ref().actor(doma::sim::NodeId(i)).in_quorum_mode(),
+            d.sim()
+                .engine_ref()
+                .actor(doma::sim::NodeId(i))
+                .in_quorum_mode(),
             "node {i} must have fallen back to quorum mode"
         );
     }
-    assert!(d.live_holders_of(v_crash) >= 3, "majority must hold the mid-crash write");
+    assert!(
+        d.live_holders_of(v_crash) >= 3,
+        "majority must hold the mid-crash write"
+    );
 
     // Quorum service continues; recovery resolves the missing writes.
     d.execute_request(Request::write(4usize)).unwrap();
@@ -135,7 +138,11 @@ fn crash_during_write_is_detected_at_quiescence() {
         "catch-up must deliver the writes the core member missed"
     );
     for i in 0..5 {
-        assert!(!d.sim().engine_ref().actor(doma::sim::NodeId(i)).in_quorum_mode());
+        assert!(!d
+            .sim()
+            .engine_ref()
+            .actor(doma::sim::NodeId(i))
+            .in_quorum_mode());
     }
 }
 
@@ -148,7 +155,10 @@ fn floating_member_crash_engages_failover() {
     d.execute_request(Request::write(0usize)).unwrap(); // core write: scheme F ∪ {p}
     d.crash(ProcessorId::new(1)); // p down
     assert!(
-        d.sim().engine_ref().actor(doma::sim::NodeId(0)).in_quorum_mode(),
+        d.sim()
+            .engine_ref()
+            .actor(doma::sim::NodeId(0))
+            .in_quorum_mode(),
         "a scheme-member crash must trigger quorum fallback"
     );
 
@@ -166,7 +176,11 @@ fn floating_member_crash_engages_failover() {
         "the floater must be current after catch-up"
     );
     for i in 0..5 {
-        assert!(!d.sim().engine_ref().actor(doma::sim::NodeId(i)).in_quorum_mode());
+        assert!(!d
+            .sim()
+            .engine_ref()
+            .actor(doma::sim::NodeId(i))
+            .in_quorum_mode());
     }
     // Normal DA service: a core write reaches the whole home scheme.
     d.execute_request(Request::write(0usize)).unwrap();

@@ -33,7 +33,8 @@ fn sa_protocol_matches_analytic_on_random_workloads() {
             let mut sa = StaticAllocation::new(q).unwrap();
             let analytic = run_online(&mut sa, &schedule).unwrap();
             assert_eq!(
-                report.cost, analytic.costed.total,
+                report.cost,
+                analytic.costed.total,
                 "SA tally mismatch on {}/seed{seed}: schedule {schedule}",
                 gen.name()
             );
@@ -56,7 +57,8 @@ fn da_protocol_matches_analytic_on_random_workloads() {
             let mut da = DynamicAllocation::new(f, p).unwrap();
             let analytic = run_online(&mut da, &schedule).unwrap();
             assert_eq!(
-                report.cost, analytic.costed.total,
+                report.cost,
+                analytic.costed.total,
                 "DA tally mismatch on {}/seed{seed}: schedule {schedule}",
                 gen.name()
             );
@@ -73,8 +75,7 @@ fn da_protocol_matches_on_mobile_traces() {
         let schedule = workload.generate(120, seed);
         let mut sim = ProtocolSim::mobile(n).unwrap();
         let report = sim.execute(&schedule).unwrap();
-        let mut da =
-            DynamicAllocation::new(ProcSet::from_iter([0]), ProcessorId::new(1)).unwrap();
+        let mut da = DynamicAllocation::new(ProcSet::from_iter([0]), ProcessorId::new(1)).unwrap();
         let analytic = run_online(&mut da, &schedule).unwrap();
         assert_eq!(report.cost, analytic.costed.total, "seed {seed}");
         assert_eq!(report.final_holders, analytic.costed.final_scheme);
