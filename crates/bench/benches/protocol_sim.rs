@@ -39,6 +39,19 @@ fn bench(c: &mut Bench) {
         })
     });
     group.finish();
+
+    // Attach the observability snapshot of one instrumented run, so the
+    // bench report carries the message/cost breakdown alongside the
+    // timings (the timed runs above stay uninstrumented).
+    let obs_schedule = UniformWorkload::new(8, 0.7)
+        .expect("valid")
+        .generate(200, 5);
+    let mut sim =
+        ProtocolSim::new_da(8, ProcSet::from_iter([0]), ProcessorId::new(1)).expect("valid");
+    let obs = sim.attach_obs(64);
+    sim.execute(&obs_schedule).expect("run");
+    sim.obs_flush();
+    c.attach_json("protocol_sim/da_cluster8_obs", obs.snapshot_json());
 }
 
 doma_testkit::bench_main!(bench);

@@ -6,6 +6,8 @@
 //!                  [--verbose]
 //! domactl stats    --schedule "r1 r1 w2 r2"
 //! domactl simulate --schedule "..." [--algo sa|da] [--n 6]
+//! domactl obs      --schedule "..." [--algo sa|da] [--n 6]
+//!                  [--format json|table] [--events 256]
 //! domactl generate --workload uniform|zipf|hotspot|chaotic|mobile|append
 //!                  [--n 6] [--len 50] [--seed 0] [--read-fraction 0.7]
 //! ```
@@ -52,7 +54,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         }
     }
     if opts.command.is_empty() {
-        return Err("missing command (cost | stats | simulate | generate)".to_string());
+        return Err("missing command (cost | stats | simulate | obs | generate)".to_string());
     }
     Ok(opts)
 }
@@ -235,6 +237,41 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the protocol sim the way `simulate` does, but with the
+/// observability bundle attached, executes the schedule, and prints the
+/// snapshot — stable JSON by default (byte-identical across runs of the
+/// same inputs), or the aligned metric table plus event log with
+/// `--format table`.
+fn cmd_obs(opts: &Opts) -> Result<(), String> {
+    let schedule = opts.schedule()?;
+    let n = universe_for(&schedule, opts)?;
+    let algo = opts.get("algo", "da");
+    let events = opts.get_usize("events", 256)?;
+    let err = |e: doma_core::DomaError| e.to_string();
+    let mut sim = match algo.as_str() {
+        "sa" => ProtocolSim::new_sa(n, ProcSet::from_iter([0usize, 1])).map_err(err)?,
+        "da" => ProtocolSim::new_da(n, ProcSet::from_iter([0usize]), ProcessorId::new(1))
+            .map_err(err)?,
+        other => return Err(format!("--algo must be sa or da, got '{other}'")),
+    };
+    let obs = sim.attach_obs(events);
+    let _trace_handle = sim.attach_tracer_on(obs.events().clone());
+    sim.execute(&schedule).map_err(err)?;
+    sim.obs_flush();
+    match opts.get("format", "json").as_str() {
+        "json" => println!("{}", obs.snapshot_json()),
+        "table" => {
+            println!("{}", obs.metrics().snapshot());
+            let rendered = obs.events().render();
+            if !rendered.is_empty() {
+                println!("{rendered}");
+            }
+        }
+        other => return Err(format!("--format must be json or table, got '{other}'")),
+    }
+    Ok(())
+}
+
 fn cmd_generate(opts: &Opts) -> Result<(), String> {
     let n = opts.get_usize("n", 6)?;
     let len = opts.get_usize("len", 50)?;
@@ -256,7 +293,7 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: domactl <cost|stats|simulate|generate> [--flags]\n\
+    "usage: domactl <cost|stats|simulate|obs|generate> [--flags]\n\
      try: domactl cost --schedule \"r1 r1 r2 w2 r2 r2 r2\" --cc 0.5 --cd 1.0"
         .to_string()
 }
@@ -267,6 +304,7 @@ fn main() -> ExitCode {
         "cost" => cmd_cost(&opts),
         "stats" => cmd_stats(&opts),
         "simulate" => cmd_simulate(&opts),
+        "obs" => cmd_obs(&opts),
         "generate" => cmd_generate(&opts),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     });
@@ -347,6 +385,23 @@ mod tests {
         cmd_simulate(&o).unwrap();
         let o = parse_args(&args(&["generate", "--workload", "zipf", "--len", "10"])).unwrap();
         cmd_generate(&o).unwrap();
+        let o = parse_args(&args(&["obs", "--schedule", "r2 w3 r2", "--algo", "sa"])).unwrap();
+        cmd_obs(&o).unwrap();
+        let o = parse_args(&args(&[
+            "obs",
+            "--schedule",
+            "r2 w3 r2",
+            "--format",
+            "table",
+        ]))
+        .unwrap();
+        cmd_obs(&o).unwrap();
+    }
+
+    #[test]
+    fn obs_rejects_bad_format() {
+        let o = parse_args(&args(&["obs", "--schedule", "r1", "--format", "xml"])).unwrap();
+        assert!(cmd_obs(&o).is_err());
     }
 
     #[test]

@@ -77,6 +77,12 @@ fn main() -> ExitCode {
                     for (i, step) in cex.steps.iter().enumerate() {
                         println!("  step {:>2}: {}", i + 1, step.label);
                     }
+                    if let Some(metrics) = &cex.metrics {
+                        println!("  metrics over the violating schedule:");
+                        for line in metrics.lines() {
+                            println!("    {line}");
+                        }
+                    }
                     println!(
                         "  {}",
                         cex.replay_line(&scenario.name, "replay_trace_from_env")

@@ -86,6 +86,12 @@ pub struct Counterexample {
     /// Whether `steps` is a globally shortest trace (breadth-first
     /// re-search) rather than the first one the DFS found.
     pub minimized: bool,
+    /// Rendered metric table from replaying `steps` on an instrumented
+    /// fresh instance of the scenario: the cost and lifecycle activity
+    /// of exactly the counterexample schedule. The search itself never
+    /// carries observability (forks strip it), so this is recomputed
+    /// deterministically from the trace after the fact.
+    pub metrics: Option<String>,
 }
 
 impl Counterexample {
@@ -162,7 +168,7 @@ pub(crate) enum Progress {
 }
 
 pub(crate) enum Stop {
-    Violation(Counterexample),
+    Violation(Box<Counterexample>),
     Budget,
 }
 
@@ -404,12 +410,13 @@ struct Explorer<'a> {
 }
 
 impl Explorer<'_> {
-    fn counterexample(&self, violation: Violation, trace: &[TraceStep]) -> Counterexample {
-        Counterexample {
+    fn counterexample(&self, violation: Violation, trace: &[TraceStep]) -> Box<Counterexample> {
+        Box::new(Counterexample {
             violation,
             steps: trace.to_vec(),
             minimized: false,
-        }
+            metrics: None,
+        })
     }
 
     fn dfs(
@@ -517,11 +524,18 @@ pub fn check(scenario: &Scenario, opts: &CheckOptions) -> Result<CheckReport> {
             complete = false;
             None
         }
-        Err(Stop::Violation(mut cex)) => {
+        Err(Stop::Violation(cex)) => {
+            let mut cex = *cex;
             if opts.minimize {
                 if let Some(short) = crate::minimize::shortest_counterexample(scenario, opts)? {
                     cex = short;
                 }
+            }
+            // Replay the final trace on an instrumented fresh instance so
+            // the report carries the metric activity of the violating
+            // schedule alongside the steps.
+            if let Ok((_, obs)) = crate::replay::replay_observed(scenario, &cex.trace()) {
+                cex.metrics = Some(obs.metrics().snapshot().to_string());
             }
             Some(cex)
         }

@@ -34,6 +34,7 @@ pub(crate) fn shortest_counterexample(
                     violation,
                     steps: trace,
                     minimized: true,
+                    metrics: None,
                 }));
             }
         }
@@ -59,6 +60,7 @@ pub(crate) fn shortest_counterexample(
                     violation,
                     steps: child_trace,
                     minimized: true,
+                    metrics: None,
                 }));
             }
             frontier.push_back((child, child_trace));

@@ -60,22 +60,46 @@ pub fn trace_from_env() -> Option<Vec<u64>> {
     std::env::var(TRACE_ENV).ok().and_then(|s| parse_trace(&s))
 }
 
+/// Event-log bound for an instrumented replay; a counterexample trace is
+/// short by construction, so this is generous.
+const REPLAY_EVENT_CAPACITY: usize = 256;
+
 /// Replays `trace` against a fresh instance of `scenario`, dispatching
 /// exactly the listed events (phase barriers advance automatically when
 /// the queue drains). Stops at the first violation, which is the one the
 /// trace was minted to reproduce.
 pub fn replay(scenario: &Scenario, trace: &[u64]) -> Result<ReplayReport> {
     let mut state = SearchState::initial(scenario)?;
+    Ok(drive(scenario, &mut state, trace))
+}
+
+/// [`replay`] with an observability bundle attached to the cluster: the
+/// returned [`doma_obs::Obs`] holds the metric tallies and event log of
+/// exactly the replayed schedule. This is how counterexample reports get
+/// their metrics — the search itself never carries instrumentation.
+pub fn replay_observed(
+    scenario: &Scenario,
+    trace: &[u64],
+) -> Result<(ReplayReport, doma_obs::Obs)> {
+    let mut state = SearchState::initial(scenario)?;
+    let obs = state.sim.attach_obs(REPLAY_EVENT_CAPACITY);
+    let _trace_handle = state.sim.attach_tracer_on(obs.events().clone());
+    let report = drive(scenario, &mut state, trace);
+    state.sim.obs_flush();
+    Ok((report, obs))
+}
+
+fn drive(scenario: &Scenario, state: &mut SearchState, trace: &[u64]) -> ReplayReport {
     let mut steps = Vec::new();
     for &seq in trace {
         match state.advance(scenario) {
             Ok(Progress::Ready) => {}
             Ok(Progress::Done) => break,
             Err(violation) => {
-                return Ok(ReplayReport {
+                return ReplayReport {
                     steps,
                     violation: Some(violation),
-                })
+                }
             }
         }
         let label = state
@@ -91,14 +115,14 @@ pub fn replay(scenario: &Scenario, trace: &[u64]) -> Result<ReplayReport> {
             phase: state.phase,
         });
         if let Err(violation) = state.step(scenario, seq) {
-            return Ok(ReplayReport {
+            return ReplayReport {
                 steps,
                 violation: Some(violation),
-            });
+            };
         }
     }
     // The trace ran out without tripping anything; one more barrier
     // audit catches violations that surface only at quiescence.
     let violation = state.advance(scenario).err();
-    Ok(ReplayReport { steps, violation })
+    ReplayReport { steps, violation }
 }

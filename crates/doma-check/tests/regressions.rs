@@ -67,6 +67,14 @@ fn assert_caught(
         cex.violation
     );
     assert!(cex.minimized, "counterexample must be BFS-minimal");
+    let metrics = cex
+        .metrics
+        .as_deref()
+        .expect("counterexample must carry the replayed metric table");
+    assert!(
+        metrics.contains("protocol") && metrics.contains("cost."),
+        "metric table must show protocol cost activity:\n{metrics}"
+    );
     eprintln!("{report}");
     eprintln!(
         "  {}",

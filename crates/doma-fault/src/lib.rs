@@ -23,4 +23,7 @@ pub mod invariants;
 pub mod torture;
 
 pub use invariants::{InvariantChecker, Regime, Violation};
-pub use torture::{run_episode, run_sweep, Algo, EpisodeOutcome, FaultClass, TortureFailure};
+pub use torture::{
+    episode_obs_json, run_episode, run_episode_with_bugs, run_sweep, Algo, EpisodeOutcome,
+    FaultClass, TortureFailure,
+};

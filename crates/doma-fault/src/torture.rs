@@ -7,7 +7,11 @@
 //! rules — is derived from one `u64` seed via the testkit's xoshiro
 //! generator, so an episode is fully reproduced by re-running with the
 //! same seed. On an invariant violation, [`TortureFailure`] carries the
-//! one-line `DOMA_FAULT_SEED=…` replay recipe.
+//! one-line `DOMA_FAULT_SEED=…` replay recipe **plus the observability
+//! evidence**: the metric delta since the last passing audit and the
+//! tail of the shared event log (message trace, engine lifecycle and
+//! protocol spans interleaved), so the report shows *what the cluster
+//! was doing* when the invariant broke, not just that it broke.
 //!
 //! Three fault classes, deliberately disjoint so every episode's checks
 //! stay sound (the comments in [`run_episode`] spell out why each phase
@@ -25,13 +29,21 @@
 use crate::invariants::{InvariantChecker, Regime, Violation};
 use doma_core::{ProcessorId, Request};
 use doma_protocol::failover::FailoverDriver;
-use doma_protocol::ProtocolSim;
+use doma_protocol::{BugSwitches, ProtocolSim};
 use doma_sim::{FaultAction, FaultPlan, FaultRule, FaultStats, LinkFilter, MsgKind, NodeId};
 use doma_storage::Version;
 use doma_testkit::replay::{replay_line, FaultSeeds};
 use doma_testkit::rng::{Rng, TestRng};
 use doma_workload::{HotspotWorkload, ScheduleGen, UniformWorkload, ZipfWorkload};
 use std::fmt;
+
+/// Event-log bound for an episode: large enough that the failure tail
+/// shows the choreography leading up to a violation, small enough that a
+/// sweep of episodes stays cheap. Overflow is counted, never silent.
+const EPISODE_EVENT_CAPACITY: usize = 512;
+
+/// How many trailing event records a failure report carries.
+const EVENT_TAIL_LEN: usize = 12;
 
 /// Which protocol an episode exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,7 +100,8 @@ pub struct EpisodeOutcome {
     pub crashes: usize,
 }
 
-/// An invariant violation, with everything needed to reproduce it.
+/// An invariant violation, with everything needed to reproduce it *and*
+/// the observability evidence of what the cluster was doing.
 #[derive(Debug, Clone)]
 pub struct TortureFailure {
     /// The episode seed.
@@ -97,6 +110,12 @@ pub struct TortureFailure {
     pub scenario: String,
     /// The violated invariant.
     pub violation: Violation,
+    /// The rendered metric delta since the last *passing* audit — the
+    /// cost and lifecycle activity of exactly the step that broke.
+    pub metrics_delta: String,
+    /// The rendered tail of the shared event log: message deliveries,
+    /// crash/recover/drop records and protocol spans, interleaved.
+    pub event_tail: String,
     /// The one-line replay recipe to print.
     pub replay: String,
 }
@@ -109,6 +128,18 @@ impl fmt::Display for TortureFailure {
             self.scenario, self.seed
         )?;
         writeln!(f, "  {}", self.violation)?;
+        if !self.metrics_delta.is_empty() {
+            writeln!(f, "  metric delta since the last passing audit:")?;
+            for line in self.metrics_delta.lines() {
+                writeln!(f, "  {line}")?;
+            }
+        }
+        if !self.event_tail.is_empty() {
+            writeln!(f, "  event-log tail:")?;
+            for line in self.event_tail.lines() {
+                writeln!(f, "    {line}")?;
+            }
+        }
         write!(f, "  {}", self.replay)
     }
 }
@@ -132,11 +163,11 @@ fn trace(driver: &FailoverDriver, n: usize, what: &str) {
             )
         })
         .collect();
-    eprintln!(
+    doma_obs::console::debug_line(&format!(
         "TRACE [{what}] latest={} {}",
         driver.sim().latest_version().0,
         state.join(" ")
-    );
+    ));
 }
 
 fn regime_of(driver: &FailoverDriver, n: usize) -> Regime {
@@ -165,25 +196,58 @@ fn committed_write(driver: &FailoverDriver, req: Request, t: usize) -> Option<Ve
     (driver.sim().holders_of(v).len() >= t).then_some(v)
 }
 
+/// Shared audit state: the episode identity the failure report carries,
+/// plus the observability checkpoint that turns a violation into a
+/// metric *delta* (the activity of exactly the failing step, not
+/// since-construction totals).
+struct AuditCtx {
+    obs: doma_obs::Obs,
+    /// Registry snapshot at the last passing audit — the delta baseline.
+    last: doma_obs::MetricsSnapshot,
+    n: usize,
+    seed: u64,
+    scenario: String,
+}
+
+impl AuditCtx {
+    fn failure(&self, violation: Violation) -> TortureFailure {
+        let delta = self.obs.metrics().snapshot().delta(&self.last);
+        let tail: Vec<String> = self
+            .obs
+            .events()
+            .tail(EVENT_TAIL_LEN)
+            .iter()
+            .map(|e| e.to_string())
+            .collect();
+        TortureFailure {
+            seed: self.seed,
+            scenario: self.scenario.clone(),
+            violation,
+            metrics_delta: delta.to_string(),
+            event_tail: tail.join("\n"),
+            replay: replay_line(self.seed, &self.scenario, "fault_torture"),
+        }
+    }
+}
+
 fn audit(
     checker: &mut InvariantChecker,
-    driver: &FailoverDriver,
-    n: usize,
+    driver: &mut FailoverDriver,
+    ctx: &mut AuditCtx,
     wrote: Option<Version>,
-    seed: u64,
-    scenario: &str,
     context: &str,
 ) -> Result<(), Box<TortureFailure>> {
-    checker
-        .check(driver, regime_of(driver, n), wrote, context)
-        .map_err(|violation| {
-            Box::new(TortureFailure {
-                seed,
-                scenario: scenario.to_string(),
-                violation,
-                replay: replay_line(seed, scenario, "fault_torture"),
-            })
-        })
+    let regime = regime_of(driver, ctx.n);
+    // Attribute any I/O performed outside message dispatch before
+    // snapshotting, so the delta is exact.
+    driver.sim_mut().obs_flush();
+    match checker.check(driver, regime, wrote, context) {
+        Ok(()) => {
+            ctx.last = ctx.obs.metrics().snapshot();
+            Ok(())
+        }
+        Err(violation) => Err(Box::new(ctx.failure(violation))),
+    }
 }
 
 /// Runs one fully seeded episode: samples a cluster, a workload and a
@@ -194,6 +258,38 @@ pub fn run_episode(
     algo: Algo,
     class: FaultClass,
 ) -> Result<EpisodeOutcome, Box<TortureFailure>> {
+    run_episode_observed(seed, algo, class, BugSwitches::default()).0
+}
+
+/// [`run_episode`] with reverted-fix switches installed (regression
+/// tests only — see [`doma_protocol::BugSwitches`]): forces the
+/// violations the hardening fixes prevent, exercising the failure
+/// report's metric delta and event-log tail.
+#[doc(hidden)]
+pub fn run_episode_with_bugs(
+    seed: u64,
+    algo: Algo,
+    class: FaultClass,
+    bugs: BugSwitches,
+) -> Result<EpisodeOutcome, Box<TortureFailure>> {
+    run_episode_observed(seed, algo, class, bugs).0
+}
+
+/// Runs one episode (violation or not) and returns the final
+/// observability snapshot as stable JSON — same seed ⇒ byte-identical
+/// output, the determinism contract `doma-obs` guarantees and the
+/// root-level property test asserts.
+pub fn episode_obs_json(seed: u64, algo: Algo, class: FaultClass) -> String {
+    let (_, obs) = run_episode_observed(seed, algo, class, BugSwitches::default());
+    obs.snapshot_json()
+}
+
+fn run_episode_observed(
+    seed: u64,
+    algo: Algo,
+    class: FaultClass,
+    bugs: BugSwitches,
+) -> (Result<EpisodeOutcome, Box<TortureFailure>>, doma_obs::Obs) {
     let mut rng = TestRng::seed_from_u64(seed);
     let n = rng.gen_range(4usize..9);
     let mut members: Vec<usize> = (0..n).collect();
@@ -216,7 +312,21 @@ pub fn run_episode(
     let t = sim.config().t();
     let scenario = format!("{algo}/{class}/n{n}");
     let mut driver = FailoverDriver::new(sim, n);
+    if bugs != BugSwitches::default() {
+        driver.sim_mut().set_bug_switches(bugs);
+    }
+    let obs = driver.sim_mut().attach_obs(EPISODE_EVENT_CAPACITY);
+    // The message trace shares the bundle's event log, so the failure
+    // tail interleaves deliveries with lifecycle events and spans.
+    let _trace_handle = driver.sim_mut().attach_tracer_on(obs.events().clone());
     let mut checker = InvariantChecker::new(driver.sim(), n);
+    let mut ctx = AuditCtx {
+        obs: obs.clone(),
+        last: obs.metrics().snapshot(),
+        n,
+        seed,
+        scenario,
+    };
 
     let len = rng.gen_range(20usize..41);
     let wseed = rng.next_u64();
@@ -234,6 +344,31 @@ pub fn run_episode(
     };
     let requests: Vec<Request> = schedule.requests().to_vec();
 
+    let result = drive_episode(
+        &mut rng,
+        &mut driver,
+        &mut checker,
+        &mut ctx,
+        &requests,
+        t,
+        class,
+    );
+    // Attribute any trailing out-of-dispatch I/O before the caller
+    // snapshots the bundle.
+    driver.sim_mut().obs_flush();
+    (result, obs)
+}
+
+fn drive_episode(
+    rng: &mut TestRng,
+    driver: &mut FailoverDriver,
+    checker: &mut InvariantChecker,
+    ctx: &mut AuditCtx,
+    requests: &[Request],
+    t: usize,
+    class: FaultClass,
+) -> Result<EpisodeOutcome, Box<TortureFailure>> {
+    let n = ctx.n;
     let mut issued = 0usize;
     let mut crashes = 0usize;
     let mut faults = FaultStats::default();
@@ -255,58 +390,38 @@ pub fn run_episode(
                     driver.crash(ProcessorId::new(victim));
                     crashes += 1;
                     audit(
-                        &mut checker,
-                        &driver,
-                        n,
+                        checker,
+                        driver,
+                        ctx,
                         None,
-                        seed,
-                        &scenario,
                         &format!("crash p{victim} before req {i}"),
                     )?;
-                    trace(&driver, n, &format!("crash p{victim} before req {i}"));
+                    trace(driver, n, &format!("crash p{victim} before req {i}"));
                 } else if !down.is_empty() && rng.gen_bool(0.3) {
                     let back = *rng.choose(&down).expect("a node is down");
                     driver.recover(ProcessorId::new(back));
                     audit(
-                        &mut checker,
-                        &driver,
-                        n,
+                        checker,
+                        driver,
+                        ctx,
                         None,
-                        seed,
-                        &scenario,
                         &format!("recover p{back} before req {i}"),
                     )?;
-                    trace(&driver, n, &format!("recover p{back} before req {i}"));
+                    trace(driver, n, &format!("recover p{back} before req {i}"));
                 }
                 if driver.is_crashed(req.issuer) {
                     continue;
                 }
                 driver.execute_request(*req).expect("request executes");
                 issued += 1;
-                let wrote = committed_write(&driver, *req, t);
-                audit(
-                    &mut checker,
-                    &driver,
-                    n,
-                    wrote,
-                    seed,
-                    &scenario,
-                    &format!("req {i}: {req}"),
-                )?;
-                trace(&driver, n, &format!("req {i}: {req} wrote={wrote:?}"));
+                let wrote = committed_write(driver, *req, t);
+                audit(checker, driver, ctx, wrote, &format!("req {i}: {req}"))?;
+                trace(driver, n, &format!("req {i}: {req} wrote={wrote:?}"));
             }
             for j in 0..n {
                 if driver.is_crashed(ProcessorId::new(j)) {
                     driver.recover(ProcessorId::new(j));
-                    audit(
-                        &mut checker,
-                        &driver,
-                        n,
-                        None,
-                        seed,
-                        &scenario,
-                        &format!("final recover p{j}"),
-                    )?;
+                    audit(checker, driver, ctx, None, &format!("final recover p{j}"))?;
                 }
             }
         }
@@ -316,31 +431,15 @@ pub fn run_episode(
             for (i, req) in requests[..prefix].iter().enumerate() {
                 driver.execute_request(*req).expect("request executes");
                 issued += 1;
-                let wrote = committed_write(&driver, *req, t);
-                audit(
-                    &mut checker,
-                    &driver,
-                    n,
-                    wrote,
-                    seed,
-                    &scenario,
-                    &format!("req {i}: {req}"),
-                )?;
+                let wrote = committed_write(driver, *req, t);
+                audit(checker, driver, ctx, wrote, &format!("req {i}: {req}"))?;
             }
             // Normal SA/DA is not loss-tolerant by design: degrade to
             // quorum mode BEFORE the network turns hostile, so the
             // mode-change broadcast and its missing-writes push are not
             // themselves eaten by the fault plan.
             driver.set_quorum_mode(true);
-            audit(
-                &mut checker,
-                &driver,
-                n,
-                None,
-                seed,
-                &scenario,
-                "enter quorum mode",
-            )?;
+            audit(checker, driver, ctx, None, "enter quorum mode")?;
             let plan = match class {
                 FaultClass::Partition => {
                     // Cut off a strict minority so the majority side can
@@ -388,29 +487,25 @@ pub fn run_episode(
                 issued += 1;
                 // Quorum mode: the floor moves on quorum evidence only.
                 audit(
-                    &mut checker,
-                    &driver,
-                    n,
+                    checker,
+                    driver,
+                    ctx,
                     None,
-                    seed,
-                    &scenario,
                     &format!("hostile req {i}: {req}"),
                 )?;
             }
             faults = driver.sim_mut().engine_mut().clear_faults();
             driver.heal();
-            audit(&mut checker, &driver, n, None, seed, &scenario, "heal")?;
+            audit(checker, driver, ctx, None, "heal")?;
             for (i, req) in requests[hostile_end..].iter().enumerate() {
                 driver.execute_request(*req).expect("request executes");
                 issued += 1;
-                let wrote = committed_write(&driver, *req, t);
+                let wrote = committed_write(driver, *req, t);
                 audit(
-                    &mut checker,
-                    &driver,
-                    n,
+                    checker,
+                    driver,
+                    ctx,
                     wrote,
-                    seed,
-                    &scenario,
                     &format!("post-heal req {i}: {req}"),
                 )?;
             }
@@ -479,10 +574,25 @@ mod tests {
                 t: 2,
                 context: "req 3".into(),
             },
+            metrics_delta: String::new(),
+            event_tail: String::new(),
             replay: replay_line(0xBEEF, "da/drop/n5", "fault_torture"),
         };
         let text = failure.to_string();
         assert!(text.contains("DOMA_FAULT_SEED=0xbeef"), "{text}");
         assert!(text.contains("t-availability"), "{text}");
+        // Empty observability sections render no headers.
+        assert!(!text.contains("metric delta"), "{text}");
+        assert!(!text.contains("event-log tail"), "{text}");
+    }
+
+    #[test]
+    fn episode_obs_json_is_deterministic_and_shaped() {
+        let a = episode_obs_json(0x0B5, Algo::Da, FaultClass::Crash);
+        let b = episode_obs_json(0x0B5, Algo::Da, FaultClass::Crash);
+        assert_eq!(a, b, "same seed must produce byte-identical obs JSON");
+        assert!(a.contains("\"dropped_events\""), "{a}");
+        assert!(a.contains("\"protocol\""), "{a}");
+        assert!(a.contains("\"sim.trace\""), "{a}");
     }
 }

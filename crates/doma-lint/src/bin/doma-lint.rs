@@ -2,6 +2,8 @@
 //!
 //! * `no-panic` over `doma-protocol` and `doma-sim` non-test sources,
 //! * `exhaustive-dispatch` over `doma-protocol`,
+//! * `no-adhoc-print` over the instrumented crates' non-test, non-bin
+//!   sources (CLI binaries under `src/bin` are exempt),
 //! * `lint-headers` over every crate's `lib.rs`.
 //!
 //! ```text
@@ -11,7 +13,8 @@
 //! Exit codes: 0 clean, 1 findings, 2 bad invocation.
 
 use doma_lint::{
-    check_dispatch_exhaustive, check_lint_headers, check_no_panics, mask_cfg_test, mask_source,
+    check_dispatch_exhaustive, check_lint_headers, check_no_adhoc_prints, check_no_panics,
+    mask_cfg_test, mask_source,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -20,6 +23,16 @@ use std::process::ExitCode;
 const NO_PANIC_CRATES: &[&str] = &["doma-protocol", "doma-sim"];
 /// Crates whose message dispatch must name every variant.
 const DISPATCH_CRATES: &[&str] = &["doma-protocol"];
+/// Instrumented crates whose library code must not print ad hoc: output
+/// flows through the `doma-obs` event log / metric registry (or the
+/// sanctioned `console::debug_line` choke point).
+const NO_PRINT_CRATES: &[&str] = &[
+    "doma-obs",
+    "doma-sim",
+    "doma-protocol",
+    "doma-fault",
+    "doma-check",
+];
 
 fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = std::fs::read_dir(dir) else {
@@ -71,7 +84,8 @@ fn main() -> ExitCode {
         }
         let no_panic = NO_PANIC_CRATES.contains(&name);
         let dispatch = DISPATCH_CRATES.contains(&name);
-        if !no_panic && !dispatch {
+        let no_print = NO_PRINT_CRATES.contains(&name);
+        if !no_panic && !dispatch && !no_print {
             continue;
         }
         let mut files = Vec::new();
@@ -88,6 +102,12 @@ fn main() -> ExitCode {
             }
             if dispatch {
                 findings.extend(check_dispatch_exhaustive(&label, &masked));
+            }
+            let in_bin = file
+                .components()
+                .any(|c| c.as_os_str() == "bin" || c.as_os_str() == "tests");
+            if no_print && !in_bin {
+                findings.extend(check_no_adhoc_prints(&label, &masked));
             }
         }
     }

@@ -13,6 +13,12 @@
 //!   `match msg` message dispatch in `doma-protocol`. Adding a message
 //!   variant must break the build until every actor decides how to
 //!   handle it; a wildcard arm silently swallows new protocol messages.
+//! * **no-adhoc-print** — no `println!`/`eprintln!` (or their
+//!   non-newline forms) in non-test, non-bin code of the instrumented
+//!   crates. Observable output flows through `doma-obs` — the event log
+//!   and metric registry are deterministic and capturable; a stray
+//!   print is neither. The single sanctioned terminal escape is
+//!   `doma_obs::console::debug_line`.
 //! * **lint-headers** — every crate's `lib.rs` carries
 //!   `#![warn(missing_docs)]` and `#![warn(rust_2018_idioms)]`.
 //!
@@ -323,6 +329,44 @@ pub fn check_dispatch_exhaustive(file: &str, masked: &str) -> Vec<Finding> {
     out
 }
 
+/// The `no-adhoc-print` rule: flags `println!`, `eprintln!`, `print!`
+/// and `eprint!` in a masked, test-stripped source. Library code of the
+/// instrumented crates must report through `doma-obs` (metrics, the
+/// event log, or `doma_obs::console::debug_line` for environment-gated
+/// debug streams); ad-hoc prints bypass the event log and make output
+/// nondeterministic to capture. CLI binaries (`src/bin`) are exempt —
+/// printing is their job.
+pub fn check_no_adhoc_prints(file: &str, masked_no_test: &str) -> Vec<Finding> {
+    const FORBIDDEN: &[&str] = &["println!", "eprintln!", "print!", "eprint!"];
+    let mut out = Vec::new();
+    for (idx, line) in masked_no_test.lines().enumerate() {
+        for pat in FORBIDDEN {
+            let mut from = 0;
+            while let Some(off) = line[from..].find(pat) {
+                let col = from + off;
+                // Boundary check: `print!` must not fire inside
+                // `eprint!`, nor any pattern inside a longer identifier.
+                let boundary =
+                    col == 0 || !is_ident(line[..col].chars().next_back().unwrap_or(' '));
+                if boundary {
+                    out.push(Finding {
+                        file: file.to_string(),
+                        line: idx + 1,
+                        rule: "no-adhoc-print",
+                        message: format!(
+                            "`{pat}` in instrumented library code — use doma-obs \
+                             (events/metrics or console::debug_line)"
+                        ),
+                    });
+                    break;
+                }
+                from = col + pat.len();
+            }
+        }
+    }
+    out
+}
+
 /// The `lint-headers` rule: every crate root must opt into the
 /// workspace's documentation and idiom lints.
 pub fn check_lint_headers(file: &str, src: &str) -> Vec<Finding> {
@@ -431,6 +475,40 @@ fn on_message(&mut self, msg: Msg) {
         // `_` as a field binding sits inside the pattern's braces
         // (depth 2), not at arm level.
         assert!(check_dispatch_exhaustive("f.rs", &mask_source(src)).is_empty());
+    }
+
+    #[test]
+    fn adhoc_prints_are_flagged_with_exact_boundaries() {
+        let src = "
+fn f() {
+    println!(\"x\");
+    eprintln!(\"y\");
+    print!(\"z\");
+    eprint!(\"w\");
+    my_println!(\"not the macro\");
+    writeln!(out, \"fine\").ok();
+}
+";
+        let findings = check_no_adhoc_prints("f.rs", &mask_cfg_test(&mask_source(src)));
+        assert_eq!(findings.len(), 4, "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == "no-adhoc-print"));
+        // `eprintln!` must yield one finding for itself, not a second
+        // one for the embedded `println!` text.
+        assert_eq!(findings[1].line, 4);
+        assert!(findings[1].message.contains("`eprintln!`"));
+    }
+
+    #[test]
+    fn adhoc_prints_in_tests_and_strings_are_fine() {
+        let src = "
+fn f() { let s = \"println! in a string\"; } // println! in a comment
+#[cfg(test)]
+mod tests {
+    fn t() { println!(\"debug\"); }
+}
+";
+        let findings = check_no_adhoc_prints("f.rs", &mask_cfg_test(&mask_source(src)));
+        assert!(findings.is_empty(), "{findings:?}");
     }
 
     #[test]

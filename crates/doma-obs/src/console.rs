@@ -1,0 +1,26 @@
+//! The sanctioned debug-output path.
+//!
+//! The lint wall (`doma-lint`, rule `no-adhoc-print`) forbids
+//! `println!`/`eprintln!` in non-test, non-bin code of the instrumented
+//! crates: ad-hoc prints bypass the event log and make output
+//! nondeterministic to capture. Environment-gated debug tracing that
+//! genuinely must stream to the terminal while a run is live (e.g.
+//! `DOMA_FAULT_TRACE`) goes through this single choke point instead, so
+//! the escape hatch is grep-able and reviewed.
+
+use std::io::Write;
+
+/// Writes one line to stderr, ignoring I/O errors (debug output must
+/// never turn into a failure path).
+pub fn debug_line(line: &str) {
+    let mut err = std::io::stderr().lock();
+    let _ = writeln!(err, "{line}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn debug_line_does_not_panic() {
+        super::debug_line("doma-obs console smoke line");
+    }
+}

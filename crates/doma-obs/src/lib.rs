@@ -1,0 +1,152 @@
+//! `doma-obs`: the workspace's zero-dependency observability layer.
+//!
+//! The paper's whole argument is a cost accounting — `cio`/`cc`/`cd`
+//! per read, write and save-read under the t-availability constraint —
+//! and this crate makes that accounting visible *while it accrues*
+//! instead of only as end-of-run totals:
+//!
+//! * [`MetricsRegistry`] — lock-cheap counters, gauges and fixed-bucket
+//!   histograms keyed by `(component, name, labels)`. Handles resolve
+//!   once under a lock and then update atomics, so the hot simulation
+//!   paths pay one relaxed atomic add per event.
+//! * [`EventLog`] — a bounded, seekable log of structured records with
+//!   span support ([`span!`] → enter/exit pairs carrying sim-time
+//!   durations). When the bound is hit the oldest records are discarded
+//!   **and counted**: [`EventLog::dropped_events`] exposes the
+//!   truncation instead of wrapping silently.
+//! * [`Obs`] — the bundle the harnesses attach (registry + log), with a
+//!   deterministic human table ([`std::fmt::Display`]) and a stable
+//!   JSON snapshot ([`Obs::snapshot_json`]) consumed by `domactl obs`
+//!   and appended to bench reports.
+//!
+//! # Determinism contract
+//!
+//! Nothing in this crate reads wall-clock time, the process id, or any
+//! randomness. Every timestamp is the caller's virtual [`SimTime`]-style
+//! tick; every snapshot iterates `BTreeMap`s in key order. Two runs of
+//! the same seeded scenario therefore produce **byte-identical** JSON —
+//! tests assert on snapshots directly, and `scripts/verify.sh` diffs two
+//! `domactl obs` runs as a gate.
+//!
+//! [`SimTime`]: u64
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod console;
+pub mod event;
+pub mod json;
+pub mod registry;
+
+pub use event::{EventLog, EventPhase, EventRecord, SpanId};
+pub use registry::{
+    Counter, Gauge, Histogram, MetricKey, MetricValue, MetricsRegistry, MetricsSnapshot,
+};
+
+use std::fmt;
+
+/// The attachable observability bundle: one metrics registry plus one
+/// bounded event log. Cloning shares both (handles are `Arc`-backed);
+/// the simulation engine, every protocol node and the fault driver all
+/// hold clones of the same bundle.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    metrics: MetricsRegistry,
+    events: EventLog,
+}
+
+impl Obs {
+    /// A fresh bundle whose event log retains at most `event_capacity`
+    /// records (older records are dropped *and counted*).
+    pub fn new(event_capacity: usize) -> Self {
+        Obs {
+            metrics: MetricsRegistry::new(),
+            events: EventLog::new(event_capacity),
+        }
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The event log.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// The stable JSON snapshot: `{"dropped_events": …, "events": […],
+    /// "metrics": […]}` with every object key and metric row in a
+    /// deterministic order. Byte-identical across two runs of the same
+    /// seeded scenario.
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"dropped_events\": {}, \"events\": [",
+            self.events.dropped_events()
+        ));
+        let records = self.events.snapshot();
+        for (i, r) in records.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&r.to_json());
+        }
+        out.push_str("], \"metrics\": ");
+        out.push_str(&self.metrics.snapshot().to_json());
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "metrics:")?;
+        write!(f, "{}", self.metrics.snapshot())?;
+        writeln!(
+            f,
+            "events ({} retained, {} dropped):",
+            self.events.len(),
+            self.events.dropped_events()
+        )?;
+        for record in self.events.snapshot() {
+            writeln!(f, "  {record}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_json_is_stable_and_shaped() {
+        let obs = Obs::new(4);
+        obs.metrics()
+            .add("sim", "msgs_sent", &[("kind", "control")], 2);
+        obs.events()
+            .record(3, "sim.crash", vec![("node".into(), "N1".into())]);
+        let a = obs.snapshot_json();
+        let b = obs.snapshot_json();
+        assert_eq!(a, b);
+        assert!(
+            a.starts_with("{\"dropped_events\": 0, \"events\": ["),
+            "{a}"
+        );
+        assert!(a.contains("\"metrics\": ["), "{a}");
+        assert!(a.contains("\"sim.crash\""), "{a}");
+    }
+
+    #[test]
+    fn display_lists_metrics_and_events() {
+        let obs = Obs::new(2);
+        obs.metrics().add("p", "cost.io", &[("op", "read")], 1);
+        obs.events().record(1, "e.one", vec![]);
+        obs.events().record(2, "e.two", vec![]);
+        obs.events().record(3, "e.three", vec![]);
+        let text = obs.to_string();
+        assert!(text.contains("cost.io"), "{text}");
+        assert!(text.contains("2 retained, 1 dropped"), "{text}");
+    }
+}

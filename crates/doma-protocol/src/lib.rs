@@ -36,6 +36,7 @@
 pub mod failover;
 mod msg;
 mod node;
+mod obs;
 mod sim;
 
 pub use msg::DomMsg;

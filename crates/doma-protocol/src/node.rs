@@ -1,5 +1,6 @@
 //! The per-processor protocol state machine.
 
+use crate::obs::{algo_label, object_of, op_of, NodeObs};
 use crate::DomMsg;
 use doma_core::{DomaError, ObjectId, ProcSet, ProcessorId};
 use doma_sim::{Actor, Context, MsgKind, NodeId, SimTime};
@@ -184,6 +185,11 @@ pub struct DomNode {
     errors: Vec<DomaError>,
     /// Reverted-fix switches for regression testing (all off normally).
     bugs: BugSwitches,
+    /// Live observability attachment (see [`DomNode::set_obs`]); `None`
+    /// until a bundle is attached. Deliberately excluded from
+    /// [`DomNode::fingerprint`] — instrumentation must never influence
+    /// state-space deduplication.
+    obs: Option<NodeObs>,
 }
 
 impl DomNode {
@@ -238,7 +244,118 @@ impl DomNode {
             completed_reads: Vec::new(),
             errors: Vec::new(),
             bugs: BugSwitches::default(),
+            obs: None,
         }
+    }
+
+    /// Attaches the shared observability bundle: the node's cost
+    /// counters (`protocol.cost.{control,data,io}` by algo/node/op),
+    /// quorum spans and join/mode events all flow into it. The store's
+    /// current I/O tally becomes the attribution baseline, so
+    /// pre-attachment I/O is never charged to an operation.
+    pub fn set_obs(&mut self, bundle: doma_obs::Obs) {
+        let label = format!("N{}", self.id.index());
+        let io_seen = self.io_stats().total();
+        self.obs = Some(NodeObs::new(bundle, label, io_seen));
+    }
+
+    /// Detaches observability. Forks of instrumented clusters call this
+    /// so speculative work is not tallied into the shared registry.
+    pub fn clear_obs(&mut self) {
+        self.obs = None;
+    }
+
+    /// Attributes I/O performed outside message dispatch to op `other`
+    /// (e.g. a harness calling [`DomNode::recover_from_log`] directly).
+    /// Drivers call this before snapshotting, after which the summed
+    /// `protocol.cost.io` equals the node's exact I/O tally.
+    pub fn obs_flush(&mut self) {
+        self.obs_account_io("other", None);
+    }
+
+    /// End-of-dispatch accounting: the I/O delta since the cursor is
+    /// charged to the handled operation, and every message the handler
+    /// buffered is counted under the *sent* message's own op class (so
+    /// e.g. the invalidations a write fans out land under
+    /// `op=invalidate` while the propagation lands under `op=write`).
+    fn obs_account(&mut self, ctx: &Context<DomMsg>, op: &'static str, object: Option<ObjectId>) {
+        if self.obs.is_none() {
+            return;
+        }
+        let sends: Vec<(&'static str, &'static str, &'static str)> = ctx
+            .pending_sends()
+            .iter()
+            .map(|(_, kind, msg)| {
+                let dim = match kind {
+                    MsgKind::Control => "cost.control",
+                    MsgKind::Data => "cost.data",
+                };
+                (dim, algo_label(&self.configs, object_of(msg)), op_of(msg))
+            })
+            .collect();
+        self.obs_account_io(op, object);
+        let Some(obs) = self.obs.as_mut() else { return };
+        for (dim, algo, sent_op) in sends {
+            obs.cost(dim, algo, sent_op).inc();
+        }
+    }
+
+    fn obs_account_io(&mut self, op: &'static str, object: Option<ObjectId>) {
+        let io_now = self.store.store().io_stats().total();
+        let algo = algo_label(&self.configs, object);
+        let Some(obs) = self.obs.as_mut() else { return };
+        let delta = io_now.saturating_sub(obs.io_seen);
+        obs.io_seen = io_now;
+        if delta > 0 {
+            obs.cost("cost.io", algo, op).add(delta);
+        }
+    }
+
+    fn obs_join(&mut self, now: SimTime, object: ObjectId, joiner: NodeId) {
+        let Some(obs) = self.obs.as_ref() else { return };
+        obs.bundle()
+            .metrics()
+            .add("protocol", "joins", &[("node", obs.label())], 1);
+        obs.bundle().events().record(
+            now.ticks(),
+            "protocol.join",
+            vec![
+                ("node".to_string(), obs.label().to_string()),
+                ("object".to_string(), object.to_string()),
+                ("joiner".to_string(), joiner.to_string()),
+            ],
+        );
+    }
+
+    fn obs_mode_change(&mut self, now: SimTime, quorum: bool) {
+        let Some(obs) = self.obs.as_ref() else { return };
+        obs.bundle()
+            .metrics()
+            .add("protocol", "mode_changes", &[("node", obs.label())], 1);
+        obs.bundle().events().record(
+            now.ticks(),
+            "protocol.mode",
+            vec![
+                ("node".to_string(), obs.label().to_string()),
+                ("quorum".to_string(), quorum.to_string()),
+            ],
+        );
+    }
+
+    fn obs_scheme_churn(&mut self, now: SimTime, object: ObjectId, flushed: usize) {
+        let Some(obs) = self.obs.as_ref() else { return };
+        obs.bundle()
+            .metrics()
+            .add("protocol", "scheme_churn", &[("node", obs.label())], 1);
+        obs.bundle().events().record(
+            now.ticks(),
+            "protocol.scheme",
+            vec![
+                ("node".to_string(), obs.label().to_string()),
+                ("object".to_string(), object.to_string()),
+                ("flushed".to_string(), flushed.to_string()),
+            ],
+        );
     }
 
     /// Installs reverted-fix switches (regression tests only).
@@ -498,6 +615,21 @@ impl DomNode {
         }
         self.quorum_round += 1;
         let round = self.quorum_round;
+        if let Some(obs) = self.obs.as_mut() {
+            obs.bundle()
+                .metrics()
+                .add("protocol", "quorum_rounds", &[("node", obs.label())], 1);
+            let span = obs.bundle().events().span_enter(
+                ctx.now().ticks(),
+                "protocol.quorum",
+                vec![
+                    ("node".to_string(), obs.label().to_string()),
+                    ("object".to_string(), object.to_string()),
+                    ("round".to_string(), round.to_string()),
+                ],
+            );
+            obs.open_quorum.insert((object, round), span);
+        }
         self.pending.insert(
             object,
             PendingQuorum {
@@ -673,6 +805,7 @@ impl DomNode {
         let spare = exec.with(writer);
         let primary = self.is_da_primary(object);
         let state = self.da.entry(object).or_default();
+        let flushed = state.join_list.len();
         for member in state.join_list.iter().filter(|m| !spare.contains(*m)) {
             ctx.send(
                 node(member),
@@ -703,6 +836,9 @@ impl DomNode {
                 }
                 ProtocolConfig::Sa { .. } => None,
             };
+        }
+        if flushed > 0 {
+            self.obs_scheme_churn(ctx.now(), object, flushed);
         }
     }
 
@@ -756,6 +892,11 @@ impl DomNode {
             let Some(done) = self.pending.remove(&object) else {
                 return;
             };
+            if let Some(obs) = self.obs.as_mut() {
+                if let Some(span) = obs.open_quorum.remove(&(object, done.round)) {
+                    obs.bundle().events().span_exit(span, ctx.now().ticks());
+                }
+            }
             let version = done.best.as_ref().map(|(v, _)| *v);
             if let Some((v, d)) = done.best {
                 if done.store_result && self.fresher_than_local(object, v) {
@@ -789,8 +930,8 @@ fn preload(mut store: LocalStore, object: ObjectId) -> LocalStore {
     store
 }
 
-impl Actor<DomMsg> for DomNode {
-    fn on_message(&mut self, ctx: &mut Context<DomMsg>, from: NodeId, _kind: MsgKind, msg: DomMsg) {
+impl DomNode {
+    fn handle_message(&mut self, ctx: &mut Context<DomMsg>, from: NodeId, msg: DomMsg) {
         match msg {
             DomMsg::ClientRead { object } => self.handle_client_read(ctx, object),
             DomMsg::ClientWrite {
@@ -806,11 +947,15 @@ impl Actor<DomMsg> for DomNode {
                 match self.store.input(object) {
                     Some((version, payload)) => {
                         if saving && self.is_da_core(object) {
-                            self.da
-                                .entry(object)
-                                .or_default()
-                                .join_list
-                                .insert(proc(from));
+                            let joined = {
+                                let state = self.da.entry(object).or_default();
+                                let grew = !state.join_list.contains(proc(from));
+                                state.join_list.insert(proc(from));
+                                grew
+                            };
+                            if joined {
+                                self.obs_join(ctx.now(), object, from);
+                            }
                         }
                         ctx.send(
                             from,
@@ -885,6 +1030,7 @@ impl Actor<DomMsg> for DomNode {
                 self.store.invalidate(object);
             }
             DomMsg::ModeChange { quorum } => {
+                self.obs_mode_change(ctx.now(), quorum);
                 self.quorum_mode = quorum;
                 if quorum {
                     // Missing-writes transition (§2): a normal-mode write
@@ -988,16 +1134,35 @@ impl Actor<DomMsg> for DomNode {
             }
         }
     }
+}
+
+impl Actor<DomMsg> for DomNode {
+    fn on_message(&mut self, ctx: &mut Context<DomMsg>, from: NodeId, _kind: MsgKind, msg: DomMsg) {
+        // Classify before handling (the handler consumes the message),
+        // account after: the context's send buffer then holds exactly
+        // this dispatch's sends and the I/O cursor delta exactly its
+        // I/O.
+        let op = op_of(&msg);
+        let object = object_of(&msg);
+        self.handle_message(ctx, from, msg);
+        self.obs_account(ctx, op, object);
+    }
 
     fn on_crash(&mut self) {
         // Volatile state is lost; the store survives on "stable storage"
         // (its redo log). In-memory table is rebuilt on recovery.
         self.pending.clear();
         self.read_started.clear();
+        // In-flight quorum spans died with the volatile state; their
+        // enter records stay in the log as evidence.
+        if let Some(obs) = self.obs.as_mut() {
+            obs.open_quorum.clear();
+        }
     }
 
-    fn on_recover(&mut self, _ctx: &mut Context<DomMsg>) {
+    fn on_recover(&mut self, ctx: &mut Context<DomMsg>) {
         self.recover_from_log();
+        self.obs_account(ctx, "recovery", None);
     }
 }
 

@@ -263,6 +263,46 @@ impl ProtocolSim {
         trace
     }
 
+    /// Attaches a message trace that records into an existing event log
+    /// (typically [`doma_obs::Obs::events`]), so message deliveries
+    /// interleave with the engine's lifecycle events and the protocol's
+    /// spans in one choreography log.
+    pub fn attach_tracer_on(&mut self, log: doma_obs::EventLog) -> doma_sim::TraceHandle {
+        let trace = doma_sim::TraceHandle::on(log);
+        self.engine.set_tracer(trace.clone(), DomMsg::label);
+        trace
+    }
+
+    /// Attaches a fresh observability bundle (event log bounded to
+    /// `event_capacity` records) to the engine and every node, and
+    /// returns it. The engine contributes send/drop/lifecycle tallies
+    /// (`sim.*`); each node contributes its cost breakdown
+    /// (`protocol.cost.*` by algo/node/op), quorum spans and join/mode
+    /// events. Summed over all label sets, `protocol.cost.control`,
+    /// `.data` and `.io` equal [`ProtocolSim::report`]'s exact cost
+    /// vector (call [`ProtocolSim::obs_flush`] first if a harness drove
+    /// recovery outside message dispatch). Forks ([`ProtocolSim::fork`])
+    /// do not carry the attachment.
+    pub fn attach_obs(&mut self, event_capacity: usize) -> doma_obs::Obs {
+        let obs = doma_obs::Obs::new(event_capacity);
+        self.engine.set_obs(obs.clone());
+        for i in 0..self.n {
+            self.engine.actor_mut(NodeId(i)).set_obs(obs.clone());
+        }
+        obs
+    }
+
+    /// Flushes per-node observability cursors: I/O performed outside
+    /// message dispatch (direct [`DomNode::recover_from_log`] calls by
+    /// harnesses) is attributed to op `other`, after which the
+    /// registry's summed `protocol.cost.*` equals
+    /// [`ProtocolSim::report`]'s cost vector exactly.
+    pub fn obs_flush(&mut self) {
+        for i in 0..self.n {
+            self.engine.actor_mut(NodeId(i)).obs_flush();
+        }
+    }
+
     /// Executes one request against object 0 to quiescence.
     pub fn execute_request(&mut self, request: Request) -> Result<()> {
         self.execute_request_on(OBJECT, request)
@@ -349,8 +389,16 @@ impl ProtocolSim {
     /// [`ProtocolSim::dispatch_by_seq`] calls on two forks take the same
     /// transitions — the property the model checker's search relies on.
     pub fn fork(&self) -> Self {
+        let mut engine = self.engine.fork();
+        // The engine's own obs attachment is not carried by its fork;
+        // the cloned actors still hold theirs (shared counter handles).
+        // Strip them: a model checker's speculative work must not tally
+        // into the live registry.
+        for i in 0..self.n {
+            engine.actor_mut(NodeId(i)).clear_obs();
+        }
         ProtocolSim {
-            engine: self.engine.fork(),
+            engine,
             configs: self.configs.clone(),
             n: self.n,
             next_version: self.next_version.clone(),
@@ -904,6 +952,102 @@ mod tests {
     fn burst_rejects_unknown_readers() {
         let mut sim = ProtocolSim::new_sa(4, ps(&[0, 1])).unwrap();
         assert!(sim.execute_read_burst(&[ProcessorId::new(9)]).is_err());
+    }
+
+    #[test]
+    fn obs_registry_decomposes_the_exact_tallies() {
+        let schedule: Schedule = "r2 r2 w3 r2 r1 w0 r3 w2 r0".parse().unwrap();
+        let mut sim = ProtocolSim::new_da(4, ps(&[0]), ProcessorId::new(1)).unwrap();
+        let obs = sim.attach_obs(512);
+        let report = sim.execute(&schedule).unwrap();
+        sim.obs_flush();
+        let snap = obs.metrics().snapshot();
+        // The headline property, extended to the registry: the summed
+        // per-(algo,node,op) breakdown equals the exact cost vector.
+        assert_eq!(
+            snap.sum_counters("protocol", "cost.control"),
+            report.cost.control
+        );
+        assert_eq!(snap.sum_counters("protocol", "cost.data"), report.cost.data);
+        assert_eq!(snap.sum_counters("protocol", "cost.io"), report.cost.io);
+        // The engine-level send tallies agree with the protocol-level
+        // decomposition (both count every ctx.send exactly once).
+        assert_eq!(
+            snap.counter("sim", "msgs_sent", &[("kind", "control")]),
+            report.cost.control
+        );
+        assert_eq!(
+            snap.counter("sim", "msgs_sent", &[("kind", "data")]),
+            report.cost.data
+        );
+        // Save-reads are DA's signature op class: the breakdown shows
+        // them (outsider r2 joins via a saving read).
+        assert!(
+            snap.metrics
+                .keys()
+                .any(|k| k.name == "cost.data" && k.label("op") == Some("save-read")),
+            "expected a save-read data cell, got {snap}"
+        );
+        // Join-list growth surfaced as events and counters.
+        assert!(snap.sum_counters("protocol", "joins") > 0);
+        assert!(obs
+            .events()
+            .snapshot()
+            .iter()
+            .any(|e| e.name == "protocol.join"));
+    }
+
+    #[test]
+    fn forks_do_not_tally_into_the_live_registry() {
+        let mut sim = ProtocolSim::new_da(4, ps(&[0]), ProcessorId::new(1)).unwrap();
+        let obs = sim.attach_obs(64);
+        sim.execute_request(Request::read(2usize)).unwrap();
+        let before = obs.metrics().snapshot();
+        let mut fork = sim.fork();
+        fork.execute_request(Request::read(3usize)).unwrap();
+        fork.execute_request(Request::write(0usize)).unwrap();
+        assert_eq!(obs.metrics().snapshot(), before, "fork leaked tallies");
+        // The original keeps tallying after the fork.
+        sim.execute_request(Request::read(3usize)).unwrap();
+        assert!(
+            obs.metrics()
+                .snapshot()
+                .sum_counters("protocol", "cost.control")
+                > before.sum_counters("protocol", "cost.control")
+        );
+    }
+
+    #[test]
+    fn quorum_reads_open_and_close_spans() {
+        let mut sim = ProtocolSim::new_da(4, ps(&[0]), ProcessorId::new(1)).unwrap();
+        let obs = sim.attach_obs(256);
+        for i in 0..4 {
+            sim.engine_mut()
+                .inject(NodeId(i), 1, DomMsg::ModeChange { quorum: true });
+        }
+        sim.settle().unwrap();
+        sim.execute_request(Request::read(2usize)).unwrap();
+        let events = obs.events().snapshot();
+        let enters = events
+            .iter()
+            .filter(|e| {
+                e.name == "protocol.quorum" && matches!(e.phase, doma_obs::EventPhase::Enter)
+            })
+            .count();
+        let exits = events
+            .iter()
+            .filter(|e| {
+                e.name == "protocol.quorum" && matches!(e.phase, doma_obs::EventPhase::Exit { .. })
+            })
+            .count();
+        assert!(enters >= 1, "expected a quorum span, got {events:#?}");
+        assert_eq!(enters, exits, "every quorum span must close: {events:#?}");
+        let snap = obs.metrics().snapshot();
+        assert_eq!(snap.sum_counters("protocol", "mode_changes"), 4);
+        assert_eq!(
+            snap.sum_counters("protocol", "quorum_rounds"),
+            enters as u64
+        );
     }
 
     #[test]

@@ -66,6 +66,13 @@ impl<M> Context<M> {
     pub fn set_timer(&mut self, delay: u64, token: u64) {
         self.timers.push((delay, token));
     }
+
+    /// The messages queued by this dispatch so far, in send order. The
+    /// buffer is fresh per dispatch, so an actor's instrumentation can
+    /// attribute exactly the sends its current handler produced.
+    pub fn pending_sends(&self) -> &[(NodeId, MsgKind, M)] {
+        &self.sends
+    }
 }
 
 #[derive(Clone)]
@@ -204,6 +211,19 @@ pub struct EngineConfig {
 /// message before recording.
 type Tracer<M> = (TraceHandle, fn(&M) -> String);
 
+/// The engine's slice of an attached [`doma_obs::Obs`] bundle: the
+/// bundle itself plus counters resolved once at attach time, so the
+/// per-send hot path pays one atomic add, not a registry lookup.
+struct EngineObs {
+    bundle: doma_obs::Obs,
+    sent_control: doma_obs::Counter,
+    sent_data: doma_obs::Counter,
+    dropped_crashed: doma_obs::Counter,
+    dropped_fault: doma_obs::Counter,
+    dropped_partition: doma_obs::Counter,
+    faulted: doma_obs::Counter,
+}
+
 /// The deterministic discrete-event engine.
 pub struct Engine<M, A: Actor<M>> {
     actors: Vec<A>,
@@ -216,6 +236,7 @@ pub struct Engine<M, A: Actor<M>> {
     max_events: u64,
     overflowed: bool,
     tracer: Option<Tracer<M>>,
+    obs: Option<EngineObs>,
     faults: Option<FaultState>,
 }
 
@@ -233,6 +254,7 @@ impl<M: Clone, A: Actor<M>> Engine<M, A> {
             max_events: config.max_events,
             overflowed: false,
             tracer: None,
+            obs: None,
             faults: None,
         }
     }
@@ -241,6 +263,30 @@ impl<M: Clone, A: Actor<M>> Engine<M, A> {
     /// node) is recorded into `trace`, labelled by `labeller`.
     pub fn set_tracer(&mut self, trace: TraceHandle, labeller: fn(&M) -> String) {
         self.tracer = Some((trace, labeller));
+    }
+
+    /// Attaches an observability bundle: message sends, drops (by
+    /// cause) and fault actions are counted in the bundle's registry
+    /// under component `sim`, and crash/recover/drop lifecycle events
+    /// are appended to its event log. Like the tracer, the bundle is
+    /// *not* carried over by [`Engine::fork`] — a model checker's forks
+    /// would otherwise multiply-count into the shared registry.
+    pub fn set_obs(&mut self, obs: doma_obs::Obs) {
+        let m = obs.metrics();
+        self.obs = Some(EngineObs {
+            sent_control: m.counter("sim", "msgs_sent", &[("kind", "control")]),
+            sent_data: m.counter("sim", "msgs_sent", &[("kind", "data")]),
+            dropped_crashed: m.counter("sim", "msgs_dropped", &[("reason", "crashed")]),
+            dropped_fault: m.counter("sim", "msgs_dropped", &[("reason", "fault")]),
+            dropped_partition: m.counter("sim", "msgs_dropped", &[("reason", "partition")]),
+            faulted: m.counter("sim", "msgs_faulted", &[]),
+            bundle: obs,
+        });
+    }
+
+    /// The attached observability bundle, if any.
+    pub fn obs(&self) -> Option<&doma_obs::Obs> {
+        self.obs.as_ref().map(|o| &o.bundle)
     }
 
     /// Registers an actor, returning its node id (ids are assigned
@@ -358,6 +404,12 @@ impl<M: Clone, A: Actor<M>> Engine<M, A> {
             // eat it — send tallies match the paper's cost model even on
             // lossy runs.
             self.network.stats().record_send(kind);
+            if let Some(o) = &self.obs {
+                match kind {
+                    MsgKind::Control => o.sent_control.inc(),
+                    MsgKind::Data => o.sent_data.inc(),
+                }
+            }
             let natural = SimTime(self.network.schedule_delivery(self.now.ticks(), kind));
             let verdict = match &mut self.faults {
                 Some(state) => state.judge(self.now.ticks(), node, to, kind),
@@ -377,6 +429,26 @@ impl<M: Clone, A: Actor<M>> Engine<M, A> {
                 }
                 Judgement::Lost { partition } => {
                     self.network.stats().record_drop();
+                    if let Some(o) = &self.obs {
+                        if partition {
+                            o.dropped_partition.inc();
+                        } else {
+                            o.dropped_fault.inc();
+                        }
+                        o.bundle.events().record(
+                            self.now.ticks(),
+                            "sim.drop",
+                            vec![
+                                ("from".to_string(), node.to_string()),
+                                ("to".to_string(), to.to_string()),
+                                ("kind".to_string(), format!("{kind:?}")),
+                                (
+                                    "cause".to_string(),
+                                    if partition { "partition" } else { "fault" }.to_string(),
+                                ),
+                            ],
+                        );
+                    }
                     if let Some((trace, labeller)) = &self.tracer {
                         let cause = if partition {
                             "fault-partition"
@@ -394,6 +466,18 @@ impl<M: Clone, A: Actor<M>> Engine<M, A> {
                     }
                 }
                 Judgement::Deliveries { extra, action } => {
+                    if let Some(o) = &self.obs {
+                        o.faulted.inc();
+                        o.bundle.events().record(
+                            self.now.ticks(),
+                            "sim.fault",
+                            vec![
+                                ("from".to_string(), node.to_string()),
+                                ("to".to_string(), to.to_string()),
+                                ("action".to_string(), action.to_string()),
+                            ],
+                        );
+                    }
                     if let Some((trace, labeller)) = &self.tracer {
                         trace.record(TraceRecord {
                             time: self.now,
@@ -447,6 +531,19 @@ impl<M: Clone, A: Actor<M>> Engine<M, A> {
                     self.dispatch_to(to, |a, ctx| a.on_message(ctx, from, kind, msg));
                 } else {
                     self.network.stats().record_drop();
+                    if let Some(o) = &self.obs {
+                        o.dropped_crashed.inc();
+                        o.bundle.events().record(
+                            self.now.ticks(),
+                            "sim.drop",
+                            vec![
+                                ("from".to_string(), from.to_string()),
+                                ("to".to_string(), to.to_string()),
+                                ("kind".to_string(), format!("{kind:?}")),
+                                ("cause".to_string(), "crashed".to_string()),
+                            ],
+                        );
+                    }
                 }
             }
             EventKind::Local { to, msg } => {
@@ -464,11 +561,33 @@ impl<M: Clone, A: Actor<M>> Engine<M, A> {
                 if self.alive[node.0] {
                     self.alive[node.0] = false;
                     self.actors[node.0].on_crash();
+                    if let Some(o) = &self.obs {
+                        let label = node.to_string();
+                        o.bundle
+                            .metrics()
+                            .add("sim", "crashes", &[("node", &label)], 1);
+                        o.bundle.events().record(
+                            self.now.ticks(),
+                            "sim.crash",
+                            vec![("node".to_string(), label)],
+                        );
+                    }
                 }
             }
             EventKind::Recover(node) => {
                 if !self.alive[node.0] {
                     self.alive[node.0] = true;
+                    if let Some(o) = &self.obs {
+                        let label = node.to_string();
+                        o.bundle
+                            .metrics()
+                            .add("sim", "recoveries", &[("node", &label)], 1);
+                        o.bundle.events().record(
+                            self.now.ticks(),
+                            "sim.recover",
+                            vec![("node".to_string(), label)],
+                        );
+                    }
                     self.dispatch_to(node, |a, ctx| a.on_recover(ctx));
                 }
             }
@@ -652,6 +771,9 @@ impl<M: Clone, A: Actor<M> + Clone> Engine<M, A> {
             max_events: self.max_events,
             overflowed: self.overflowed,
             tracer: None,
+            // Like the tracer, the obs bundle is not carried over: forks
+            // incrementing the shared registry would multiply-count.
+            obs: None,
             faults: self.faults.clone(),
         }
     }
@@ -663,6 +785,7 @@ mod tests {
 
     /// A ping-pong actor: replies to `n > 0` with `n - 1`, alternating
     /// message kinds; records everything it saw.
+    #[derive(Clone)]
     struct PingPong {
         peer: Option<NodeId>,
         seen: Vec<u32>,
@@ -1015,6 +1138,45 @@ mod tests {
             .unwrap()
             .content_hash();
         assert_eq!(h1, h2, "same payload+endpoints hash equal despite seq/time");
+    }
+
+    #[test]
+    fn obs_counts_sends_drops_and_lifecycle() {
+        let mut engine: Engine<u32, PingPong> = Engine::new(EngineConfig::default());
+        let a = engine.add_node(PingPong::new(Some(NodeId(1))));
+        let b = engine.add_node(PingPong::new(Some(NodeId(0))));
+        let obs = doma_obs::Obs::new(32);
+        engine.set_obs(obs.clone());
+        engine.schedule_crash(b, 0);
+        engine.inject(a, 1, 3); // a replies 2 to b, which is down
+        engine.run_until_idle();
+        engine.schedule_recover(b, 0);
+        engine.run_until_idle();
+
+        let snap = obs.metrics().snapshot();
+        assert_eq!(snap.sum_counters("sim", "msgs_sent"), 1);
+        assert_eq!(
+            snap.counter("sim", "msgs_dropped", &[("reason", "crashed")]),
+            1
+        );
+        assert_eq!(snap.counter("sim", "crashes", &[("node", "N1")]), 1);
+        assert_eq!(snap.counter("sim", "recoveries", &[("node", "N1")]), 1);
+        let names: Vec<String> = obs
+            .events()
+            .snapshot()
+            .iter()
+            .map(|e| e.name.clone())
+            .collect();
+        assert_eq!(names, vec!["sim.crash", "sim.drop", "sim.recover"]);
+        assert!(engine.obs().is_some());
+
+        // Forks do not inherit the bundle: their activity must not leak
+        // into the parent's registry.
+        let mut fork = engine.fork();
+        assert!(fork.obs().is_none());
+        fork.inject(a, 1, 3);
+        fork.run_until_idle();
+        assert_eq!(obs.metrics().snapshot().sum_counters("sim", "msgs_sent"), 1);
     }
 
     #[test]

@@ -1,10 +1,18 @@
-//! Message tracing: a bounded ring buffer of delivery records for
-//! debugging protocols and asserting on message-level behaviour in tests.
+//! Message tracing: delivery records for debugging protocols and
+//! asserting on message-level behaviour in tests.
+//!
+//! Since the observability PR the tracer is a thin view over a
+//! [`doma_obs::EventLog`]: each [`TraceRecord`] is stored as a
+//! structured `sim.trace` event, so a message trace can share one log
+//! with the engine's lifecycle events (crash/recover/drop) and the
+//! protocol's spans, interleaved in delivery order. The API (and the
+//! rendered format) is unchanged from the original ring-buffer tracer;
+//! [`TraceHandle::discarded`] now surfaces the log's
+//! [`dropped_events`](doma_obs::EventLog::dropped_events) counter.
 
 use crate::{MsgKind, NodeId, SimTime};
-use std::collections::VecDeque;
+use doma_obs::{EventLog, EventRecord};
 use std::fmt;
-use std::sync::{Arc, Mutex};
 
 /// One delivered (or dropped) message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,66 +47,95 @@ impl fmt::Display for TraceRecord {
     }
 }
 
-/// A cloneable handle on a bounded message trace. When the buffer is full
-/// the oldest records are discarded.
-#[derive(Debug, Clone)]
-pub struct TraceHandle {
-    inner: Arc<Mutex<TraceInner>>,
+/// The event name trace records are stored under in the backing log.
+pub const TRACE_EVENT: &str = "sim.trace";
+
+fn encode(record: &TraceRecord) -> Vec<(String, String)> {
+    vec![
+        ("from".to_string(), record.from.0.to_string()),
+        ("to".to_string(), record.to.0.to_string()),
+        ("kind".to_string(), format!("{:?}", record.kind)),
+        ("delivered".to_string(), record.delivered.to_string()),
+        ("label".to_string(), record.label.clone()),
+    ]
 }
 
-#[derive(Debug)]
-struct TraceInner {
-    records: VecDeque<TraceRecord>,
-    capacity: usize,
-    discarded: u64,
+fn decode(event: &EventRecord) -> Option<TraceRecord> {
+    if event.name != TRACE_EVENT {
+        return None;
+    }
+    let field = |key: &str| {
+        event
+            .fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    };
+    Some(TraceRecord {
+        time: SimTime(event.time),
+        from: NodeId(field("from")?.parse().ok()?),
+        to: NodeId(field("to")?.parse().ok()?),
+        kind: match field("kind")? {
+            "Data" => MsgKind::Data,
+            _ => MsgKind::Control,
+        },
+        delivered: field("delivered")? == "true",
+        label: field("label")?.to_string(),
+    })
+}
+
+/// A cloneable handle on a bounded message trace. When the buffer is
+/// full the oldest records are discarded (and counted — see
+/// [`TraceHandle::discarded`]).
+#[derive(Debug, Clone)]
+pub struct TraceHandle {
+    log: EventLog,
 }
 
 impl TraceHandle {
-    /// Creates a trace retaining at most `capacity` records.
+    /// Creates a trace retaining at most `capacity` records, on a
+    /// private event log.
     pub fn new(capacity: usize) -> Self {
         TraceHandle {
-            inner: Arc::new(Mutex::new(TraceInner {
-                records: VecDeque::new(),
-                capacity: capacity.max(1),
-                discarded: 0,
-            })),
+            log: EventLog::new(capacity),
         }
+    }
+
+    /// Creates a trace that appends to an existing event log, so
+    /// message records interleave with the log's other events (the
+    /// engine's crash/drop records, protocol spans…). The shared log's
+    /// capacity and [`dropped_events`](doma_obs::EventLog::dropped_events)
+    /// counter then cover *all* record kinds, not just the trace.
+    pub fn on(log: EventLog) -> Self {
+        TraceHandle { log }
+    }
+
+    /// The backing event log (for seeking, tails, or JSON export).
+    pub fn event_log(&self) -> &EventLog {
+        &self.log
     }
 
     /// Appends a record.
     pub fn record(&self, record: TraceRecord) {
-        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        if inner.records.len() == inner.capacity {
-            inner.records.pop_front();
-            inner.discarded += 1;
-        }
-        inner.records.push_back(record);
+        self.log
+            .record(record.time.ticks(), TRACE_EVENT, encode(&record));
     }
 
-    /// A snapshot of the retained records, oldest first.
+    /// A snapshot of the retained records, oldest first. Non-trace
+    /// events sharing the backing log are skipped.
     pub fn snapshot(&self) -> Vec<TraceRecord> {
-        self.inner
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .records
-            .iter()
-            .cloned()
-            .collect()
+        self.log.snapshot().iter().filter_map(decode).collect()
     }
 
-    /// Number of records discarded due to the capacity bound.
+    /// Number of records discarded due to the capacity bound (every
+    /// event kind, when the backing log is shared).
     pub fn discarded(&self) -> u64 {
-        self.inner
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .discarded
+        self.log.dropped_events()
     }
 
     /// Drops all retained records.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        inner.records.clear();
-        inner.discarded = 0;
+        self.log.clear();
     }
 
     /// Renders the retained records one per line.
@@ -167,5 +204,34 @@ mod tests {
         let b = a.clone();
         a.record(rec(1, "x"));
         assert_eq!(b.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn roundtrips_through_the_event_log() {
+        let trace = TraceHandle::new(8);
+        let original = TraceRecord {
+            time: SimTime(9),
+            from: NodeId(3),
+            to: NodeId(0),
+            kind: MsgKind::Data,
+            delivered: false,
+            label: "ObjData(obj0,v2)".to_string(),
+        };
+        trace.record(original.clone());
+        assert_eq!(trace.snapshot(), vec![original]);
+    }
+
+    #[test]
+    fn shared_log_interleaves_with_other_events() {
+        let log = doma_obs::EventLog::new(8);
+        let trace = TraceHandle::on(log.clone());
+        trace.record(rec(1, "a"));
+        log.record(2, "sim.crash", vec![("node".into(), "2".into())]);
+        trace.record(rec(3, "b"));
+        // The trace view filters to message records…
+        assert_eq!(trace.snapshot().len(), 2);
+        // …while the log keeps everything, in order.
+        let names: Vec<String> = log.snapshot().iter().map(|e| e.name.clone()).collect();
+        assert_eq!(names, vec!["sim.trace", "sim.crash", "sim.trace"]);
     }
 }

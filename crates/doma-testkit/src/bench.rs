@@ -126,6 +126,7 @@ pub struct Bench {
     quick: bool,
     test_mode: bool,
     results: Vec<Record>,
+    attachments: Vec<(String, String)>,
 }
 
 impl Bench {
@@ -157,6 +158,7 @@ impl Bench {
             quick,
             test_mode,
             results: Vec::new(),
+            attachments: Vec::new(),
         }
     }
 
@@ -170,6 +172,7 @@ impl Bench {
             quick: true,
             test_mode: true,
             results: Vec::new(),
+            attachments: Vec::new(),
         }
     }
 
@@ -188,13 +191,28 @@ impl Bench {
         &self.results
     }
 
+    /// Attaches a named pre-rendered JSON value to the report. The value
+    /// is inlined verbatim into the report array as
+    /// `{"attachment": name, "payload": <raw_json>}`, so it must already
+    /// be valid JSON — e.g. a `doma-obs` snapshot. The array stays flat:
+    /// record consumers that filter on `"group"` skip attachments
+    /// untouched.
+    pub fn attach_json(&mut self, name: impl Into<String>, raw_json: impl Into<String>) {
+        self.attachments.push((name.into(), raw_json.into()));
+    }
+
+    /// Attachments added so far (name, raw JSON).
+    pub fn attachments(&self) -> &[(String, String)] {
+        &self.attachments
+    }
+
     /// Prints the summary and writes the JSON report. Call once, last.
     pub fn finish(self) {
         if self.test_mode {
             return; // smoke mode: compile-and-run coverage only
         }
         let path = self.json_path.clone().unwrap_or_else(default_json_path);
-        match write_json(&path, &self.results) {
+        match write_json(&path, &self.results, &self.attachments) {
             Ok(()) => println!("\n{} benchmarks -> {}", self.results.len(), path.display()),
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
         }
@@ -444,7 +462,11 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-fn write_json(path: &std::path::Path, records: &[Record]) -> std::io::Result<()> {
+fn write_json(
+    path: &std::path::Path,
+    records: &[Record],
+    attachments: &[(String, String)],
+) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
@@ -471,7 +493,17 @@ fn write_json(path: &std::path::Path, records: &[Record]) -> std::io::Result<()>
             }
         }
         out.push('}');
-        if i + 1 < records.len() {
+        if i + 1 < records.len() || !attachments.is_empty() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    for (i, (name, payload)) in attachments.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"attachment\": \"{}\", \"payload\": {payload}}}",
+            json_escape(name)
+        ));
+        if i + 1 < attachments.len() {
             out.push(',');
         }
         out.push('\n');
@@ -535,12 +567,34 @@ mod tests {
         let dir = std::env::temp_dir().join("doma-testkit-bench-test");
         let path = dir.join("report.json");
         let records = vec![summarize("grp\"x", "name", vec![1.0, 2.0], 3, None)];
-        write_json(&path, &records).unwrap();
+        write_json(&path, &records, &[]).unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.starts_with("[\n"));
         assert!(body.contains("\\\"x\""), "escaped quote: {body}");
         assert!(body.trim_end().ends_with(']'));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn attachments_ride_along_in_the_flat_array() {
+        let dir = std::env::temp_dir().join("doma-testkit-bench-test");
+        let path = dir.join("attach.json");
+        let records = vec![summarize("g", "n", vec![1.0], 1, None)];
+        let attachments = vec![("obs".to_string(), "{\"metrics\": []}".to_string())];
+        write_json(&path, &records, &attachments).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            body.contains("{\"attachment\": \"obs\", \"payload\": {\"metrics\": []}}"),
+            "{body}"
+        );
+        // The record object must now carry a trailing comma before the
+        // attachment keeps the array valid.
+        assert!(body.matches('{').count() == body.matches('}').count());
+        std::fs::remove_file(&path).ok();
+
+        let mut bench = Bench::smoke();
+        bench.attach_json("obs", "{}");
+        assert_eq!(bench.attachments().len(), 1);
     }
 
     #[test]

@@ -77,6 +77,26 @@ fi
 cargo test -q --offline --workspace
 
 # ---------------------------------------------------------------------------
+# Observability smoke: `domactl obs` must emit a JSON snapshot with the
+# expected shape, byte-identical across two runs of the same inputs — the
+# doma-obs determinism contract, checked end to end through the CLI.
+# ---------------------------------------------------------------------------
+obs_dir=$(mktemp -d)
+trap 'rm -rf "$obs_dir"' EXIT
+./target/release/domactl obs --schedule "r2 w3 r2 r1 w0 r3 w2 r0" --algo da > "$obs_dir/obs1.json"
+./target/release/domactl obs --schedule "r2 w3 r2 r1 w0 r3 w2 r0" --algo da > "$obs_dir/obs2.json"
+if ! cmp -s "$obs_dir/obs1.json" "$obs_dir/obs2.json"; then
+    echo "verify: FAILED (domactl obs output differs across identical runs)" >&2
+    exit 1
+fi
+for key in '"metrics"' '"events"' '"dropped_events"'; do
+    if ! grep -q "$key" "$obs_dir/obs1.json"; then
+        echo "verify: FAILED (domactl obs JSON missing $key)" >&2
+        exit 1
+    fi
+done
+
+# ---------------------------------------------------------------------------
 # Exhaustive small-bound model check: every built-in doma-check scenario
 # (3–5 processors, up to 6 requests) must be explored to completion with
 # zero violations. Exit 1 = counterexample (the tool prints the replayable

@@ -121,3 +121,49 @@ fn fault_torture_catches_a_seeded_one_copy_violation() {
         "exactly the one invalidation was eaten"
     );
 }
+
+/// The acceptance contract for torture observability: forcing a failure
+/// via the reverted-fix switches must produce a report that carries the
+/// cost metric delta of the failing step and the event-log tail, right
+/// alongside the replay line.
+#[test]
+fn forced_failure_reports_metric_delta_and_event_tail() {
+    use doma::fault::run_episode_with_bugs;
+    use doma::protocol::BugSwitches;
+
+    let bugs = BugSwitches {
+        ignore_round_tags: true,
+        count_duplicate_responders: true,
+        no_invalidated_floor: true,
+    };
+    // Crash episodes trip the reverted fixes fastest: recovery and
+    // crash-time churn exercise the invalidated-floor and round-tag
+    // paths under normal-mode audits. (Seed 205 is the first hit at the
+    // time of writing; the scan keeps the test robust to upstream
+    // reshuffles of the episode sampler.)
+    let failure = (0..250u64)
+        .find_map(|seed| run_episode_with_bugs(seed, Algo::Da, FaultClass::Crash, bugs).err())
+        .expect("with every hardening fix reverted, some seed must violate an invariant");
+    let text = failure.to_string();
+    assert!(text.contains("violated an invariant"), "{text}");
+    assert!(
+        text.contains("metric delta since the last passing audit:"),
+        "{text}"
+    );
+    assert!(
+        text.contains("cost."),
+        "the delta must break down cio/cc/cd activity:\n{text}"
+    );
+    assert!(text.contains("event-log tail:"), "{text}");
+    assert!(text.contains("sim.trace"), "{text}");
+    assert!(text.contains("DOMA_FAULT_SEED="), "{text}");
+    // The failure itself is reproducible: the same seed and cell fail
+    // identically on a second run.
+    let again = run_episode_with_bugs(failure.seed, Algo::Da, FaultClass::Crash, bugs)
+        .expect_err("the forced failure must reproduce from its seed");
+    assert_eq!(
+        again.to_string(),
+        text,
+        "failure report must be deterministic"
+    );
+}

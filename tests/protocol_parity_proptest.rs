@@ -93,4 +93,38 @@ doma_testkit::property! {
         assert_eq!(report.cost, analytic.costed.total, "on {}", schedule);
         assert_eq!(report.final_holders, analytic.costed.final_scheme);
     }
+
+    #[cases(32)]
+    /// The observability registry decomposes the same tallies: summing
+    /// the per-(algo, node, op) cost counters reproduces the report's
+    /// CostVector exactly, for SA and DA alike. Chained with the parity
+    /// properties above, the registry therefore agrees with the analytic
+    /// cost engine too.
+    fn obs_registry_parity(schedule in arb_schedule()) {
+        for algo in ["sa", "da"] {
+            let mut sim = match algo {
+                "sa" => ProtocolSim::new_sa(N, ProcSet::from_iter([0, 1])).unwrap(),
+                _ => ProtocolSim::new_da(N, ProcSet::from_iter([0]), ProcessorId::new(1)).unwrap(),
+            };
+            let obs = sim.attach_obs(64);
+            let report = sim.execute(&schedule).unwrap();
+            sim.obs_flush();
+            let snap = obs.metrics().snapshot();
+            assert_eq!(
+                snap.sum_counters("protocol", "cost.control"),
+                report.cost.control,
+                "{algo} control on {}", schedule
+            );
+            assert_eq!(
+                snap.sum_counters("protocol", "cost.data"),
+                report.cost.data,
+                "{algo} data on {}", schedule
+            );
+            assert_eq!(
+                snap.sum_counters("protocol", "cost.io"),
+                report.cost.io,
+                "{algo} io on {}", schedule
+            );
+        }
+    }
 }
