@@ -1,0 +1,125 @@
+//! Shard-scaling benchmark: object-sharded parallel execution
+//! ([`ShardedSim`]) vs the sequential driver, on multi-object uniform
+//! traffic.
+//!
+//! Two parts:
+//!
+//! * a sampled group over a moderate workload (64 objects, 5k requests)
+//!   at K ∈ {1, 2, 4, 8} shards, plus the sequential driver as the
+//!   node-table microbench (its hot path is the per-object slot lookup
+//!   inside `DomNode`);
+//! * a one-shot run of the acceptance workload (64 objects, 100k
+//!   requests) at each K, attached to the JSON report with wall-clock
+//!   times, the machine's core count, and the node-table before/after
+//!   numbers. Thread scaling is bounded by the cores actually present —
+//!   the report records `machine_cores` precisely so a single-core CI
+//!   box's flat curve isn't mistaken for a sharding defect.
+
+use doma_algorithms::multi::Placement;
+use doma_core::ObjectId;
+use doma_protocol::{ProtocolConfig, ProtocolSim, ShardedSim};
+use doma_testkit::bench::{Bench, BenchId};
+use doma_workload::{MultiScheduleGen, MultiUniformWorkload};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+const N: usize = 8;
+const OBJECTS: u64 = 64;
+const SEED: u64 = 42;
+const READ_FRACTION: f64 = 0.8;
+
+/// The experiment catalog: a contiguous 64-object catalog alternating
+/// SA and DA configurations around an 8-node ring.
+fn catalog() -> BTreeMap<ObjectId, ProtocolConfig> {
+    (0..OBJECTS)
+        .map(|o| {
+            let base = (o as usize) % (N - 1);
+            let config = if o % 2 == 0 {
+                ProtocolConfig::Sa {
+                    q: [base, base + 1].into_iter().collect(),
+                }
+            } else {
+                ProtocolConfig::Da {
+                    f: [base].into_iter().collect(),
+                    p: doma_core::ProcessorId::new(base + 1),
+                }
+            };
+            (ObjectId(o), config)
+        })
+        .collect()
+}
+
+fn bench(c: &mut Bench) {
+    let configs = catalog();
+    let gen = MultiUniformWorkload::new(OBJECTS, N, READ_FRACTION).expect("valid");
+    let schedule = gen.generate_multi(5_000, SEED);
+
+    let mut group = c.group("shard_scaling");
+    group.throughput_elements(5_000);
+    group.bench_with_input(BenchId::new("sequential", "64obj"), &schedule, |b, s| {
+        b.iter(|| {
+            let mut sim = ProtocolSim::new_catalog(N, catalog()).expect("valid");
+            sim.execute_multi(s).expect("run")
+        })
+    });
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchId::new("sharded", shards), &schedule, |b, s| {
+            b.iter(|| {
+                ShardedSim::new(N, configs.clone(), shards, Placement::RoundRobin)
+                    .expect("valid")
+                    .execute_multi(s)
+                    .expect("run")
+            })
+        });
+    }
+    group.finish();
+
+    // One-shot acceptance workload: 64 objects × 100k requests per K.
+    // Wall-clock once per shard count (the sampled group above carries
+    // the statistics; this records the headline experiment).
+    let big = gen.generate_multi(100_000, SEED);
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut runs = String::from("[");
+    for (i, shards) in [1usize, 2, 4, 8].into_iter().enumerate() {
+        let sharded =
+            ShardedSim::new(N, configs.clone(), shards, Placement::RoundRobin).expect("valid");
+        let start = Instant::now();
+        let run = sharded.execute_multi(&big).expect("run");
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        if i > 0 {
+            runs.push_str(", ");
+        }
+        runs.push_str(&format!(
+            "{{\"shards\": {shards}, \"wall_ms\": {wall_ms:.1}, \
+             \"requests_per_sec\": {:.0}, \"reads_completed\": {}}}",
+            100_000.0 / (wall_ms * 1e-3),
+            run.report.reads_completed
+        ));
+    }
+    runs.push(']');
+    c.attach_json(
+        "shard_scaling/acceptance_64obj_100k",
+        format!(
+            "{{\"objects\": {OBJECTS}, \"requests\": 100000, \"n\": {N}, \
+             \"read_fraction\": {READ_FRACTION}, \"seed\": {SEED}, \
+             \"placement\": \"round-robin\", \"machine_cores\": {cores}, \
+             \"runs\": {runs}}}"
+        ),
+    );
+
+    // Node-table refactor record: medians of this same sampled group,
+    // measured on the same box immediately before `DomNode`'s per-object
+    // BTreeMaps were replaced with dense slot-indexed tables. The "after"
+    // side is the live `shard_scaling/*` entries of this report.
+    c.attach_json(
+        "shard_scaling/node_table_before",
+        "{\"tables\": \"BTreeMap<ObjectId, _>\", \
+          \"median_ns\": {\"sequential/64obj\": 2953933, \"sharded/1\": 4059588, \
+          \"sharded/2\": 3439737, \"sharded/4\": 3349866, \"sharded/8\": 3421457}}"
+            .to_string(),
+    );
+}
+
+doma_testkit::bench_main!(bench);

@@ -34,6 +34,7 @@ mod brute;
 mod da;
 pub mod multi;
 mod opt;
+pub mod partition;
 mod quorum;
 mod sa;
 pub mod search;

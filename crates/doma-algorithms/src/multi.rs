@@ -80,18 +80,13 @@ impl MultiObjectDa {
 
     fn place(&mut self, object: ObjectId) -> Result<&mut DynamicAllocation> {
         if !self.instances.contains_key(&object) {
-            let members: Vec<usize> = match self.placement {
-                Placement::SameCore => (0..self.t).collect(),
-                Placement::RoundRobin => {
-                    let start = (self.created * (self.t - 1)) % self.n;
-                    (0..self.t).map(|i| (start + i) % self.n).collect()
-                }
-                Placement::LoadAware => {
-                    let mut order: Vec<usize> = (0..self.n).collect();
-                    order.sort_by_key(|&i| (self.load[i], i));
-                    order.into_iter().take(self.t).collect()
-                }
-            };
+            let members = crate::partition::select_members(
+                self.placement,
+                self.created,
+                self.n,
+                self.t,
+                &self.load,
+            );
             let f: ProcSet = members[..self.t - 1].iter().copied().collect();
             let p = ProcessorId::new(members[self.t - 1]);
             let da = DynamicAllocation::new(f, p)?;

@@ -10,22 +10,28 @@
 //!                  [--format json|table] [--events 256]
 //! domactl generate --workload uniform|zipf|hotspot|chaotic|mobile|append
 //!                  [--n 6] [--len 50] [--seed 0] [--read-fraction 0.7]
+//! domactl shard    [--objects 16] [--requests 10000] [--shards 1,2,4,8]
+//!                  [--n 8] [--t 2] [--placement same-core|round-robin|load-aware]
+//!                  [--seed 0] [--read-fraction 0.8]
 //! ```
 //!
 //! Schedules use the paper's notation: whitespace-separated `r<i>` / `w<i>`
 //! tokens. `--file <path>` reads the schedule from a file instead.
 
+use doma_algorithms::multi::Placement;
 use doma_algorithms::{DynamicAllocation, OfflineOptimal, StaticAllocation};
 use doma_core::{
-    run_offline, run_online, schedule_stats, CostModel, ProcSet, ProcessorId, RunOutcome, Schedule,
+    run_offline, run_online, schedule_stats, CostModel, ObjectId, ProcSet, ProcessorId, RunOutcome,
+    Schedule,
 };
-use doma_protocol::ProtocolSim;
+use doma_protocol::{ProtocolConfig, ProtocolSim, ShardedSim};
 use doma_workload::{
-    AppendOnlyWorkload, ChaoticWorkload, HotspotWorkload, MobileWorkload, ScheduleGen,
-    UniformWorkload, ZipfWorkload,
+    AppendOnlyWorkload, ChaoticWorkload, HotspotWorkload, MobileWorkload, MultiScheduleGen,
+    MultiUniformWorkload, ScheduleGen, UniformWorkload, ZipfWorkload,
 };
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::time::Instant;
 
 /// Parsed command-line options: positional command + `--key value` flags
 /// (`--verbose` is a bare flag).
@@ -54,7 +60,9 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         }
     }
     if opts.command.is_empty() {
-        return Err("missing command (cost | stats | simulate | obs | generate)".to_string());
+        return Err(
+            "missing command (cost | stats | simulate | obs | generate | shard)".to_string(),
+        );
     }
     Ok(opts)
 }
@@ -292,8 +300,110 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// The shard-scaling experiment: run one multi-object uniform workload
+/// sequentially and at each requested shard count, assert exact parity
+/// (total cost vector, reads completed, mean latency, final holders), and
+/// print the wall-clock table. Scaling is bounded by the machine's cores
+/// — the header prints the count so a flat curve on a small box reads as
+/// what it is.
+fn cmd_shard(opts: &Opts) -> Result<(), String> {
+    let objects = opts.get_usize("objects", 16)? as u64;
+    let requests = opts.get_usize("requests", 10_000)?;
+    let n = opts.get_usize("n", 8)?;
+    let t = opts.get_usize("t", 2)?;
+    let seed = opts.get_usize("seed", 0)? as u64;
+    let rf = opts.get_f64("read-fraction", 0.8)?;
+    if t < 2 || t >= n {
+        return Err(format!("need 2 <= t < n (t={t}, n={n})"));
+    }
+    let placement = match opts.get("placement", "round-robin").as_str() {
+        "same-core" => Placement::SameCore,
+        "round-robin" => Placement::RoundRobin,
+        "load-aware" => Placement::LoadAware,
+        other => {
+            return Err(format!(
+                "--placement must be same-core, round-robin or load-aware, got '{other}'"
+            ))
+        }
+    };
+    let shard_counts: Vec<usize> = opts
+        .get("shards", "1,2,4,8")
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("--shards: bad shard count '{s}'"))
+        })
+        .collect::<Result<_, _>>()?;
+    let err = |e: doma_core::DomaError| e.to_string();
+
+    // Alternating SA/DA catalog with scheme size t, rotated around the
+    // cluster — the same shape the shard_scaling bench uses.
+    let configs: BTreeMap<ObjectId, ProtocolConfig> = (0..objects)
+        .map(|o| {
+            let base = (o as usize) % (n - t + 1);
+            let config = if o % 2 == 0 {
+                ProtocolConfig::Sa {
+                    q: (base..base + t).collect(),
+                }
+            } else {
+                ProtocolConfig::Da {
+                    f: (base..base + t - 1).collect(),
+                    p: ProcessorId::new(base + t - 1),
+                }
+            };
+            (ObjectId(o), config)
+        })
+        .collect();
+    let schedule = MultiUniformWorkload::new(objects, n, rf)
+        .map_err(err)?
+        .generate_multi(requests, seed);
+
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!(
+        "shard scaling: {objects} objects, {requests} requests, n={n}, t={t}, \
+         read fraction {rf}, seed {seed}, {placement:?} placement, {cores} cores"
+    );
+
+    let mut sequential = ProtocolSim::new_catalog(n, configs.clone()).map_err(err)?;
+    let start = Instant::now();
+    let expected = sequential.execute_multi(&schedule).map_err(err)?;
+    let seq_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "  sequential: {seq_ms:8.1} ms  {:9.0} req/s  ({} reads completed)",
+        requests as f64 / (seq_ms * 1e-3),
+        expected.reads_completed
+    );
+
+    for shards in shard_counts {
+        let sharded = ShardedSim::new(n, configs.clone(), shards, placement).map_err(err)?;
+        let start = Instant::now();
+        let run = sharded.execute_multi(&schedule).map_err(err)?;
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        if run.report != expected {
+            return Err(format!(
+                "parity violation at K={shards}: sharded report diverges from sequential"
+            ));
+        }
+        for object in configs.keys() {
+            if run.holders.get(object) != Some(&sequential.valid_holders_of(*object)) {
+                return Err(format!(
+                    "parity violation at K={shards}: holders of {object} diverge"
+                ));
+            }
+        }
+        println!(
+            "  K={shards:<3}      {wall_ms:8.1} ms  {:9.0} req/s  parity OK",
+            requests as f64 / (wall_ms * 1e-3)
+        );
+    }
+    Ok(())
+}
+
 fn usage() -> String {
-    "usage: domactl <cost|stats|simulate|obs|generate> [--flags]\n\
+    "usage: domactl <cost|stats|simulate|obs|generate|shard> [--flags]\n\
      try: domactl cost --schedule \"r1 r1 r2 w2 r2 r2 r2\" --cc 0.5 --cd 1.0"
         .to_string()
 }
@@ -306,6 +416,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&opts),
         "obs" => cmd_obs(&opts),
         "generate" => cmd_generate(&opts),
+        "shard" => cmd_shard(&opts),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     });
     match result {
@@ -396,6 +507,29 @@ mod tests {
         ]))
         .unwrap();
         cmd_obs(&o).unwrap();
+    }
+
+    #[test]
+    fn shard_runs_and_validates_flags() {
+        let o = parse_args(&args(&[
+            "shard",
+            "--objects",
+            "6",
+            "--requests",
+            "200",
+            "--shards",
+            "1,2,3",
+            "--n",
+            "6",
+        ]))
+        .unwrap();
+        cmd_shard(&o).unwrap();
+        let o = parse_args(&args(&["shard", "--placement", "zigzag"])).unwrap();
+        assert!(cmd_shard(&o).is_err());
+        let o = parse_args(&args(&["shard", "--shards", "1,x"])).unwrap();
+        assert!(cmd_shard(&o).is_err());
+        let o = parse_args(&args(&["shard", "--t", "9", "--n", "4"])).unwrap();
+        assert!(cmd_shard(&o).is_err());
     }
 
     #[test]

@@ -963,6 +963,105 @@ pub fn placement_e18(objects: u64, requests: usize, seed: u64) -> Result<ExpRepo
     Ok(report)
 }
 
+/// E22: object-sharded parallel execution — the executable counterpart of
+/// E18's analytic placement study. One multi-object uniform workload is
+/// run sequentially and through [`doma_protocol::ShardedSim`] at each
+/// shard count; every sharded run must reproduce the sequential
+/// [`doma_protocol::SimReport`] exactly (the merge is deterministic), and
+/// the table records the wall-clock speedup actually achieved on this
+/// machine's cores.
+pub fn shard_scaling_e22(
+    objects: u64,
+    requests: usize,
+    shard_counts: &[usize],
+) -> Result<ExpReport> {
+    use doma_algorithms::multi::Placement;
+    use doma_core::ObjectId;
+    use doma_protocol::{ProtocolConfig, ShardedSim};
+    use doma_workload::{MultiScheduleGen, MultiUniformWorkload};
+    use std::time::Instant;
+
+    let n = 8;
+    let seed = 42;
+    let configs: BTreeMap<ObjectId, ProtocolConfig> = (0..objects)
+        .map(|o| {
+            let base = (o as usize) % (n - 1);
+            let config = if o % 2 == 0 {
+                ProtocolConfig::Sa {
+                    q: [base, base + 1].into_iter().collect(),
+                }
+            } else {
+                ProtocolConfig::Da {
+                    f: [base].into_iter().collect(),
+                    p: ProcessorId::new(base + 1),
+                }
+            };
+            (ObjectId(o), config)
+        })
+        .collect();
+    let schedule = MultiUniformWorkload::new(objects, n, 0.8)?.generate_multi(requests, seed);
+
+    let mut sequential = ProtocolSim::new_catalog(n, configs.clone())?;
+    let start = Instant::now();
+    let expected = sequential.execute_multi(&schedule)?;
+    let seq_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let mut table = Table::new(vec!["shards", "wall ms", "req/s", "speedup", "parity"]);
+    table.push_row(vec![
+        "sequential".to_string(),
+        format!("{seq_ms:.1}"),
+        format!("{:.0}", requests as f64 / (seq_ms * 1e-3)),
+        "1.00".to_string(),
+        "—".to_string(),
+    ]);
+    let mut metrics = BTreeMap::new();
+    metrics.insert("sequential_wall_ms".into(), seq_ms);
+    let mut all_parity = true;
+    for &shards in shard_counts {
+        let sharded = ShardedSim::new(n, configs.clone(), shards, Placement::RoundRobin)?;
+        let start = Instant::now();
+        let run = sharded.execute_multi(&schedule)?;
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let parity = run.report == expected
+            && configs
+                .keys()
+                .all(|o| run.holders.get(o) == Some(&sequential.valid_holders_of(*o)));
+        all_parity &= parity;
+        table.push_row(vec![
+            shards.to_string(),
+            format!("{wall_ms:.1}"),
+            format!("{:.0}", requests as f64 / (wall_ms * 1e-3)),
+            format!("{:.2}", seq_ms / wall_ms),
+            if parity { "exact" } else { "DIVERGED" }.to_string(),
+        ]);
+        metrics.insert(format!("k{shards}_wall_ms"), wall_ms);
+        metrics.insert(format!("k{shards}_speedup"), seq_ms / wall_ms);
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut report = ExpReport::new(
+        "E22",
+        format!(
+            "Object-sharded execution ({objects} uniform objects, {requests} requests, \
+             n={n}, round-robin placement, {cores} cores)"
+        ),
+        table,
+    );
+    report.notes.push(format!(
+        "Speedup is bounded by the {cores} core(s) actually present; parity \
+         (report, holders, obs totals) holds at every K regardless."
+    ));
+    report
+        .metrics
+        .insert("parity".into(), f64::from(all_parity));
+    report.metrics.insert("machine_cores".into(), cores as f64);
+    metrics.into_iter().for_each(|(k, v)| {
+        report.metrics.insert(k, v);
+    });
+    Ok(report)
+}
+
 /// E17: the paper notes its competitiveness factors are *independent of
 /// `t`*. We measure the worst battery ratio of SA and DA for several `t`
 /// and check it stays within the (t-independent) bounds and roughly flat.
@@ -1133,6 +1232,15 @@ mod tests {
             assert!(r.metrics[&format!("sa_worst_t{t}")] <= model.sa_bound().unwrap() + 1e-9);
             assert!(r.metrics[&format!("da_worst_t{t}")] <= model.da_bound().unwrap() + 1e-9);
         }
+    }
+
+    #[test]
+    fn shard_scaling_e22_holds_parity_at_every_k() {
+        let r = shard_scaling_e22(8, 400, &[1, 2, 4]).unwrap();
+        assert_eq!(r.metrics["parity"], 1.0);
+        assert!(r.metrics["machine_cores"] >= 1.0);
+        // One sequential row plus one per shard count.
+        assert_eq!(r.table.len(), 4);
     }
 
     #[test]

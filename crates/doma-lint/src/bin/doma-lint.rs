@@ -4,7 +4,9 @@
 //! * `exhaustive-dispatch` over `doma-protocol`,
 //! * `no-adhoc-print` over the instrumented crates' non-test, non-bin
 //!   sources (CLI binaries under `src/bin` are exempt),
-//! * `lint-headers` over every crate's `lib.rs`.
+//! * `lint-headers` over every crate's `lib.rs`,
+//! * `thread-containment` over every crate's `src/`, `benches/` and
+//!   `tests/` — `std::thread` only in the approved fan-out modules.
 //!
 //! ```text
 //! doma-lint [WORKSPACE_ROOT]
@@ -14,7 +16,7 @@
 
 use doma_lint::{
     check_dispatch_exhaustive, check_lint_headers, check_no_adhoc_prints, check_no_panics,
-    mask_cfg_test, mask_source,
+    check_thread_containment, mask_cfg_test, mask_source,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -32,6 +34,14 @@ const NO_PRINT_CRATES: &[&str] = &[
     "doma-protocol",
     "doma-fault",
     "doma-check",
+];
+/// The only modules allowed to touch `std::thread`: the audited fan-out
+/// points. Everything else — every crate, benches and tests included —
+/// must stay single-threaded or route through `doma_sim::shard`.
+const THREAD_MODULES: &[&str] = &[
+    "doma-analysis/src/sweep.rs",
+    "doma-sim/src/shard.rs",
+    "doma-fault/src/torture.rs",
 ];
 
 fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
@@ -85,18 +95,25 @@ fn main() -> ExitCode {
         let no_panic = NO_PANIC_CRATES.contains(&name);
         let dispatch = DISPATCH_CRATES.contains(&name);
         let no_print = NO_PRINT_CRATES.contains(&name);
-        if !no_panic && !dispatch && !no_print {
-            continue;
-        }
         let mut files = Vec::new();
-        rs_files(&dir.join("src"), &mut files);
+        for sub in ["src", "benches", "tests"] {
+            rs_files(&dir.join(sub), &mut files);
+        }
         for file in &files {
             let Ok(src) = std::fs::read_to_string(file) else {
                 continue;
             };
             files_checked += 1;
             let label = rel(&root, file);
-            let masked = mask_cfg_test(&mask_source(&src));
+            let in_src = file.starts_with(dir.join("src"));
+            let masked_raw = mask_source(&src);
+            if !THREAD_MODULES.iter().any(|m| label.ends_with(m)) {
+                findings.extend(check_thread_containment(&label, &masked_raw));
+            }
+            if !in_src {
+                continue;
+            }
+            let masked = mask_cfg_test(&masked_raw);
             if no_panic {
                 findings.extend(check_no_panics(&label, &masked));
             }

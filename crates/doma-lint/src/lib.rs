@@ -367,6 +367,41 @@ pub fn check_no_adhoc_prints(file: &str, masked_no_test: &str) -> Vec<Finding> {
     out
 }
 
+/// The `thread-containment` rule: flags `std::thread` in a masked source.
+/// Determinism is the workspace's backbone — every simulator engine is
+/// single-threaded and every parallel construct must route through the
+/// audited fan-out points (the sweep runner, the shard worker, the
+/// torture harness), which the caller exempts by path. The one allowed
+/// free-standing use is `std::thread::available_parallelism`: core-count
+/// introspection spawns nothing.
+pub fn check_thread_containment(file: &str, masked: &str) -> Vec<Finding> {
+    const PAT: &str = "std::thread";
+    const ALLOWED_TAIL: &str = "::available_parallelism";
+    let mut out = Vec::new();
+    for (idx, line) in masked.lines().enumerate() {
+        let mut from = 0;
+        while let Some(off) = line[from..].find(PAT) {
+            let col = from + off;
+            from = col + PAT.len();
+            let boundary = (col == 0 || !is_ident(line[..col].chars().next_back().unwrap_or(' ')))
+                && !line[from..].chars().next().is_some_and(is_ident);
+            if boundary && !line[from..].starts_with(ALLOWED_TAIL) {
+                out.push(Finding {
+                    file: file.to_string(),
+                    line: idx + 1,
+                    rule: "thread-containment",
+                    message: "`std::thread` outside the approved fan-out modules — \
+                              route parallelism through doma_sim::shard::run_shards \
+                              (or the sweep/torture harnesses)"
+                        .to_string(),
+                });
+                break;
+            }
+        }
+    }
+    out
+}
+
 /// The `lint-headers` rule: every crate root must opt into the
 /// workspace's documentation and idiom lints.
 pub fn check_lint_headers(file: &str, src: &str) -> Vec<Finding> {
@@ -509,6 +544,25 @@ mod tests {
 ";
         let findings = check_no_adhoc_prints("f.rs", &mask_cfg_test(&mask_source(src)));
         assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn thread_containment_flags_spawns_but_not_core_counts() {
+        let src = "
+fn f() {
+    std::thread::scope(|s| s.spawn(|| {}));
+    std::thread::spawn(|| {});
+    let cores = std::thread::available_parallelism();
+    my_std::thread_pool(); // not the module
+}
+// std::thread in a comment is fine
+let s = \"std::thread in a string too\";
+";
+        let findings = check_thread_containment("f.rs", &mask_source(src));
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert_eq!(findings[0].line, 3);
+        assert_eq!(findings[1].line, 4);
+        assert!(findings.iter().all(|f| f.rule == "thread-containment"));
     }
 
     #[test]

@@ -202,6 +202,29 @@ impl EventLog {
         }
     }
 
+    /// Appends a pre-built record (typically taken from another log's
+    /// snapshot), preserving its time, name, fields and phase but
+    /// assigning this log's own next index. The shard merge folds
+    /// per-shard logs into one master log with it; span bookkeeping is
+    /// deliberately untouched — a copied `Enter`/`Exit` pair already
+    /// carries its duration.
+    pub fn append_record(&self, record: &EventRecord) -> u64 {
+        let mut inner = self.lock();
+        Self::push(
+            &mut inner,
+            record.time,
+            &record.name,
+            record.fields.clone(),
+            record.phase.clone(),
+        )
+    }
+
+    /// Adds `n` to the dropped-records counter — used when folding in
+    /// another log whose own capacity bound already discarded records.
+    pub fn add_dropped(&self, n: u64) {
+        self.lock().dropped += n;
+    }
+
     /// The retained records, oldest first.
     pub fn snapshot(&self) -> Vec<EventRecord> {
         self.lock().records.iter().cloned().collect()

@@ -75,6 +75,38 @@ impl Obs {
         &self.events
     }
 
+    /// Folds per-shard bundles into this one, deterministically:
+    ///
+    /// * metric snapshots merge via [`MetricsRegistry::merge`], so
+    ///   counter totals, histogram tallies and the registered key set
+    ///   are identical to a sequential run regardless of how many
+    ///   shards produced them;
+    /// * every shard's retained event records are interleaved by
+    ///   `(time, shard, index)` — a total order, since indices are
+    ///   unique within a shard — and appended with a `shard` label
+    ///   (times stay shard-local: each shard's engine runs its own
+    ///   virtual clock);
+    /// * dropped-event counts sum.
+    ///
+    /// The `shard` label and shard-local event times are the *only*
+    /// documented differences between a merged K-shard snapshot and the
+    /// sequential one; the metrics section is byte-identical.
+    pub fn merge_shards(&self, shards: &[Obs]) {
+        let mut records: Vec<(u64, usize, u64, EventRecord)> = Vec::new();
+        for (shard, bundle) in shards.iter().enumerate() {
+            self.metrics.merge(&bundle.metrics().snapshot());
+            self.events.add_dropped(bundle.events().dropped_events());
+            for record in bundle.events().snapshot() {
+                records.push((record.time, shard, record.index, record));
+            }
+        }
+        records.sort_by_key(|(time, shard, index, _)| (*time, *shard, *index));
+        for (_, shard, _, mut record) in records {
+            record.fields.push(("shard".to_string(), shard.to_string()));
+            self.events.append_record(&record);
+        }
+    }
+
     /// The stable JSON snapshot: `{"dropped_events": …, "events": […],
     /// "metrics": […]}` with every object key and metric row in a
     /// deterministic order. Byte-identical across two runs of the same
@@ -136,6 +168,54 @@ mod tests {
         );
         assert!(a.contains("\"metrics\": ["), "{a}");
         assert!(a.contains("\"sim.crash\""), "{a}");
+    }
+
+    #[test]
+    fn merge_shards_reproduces_sequential_metrics_and_orders_events() {
+        // "Sequential" bundle: everything recorded into one registry.
+        let seq = Obs::new(16);
+        seq.metrics().add("p", "cost.io", &[("op", "read")], 3);
+        seq.metrics().add("p", "cost.io", &[("op", "write")], 5);
+        seq.metrics().histogram("p", "lat", &[], &[2, 8]).observe(1);
+        seq.metrics().histogram("p", "lat", &[], &[2, 8]).observe(9);
+
+        // Same totals split across two shard bundles.
+        let s0 = Obs::new(16);
+        s0.metrics().add("p", "cost.io", &[("op", "read")], 3);
+        s0.metrics().histogram("p", "lat", &[], &[2, 8]).observe(9);
+        s0.events().record(4, "late", vec![]);
+        let s1 = Obs::new(16);
+        s1.metrics().add("p", "cost.io", &[("op", "write")], 5);
+        // Zero-valued key must still register so key sets match.
+        s1.metrics().add("p", "cost.io", &[("op", "read")], 0);
+        s1.metrics().histogram("p", "lat", &[], &[2, 8]).observe(1);
+        s1.events().record(2, "early", vec![]);
+
+        let merged = Obs::new(16);
+        merged.merge_shards(&[s0, s1]);
+        assert_eq!(
+            merged.metrics().snapshot().to_json(),
+            seq.metrics().snapshot().to_json()
+        );
+        // Events interleave by (time, shard, index) and carry the label.
+        let events = merged.events().snapshot();
+        assert_eq!(events[0].name, "early");
+        assert_eq!(events[0].fields, vec![("shard".into(), "1".into())]);
+        assert_eq!(events[1].name, "late");
+        assert_eq!(events[1].fields, vec![("shard".into(), "0".into())]);
+    }
+
+    #[test]
+    fn merge_shards_sums_dropped_events() {
+        let shard = Obs::new(1);
+        shard.events().record(1, "a", vec![]);
+        shard.events().record(2, "b", vec![]);
+        shard.events().record(3, "c", vec![]);
+        assert_eq!(shard.events().dropped_events(), 2);
+        let merged = Obs::new(8);
+        merged.merge_shards(&[shard]);
+        assert_eq!(merged.events().dropped_events(), 2);
+        assert_eq!(merged.events().len(), 1);
     }
 
     #[test]

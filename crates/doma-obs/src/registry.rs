@@ -260,6 +260,60 @@ impl MetricsRegistry {
         self.counter(component, name, labels).add(n);
     }
 
+    /// Folds a snapshot into this registry: counters add, gauges take
+    /// the snapshot's value, histograms add bucket counts, total and sum
+    /// (created with the snapshot's bounds when absent). Keys are
+    /// registered even at zero value, so merging the K per-shard
+    /// registries of a sharded run reproduces the sequential registry's
+    /// key set *and* totals exactly — the determinism contract the
+    /// sharded executor's observability path rests on. Kind mismatches
+    /// are ignored, consistent with the detached-handle policy above.
+    pub fn merge(&self, other: &MetricsSnapshot) {
+        let mut table = self.lock();
+        for (key, value) in &other.metrics {
+            match value {
+                MetricValue::Counter(v) => {
+                    let slot = table
+                        .entry(key.clone())
+                        .or_insert_with(|| Slot::Counter(Arc::new(AtomicU64::new(0))));
+                    if let Slot::Counter(c) = slot {
+                        c.fetch_add(*v, Ordering::Relaxed);
+                    }
+                }
+                MetricValue::Gauge(v) => {
+                    let slot = table
+                        .entry(key.clone())
+                        .or_insert_with(|| Slot::Gauge(Arc::new(AtomicI64::new(0))));
+                    if let Slot::Gauge(g) = slot {
+                        g.store(*v, Ordering::Relaxed);
+                    }
+                }
+                MetricValue::Histogram {
+                    bounds,
+                    counts,
+                    total,
+                    sum,
+                } => {
+                    let slot = table.entry(key.clone()).or_insert_with(|| {
+                        Slot::Histogram(Arc::new(HistogramCore {
+                            bounds: bounds.clone(),
+                            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                            total: AtomicU64::new(0),
+                            sum: AtomicU64::new(0),
+                        }))
+                    });
+                    if let Slot::Histogram(h) = slot {
+                        for (bucket, add) in h.counts.iter().zip(counts) {
+                            bucket.fetch_add(*add, Ordering::Relaxed);
+                        }
+                        h.total.fetch_add(*total, Ordering::Relaxed);
+                        h.sum.fetch_add(*sum, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+
     /// A deterministic point-in-time copy of every registered metric,
     /// in key order.
     pub fn snapshot(&self) -> MetricsSnapshot {

@@ -20,6 +20,11 @@
 //!   [`doma_core::Schedule`] request by request (the paper's totally
 //!   ordered schedule), and reports exact [`doma_core::CostVector`]
 //!   tallies, replica placement, and read latencies.
+//! * [`ShardedSim`] — object-sharded parallel execution: partitions a
+//!   multi-object schedule into K shards (objects are independent in the
+//!   failure-free protocol), runs each shard on its own cluster and
+//!   engine on scoped threads, and deterministically merges reports and
+//!   observability so the result is identical to sequential execution.
 //! * [`failover`] — the §2 failure handling sketch: when a core member
 //!   fails, the cluster falls back to majority-quorum reads/writes and a
 //!   recovering node catches up via a quorum read (the missing-writes
@@ -37,8 +42,10 @@ pub mod failover;
 mod msg;
 mod node;
 mod obs;
+mod sharded;
 mod sim;
 
 pub use msg::DomMsg;
 pub use node::{BugSwitches, CompletedRead, DomNode, ProtocolConfig};
+pub use sharded::{ShardedRun, ShardedSim};
 pub use sim::{BurstReport, OpenLoopReport, ProtocolSim, SimReport};

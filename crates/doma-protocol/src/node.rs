@@ -131,6 +131,67 @@ pub struct CompletedRead {
     pub latency: u64,
 }
 
+/// The node's object catalog, stored densely: ids sorted ascending with
+/// the per-object configurations in matching slots.
+///
+/// Hot-path per-object state (`da`, `invalidated_below`, `pending`,
+/// `read_started`) lives in parallel `Vec`s indexed by the catalog
+/// *slot*, replacing the previous per-lookup `BTreeMap` walks. For a
+/// contiguous catalog — the common case; every multi-object generator
+/// produces `0..objects` — the slot is one subtraction and a bounds
+/// check; non-contiguous catalogs fall back to binary search over the
+/// sorted ids.
+#[derive(Debug, Clone)]
+struct ObjectCatalog {
+    /// Object ids, ascending.
+    ids: Vec<ObjectId>,
+    /// Per-object configuration, aligned with `ids`.
+    configs: Vec<ProtocolConfig>,
+    /// `ids[0]`, the offset of the contiguous fast path.
+    base: u64,
+    /// Whether `ids` is exactly `base..base + ids.len()`.
+    contiguous: bool,
+}
+
+impl ObjectCatalog {
+    fn from_map(map: BTreeMap<ObjectId, ProtocolConfig>) -> Self {
+        let ids: Vec<ObjectId> = map.keys().copied().collect();
+        let configs: Vec<ProtocolConfig> = map.into_values().collect();
+        let base = ids.first().map(|o| o.0).unwrap_or(0);
+        let contiguous = ids
+            .iter()
+            .enumerate()
+            .all(|(i, o)| o.0 == base.wrapping_add(i as u64));
+        ObjectCatalog {
+            ids,
+            configs,
+            base,
+            contiguous,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// The dense slot of `object`, if catalogued.
+    #[inline]
+    fn slot(&self, object: ObjectId) -> Option<usize> {
+        if self.contiguous {
+            let idx = object.0.checked_sub(self.base)? as usize;
+            (idx < self.ids.len()).then_some(idx)
+        } else {
+            self.ids.binary_search(&object).ok()
+        }
+    }
+
+    /// The configuration of `object`, if catalogued.
+    #[inline]
+    fn get(&self, object: ObjectId) -> Option<&ProtocolConfig> {
+        self.slot(object).map(|slot| &self.configs[slot])
+    }
+}
+
 /// Per-object DA bookkeeping held by core members.
 #[derive(Debug, Clone, Default)]
 struct DaObjectState {
@@ -154,27 +215,30 @@ struct DaObjectState {
 pub struct DomNode {
     id: ProcessorId,
     n: usize,
-    configs: BTreeMap<ObjectId, ProtocolConfig>,
+    catalog: ObjectCatalog,
     store: CachedStore,
-    da: BTreeMap<ObjectId, DaObjectState>,
-    /// Per object, the highest version an [`DomMsg::Invalidate`] named as
-    /// superseding the local replica. Replicas older than this must never
-    /// be (re-)validated or served: under fault injection a delayed or
-    /// duplicated data message could otherwise resurrect a replica whose
-    /// invalidation was already processed.
-    invalidated_below: BTreeMap<ObjectId, Version>,
+    /// Per-slot DA bookkeeping (aligned with the catalog).
+    da: Vec<DaObjectState>,
+    /// Per slot, the highest version an [`DomMsg::Invalidate`] named as
+    /// superseding the local replica ([`Version::INITIAL`] = no floor).
+    /// Replicas older than this must never be (re-)validated or served:
+    /// under fault injection a delayed or duplicated data message could
+    /// otherwise resurrect a replica whose invalidation was already
+    /// processed.
+    invalidated_below: Vec<Version>,
     // --- failure mode ---
     quorum_mode: bool,
-    pending: BTreeMap<ObjectId, PendingQuorum>,
+    /// Per-slot in-flight quorum operation (at most one per object).
+    pending: Vec<Option<PendingQuorum>>,
     /// Monotone counter tagging each quorum operation this node starts
     /// (round 0 is reserved for plain forwarded reads). Deliberately NOT
     /// reset on crash: a reply to a pre-crash operation must never match a
     /// post-recovery one.
     quorum_round: u64,
     // --- metrics ---
-    /// FIFO queues of outstanding read start-times, per object (open-loop
+    /// Per-slot FIFO queues of outstanding read start-times (open-loop
     /// execution can have several reads of one object in flight at once).
-    read_started: BTreeMap<ObjectId, Vec<SimTime>>,
+    read_started: Vec<Vec<SimTime>>,
     reads_completed: u64,
     read_latency_ticks: u64,
     read_latencies: Vec<u64>,
@@ -206,9 +270,10 @@ impl DomNode {
         configs: BTreeMap<ObjectId, ProtocolConfig>,
         cache_capacity: usize,
     ) -> Self {
+        let catalog = ObjectCatalog::from_map(configs);
         let mut store = LocalStore::new();
-        let mut da = BTreeMap::new();
-        for (object, config) in &configs {
+        let mut da = Vec::with_capacity(catalog.len());
+        for (object, config) in catalog.ids.iter().zip(&catalog.configs) {
             if config.initial_scheme().contains(id) {
                 store = preload(store, *object);
             }
@@ -218,26 +283,24 @@ impl DomNode {
                 (true, ProtocolConfig::Da { p, .. }) => Some(*p),
                 _ => None,
             };
-            da.insert(
-                *object,
-                DaObjectState {
-                    join_list: ProcSet::EMPTY,
-                    extra,
-                    serve_cursor: 0,
-                },
-            );
+            da.push(DaObjectState {
+                join_list: ProcSet::EMPTY,
+                extra,
+                serve_cursor: 0,
+            });
         }
+        let slots = catalog.len();
         DomNode {
             id,
             n,
-            configs,
+            catalog,
             store: CachedStore::wrap(store, cache_capacity),
             da,
-            invalidated_below: BTreeMap::new(),
+            invalidated_below: vec![Version::INITIAL; slots],
             quorum_mode: false,
-            pending: BTreeMap::new(),
+            pending: vec![None; slots],
             quorum_round: 0,
-            read_started: BTreeMap::new(),
+            read_started: vec![Vec::new(); slots],
             reads_completed: 0,
             read_latency_ticks: 0,
             read_latencies: Vec::new(),
@@ -290,7 +353,8 @@ impl DomNode {
                     MsgKind::Control => "cost.control",
                     MsgKind::Data => "cost.data",
                 };
-                (dim, algo_label(&self.configs, object_of(msg)), op_of(msg))
+                let config = object_of(msg).and_then(|o| self.catalog.get(o));
+                (dim, algo_label(config), op_of(msg))
             })
             .collect();
         self.obs_account_io(op, object);
@@ -302,7 +366,7 @@ impl DomNode {
 
     fn obs_account_io(&mut self, op: &'static str, object: Option<ObjectId>) {
         let io_now = self.store.store().io_stats().total();
-        let algo = algo_label(&self.configs, object);
+        let algo = algo_label(object.and_then(|o| self.catalog.get(o)));
         let Some(obs) = self.obs.as_mut() else { return };
         let delta = io_now.saturating_sub(obs.io_seen);
         obs.io_seen = io_now;
@@ -381,17 +445,16 @@ impl DomNode {
         self.quorum_round.hash(&mut h);
         self.reads_completed.hash(&mut h);
         self.errors.len().hash(&mut h);
-        for object in self.configs.keys() {
+        for (slot, object) in self.catalog.ids.iter().enumerate() {
             object.hash(&mut h);
             self.replica_version_of(*object).hash(&mut h);
             self.store.holds_valid(*object).hash(&mut h);
             self.invalidated_floor(*object).hash(&mut h);
-            if let Some(state) = self.da.get(object) {
-                state.join_list.hash(&mut h);
-                state.extra.hash(&mut h);
-                state.serve_cursor.hash(&mut h);
-            }
-            if let Some(p) = self.pending.get(object) {
+            let state = &self.da[slot];
+            state.join_list.hash(&mut h);
+            state.extra.hash(&mut h);
+            state.serve_cursor.hash(&mut h);
+            if let Some(p) = &self.pending[slot] {
                 p.responders.hash(&mut h);
                 p.needed.hash(&mut h);
                 p.round.hash(&mut h);
@@ -399,11 +462,7 @@ impl DomNode {
                 p.best.as_ref().map(|(v, _)| *v).hash(&mut h);
                 p.store_result.hash(&mut h);
             }
-            self.read_started
-                .get(object)
-                .map(|q| q.len())
-                .unwrap_or(0)
-                .hash(&mut h);
+            self.read_started[slot].len().hash(&mut h);
         }
         // The record of which versions reads returned, in order: the
         // oracle audits it against a rising floor, so it is part of the
@@ -490,10 +549,17 @@ impl DomNode {
 
     /// The core member's current join-list for object 0.
     pub fn join_list(&self) -> ProcSet {
-        self.da
-            .get(&OBJECT)
-            .map(|s| s.join_list)
+        self.catalog
+            .slot(OBJECT)
+            .map(|slot| self.da[slot].join_list)
             .unwrap_or(ProcSet::EMPTY)
+    }
+
+    /// The tracked "extra" (floater) member for `object`, if any.
+    #[cfg(test)]
+    fn da_extra(&self, object: ObjectId) -> Option<ProcessorId> {
+        let slot = self.catalog.slot(object)?;
+        self.da.get(slot)?.extra
     }
 
     /// Whether the node is in quorum (failure) mode.
@@ -505,15 +571,42 @@ impl DomNode {
     /// redo log (used by failure tests around engine crash events).
     pub fn recover_from_log(&mut self) {
         self.store.crash_and_recover();
-        self.pending.clear();
-        self.read_started.clear();
+        self.clear_volatile_tables();
+    }
+
+    /// Drops the volatile per-slot state a crash loses: in-flight quorum
+    /// operations and outstanding-read queues. Slot tables keep their
+    /// (fixed) shape — only the contents reset.
+    fn clear_volatile_tables(&mut self) {
+        for p in &mut self.pending {
+            *p = None;
+        }
+        for q in &mut self.read_started {
+            q.clear();
+        }
     }
 
     fn config(&self, object: ObjectId) -> Result<&ProtocolConfig, DomaError> {
-        self.configs.get(&object).ok_or(DomaError::UnknownObject {
+        self.catalog.get(object).ok_or(DomaError::UnknownObject {
             node: self.id.index(),
             object: object.0,
         })
+    }
+
+    /// The catalog slot of `object`, recording [`DomaError::UnknownObject`]
+    /// when uncatalogued — the shape message handlers need, since
+    /// [`Actor::on_message`] cannot propagate a `Result`.
+    fn slot_or_record(&mut self, object: ObjectId) -> Option<usize> {
+        match self.catalog.slot(object) {
+            Some(slot) => Some(slot),
+            None => {
+                self.errors.push(DomaError::UnknownObject {
+                    node: self.id.index(),
+                    object: object.0,
+                });
+                None
+            }
+        }
     }
 
     /// Like [`DomNode::config`] but records the error and returns `None`
@@ -545,9 +638,9 @@ impl DomNode {
     /// The lowest version still allowed to (re-)validate the local
     /// replica, per processed invalidations.
     fn invalidated_floor(&self, object: ObjectId) -> Version {
-        self.invalidated_below
-            .get(&object)
-            .copied()
+        self.catalog
+            .slot(object)
+            .map(|slot| self.invalidated_below[slot])
             .unwrap_or(Version::INITIAL)
     }
 
@@ -565,25 +658,24 @@ impl DomNode {
     }
 
     fn complete_read(&mut self, object: ObjectId, version: Option<Version>, now: SimTime) {
-        if let Some(queue) = self.read_started.get_mut(&object) {
-            if !queue.is_empty() {
-                // Replies are served FIFO (the engine and the bus are
-                // order-preserving), so the oldest outstanding read is the
-                // one completing.
-                let started = queue.remove(0);
-                self.reads_completed += 1;
-                let latency = now.ticks() - started.ticks();
-                self.read_latency_ticks += latency;
-                self.read_latencies.push(latency);
-                self.completed_reads.push(CompletedRead {
-                    object,
-                    version,
-                    latency,
-                });
-            }
-            if queue.is_empty() {
-                self.read_started.remove(&object);
-            }
+        let Some(slot) = self.catalog.slot(object) else {
+            return;
+        };
+        let queue = &mut self.read_started[slot];
+        if !queue.is_empty() {
+            // Replies are served FIFO (the engine and the bus are
+            // order-preserving), so the oldest outstanding read is the
+            // one completing.
+            let started = queue.remove(0);
+            self.reads_completed += 1;
+            let latency = now.ticks() - started.ticks();
+            self.read_latency_ticks += latency;
+            self.read_latencies.push(latency);
+            self.completed_reads.push(CompletedRead {
+                object,
+                version,
+                latency,
+            });
         }
     }
 
@@ -608,6 +700,9 @@ impl DomNode {
         object: ObjectId,
         store_result: bool,
     ) {
+        let Some(slot) = self.slot_or_record(object) else {
+            return;
+        };
         let local = self.store.input(object);
         let mut responders = ProcSet::EMPTY;
         if local.is_some() {
@@ -630,18 +725,15 @@ impl DomNode {
             );
             obs.open_quorum.insert((object, round), span);
         }
-        self.pending.insert(
-            object,
-            PendingQuorum {
-                counted: responders.len(),
-                responders,
-                needed: self.quorum_size(),
-                round,
-                best: local,
-                store_result,
-                started: ctx.now(),
-            },
-        );
+        self.pending[slot] = Some(PendingQuorum {
+            counted: responders.len(),
+            responders,
+            needed: self.quorum_size(),
+            round,
+            best: local,
+            store_result,
+            started: ctx.now(),
+        });
         for peer in self.all_peers() {
             ctx.send(
                 peer,
@@ -659,14 +751,20 @@ impl DomNode {
 
     fn handle_client_read(&mut self, ctx: &mut Context<DomMsg>, object: ObjectId) {
         if self.quorum_mode {
-            self.read_started.entry(object).or_default().push(ctx.now());
+            let Some(slot) = self.slot_or_record(object) else {
+                return;
+            };
+            self.read_started[slot].push(ctx.now());
             self.start_quorum_read(ctx, object, false);
             return;
         }
         let Some(config) = self.config_or_record(object) else {
             return;
         };
-        self.read_started.entry(object).or_default().push(ctx.now());
+        let Some(slot) = self.catalog.slot(object) else {
+            return;
+        };
+        self.read_started[slot].push(ctx.now());
         match config {
             ProtocolConfig::Sa { q } => {
                 if q.contains(self.id) {
@@ -699,7 +797,7 @@ impl DomNode {
                     self.complete_read(object, version, ctx.now());
                 } else {
                     let members: Vec<ProcessorId> = f.iter().collect();
-                    let state = self.da.entry(object).or_default();
+                    let state = &mut self.da[slot];
                     let server = members[state.serve_cursor % members.len()];
                     state.serve_cursor = state.serve_cursor.wrapping_add(1);
                     ctx.send(
@@ -804,7 +902,10 @@ impl DomNode {
         let exec = config.da_exec_set(writer);
         let spare = exec.with(writer);
         let primary = self.is_da_primary(object);
-        let state = self.da.entry(object).or_default();
+        let Some(slot) = self.catalog.slot(object) else {
+            return;
+        };
+        let state = &mut self.da[slot];
         let flushed = state.join_list.len();
         for member in state.join_list.iter().filter(|m| !spare.contains(*m)) {
             ctx.send(
@@ -850,7 +951,10 @@ impl DomNode {
         round: u64,
         reply: Option<(Version, Vec<u8>)>,
     ) {
-        let Some(pending) = self.pending.get_mut(&object) else {
+        let Some(slot) = self.catalog.slot(object) else {
+            return;
+        };
+        let Some(pending) = self.pending[slot].as_mut() else {
             // No operation in flight (or it already assembled its
             // majority): a straggler reply, not actionable.
             return;
@@ -880,7 +984,10 @@ impl DomNode {
     }
 
     fn maybe_finish_quorum(&mut self, ctx: &mut Context<DomMsg>, object: ObjectId) {
-        let finished = self.pending.get(&object).is_some_and(|p| {
+        let Some(slot) = self.catalog.slot(object) else {
+            return;
+        };
+        let finished = self.pending[slot].as_ref().is_some_and(|p| {
             let reached = if self.bugs.count_duplicate_responders {
                 p.counted
             } else {
@@ -889,7 +996,7 @@ impl DomNode {
             reached >= p.needed
         });
         if finished {
-            let Some(done) = self.pending.remove(&object) else {
+            let Some(done) = self.pending[slot].take() else {
                 return;
             };
             if let Some(obs) = self.obs.as_mut() {
@@ -903,7 +1010,7 @@ impl DomNode {
                     self.store.output(object, v, d);
                 }
             }
-            if self.read_started.contains_key(&object) {
+            if !self.read_started[slot].is_empty() {
                 self.complete_read(object, version, ctx.now());
             } else {
                 // CatchUp completion: nothing further to do.
@@ -947,11 +1054,16 @@ impl DomNode {
                 match self.store.input(object) {
                     Some((version, payload)) => {
                         if saving && self.is_da_core(object) {
-                            let joined = {
-                                let state = self.da.entry(object).or_default();
-                                let grew = !state.join_list.contains(proc(from));
-                                state.join_list.insert(proc(from));
-                                grew
+                            // is_da_core implies the object is catalogued,
+                            // so the slot lookup always succeeds.
+                            let joined = match self.catalog.slot(object) {
+                                Some(slot) => {
+                                    let state = &mut self.da[slot];
+                                    let grew = !state.join_list.contains(proc(from));
+                                    state.join_list.insert(proc(from));
+                                    grew
+                                }
+                                None => false,
                             };
                             if joined {
                                 self.obs_join(ctx.now(), object, from);
@@ -1023,9 +1135,11 @@ impl DomNode {
                 }
             }
             DomMsg::Invalidate { object, version } => {
-                let floor = self.invalidated_below.entry(object).or_insert(version);
-                if version > *floor {
-                    *floor = version;
+                if let Some(slot) = self.catalog.slot(object) {
+                    let floor = &mut self.invalidated_below[slot];
+                    if version > *floor {
+                        *floor = version;
+                    }
                 }
                 self.store.invalidate(object);
             }
@@ -1040,7 +1154,7 @@ impl DomNode {
                     // peers (receivers keep the freshest), putting the
                     // latest committed version on a write-majority before
                     // quorum service starts.
-                    let objects: Vec<ObjectId> = self.configs.keys().copied().collect();
+                    let objects: Vec<ObjectId> = self.catalog.ids.clone();
                     for object in objects {
                         if !self.store.holds_valid(object) {
                             continue;
@@ -1067,8 +1181,13 @@ impl DomNode {
                     // = p). Nodes outside that set drop their replicas
                     // locally — no messages, the mode change itself was
                     // the coordination.
-                    let objects: Vec<(ObjectId, ProtocolConfig)> =
-                        self.configs.iter().map(|(o, c)| (*o, c.clone())).collect();
+                    let objects: Vec<(ObjectId, ProtocolConfig)> = self
+                        .catalog
+                        .ids
+                        .iter()
+                        .copied()
+                        .zip(self.catalog.configs.iter().cloned())
+                        .collect();
                     for (object, config) in objects {
                         match config {
                             ProtocolConfig::Da { f, p } => {
@@ -1076,7 +1195,10 @@ impl DomNode {
                                     self.store.invalidate(object);
                                 }
                                 let primary = self.is_da_primary(object);
-                                let state = self.da.entry(object).or_default();
+                                let Some(slot) = self.catalog.slot(object) else {
+                                    continue;
+                                };
+                                let state = &mut self.da[slot];
                                 if f.contains(self.id) {
                                     state.join_list = ProcSet::EMPTY;
                                 }
@@ -1151,8 +1273,7 @@ impl Actor<DomMsg> for DomNode {
     fn on_crash(&mut self) {
         // Volatile state is lost; the store survives on "stable storage"
         // (its redo log). In-memory table is rebuilt on recovery.
-        self.pending.clear();
-        self.read_started.clear();
+        self.clear_volatile_tables();
         // In-flight quorum spans died with the volatile state; their
         // enter records stay in the log as evidence.
         if let Some(obs) = self.obs.as_mut() {
@@ -1211,10 +1332,10 @@ mod tests {
         };
         let primary = DomNode::new(ProcessorId::new(0), 5, cfg.clone());
         assert!(primary.is_da_primary(OBJECT));
-        assert_eq!(primary.da[&OBJECT].extra, Some(ProcessorId::new(3)));
+        assert_eq!(primary.da_extra(OBJECT), Some(ProcessorId::new(3)));
         let other_core = DomNode::new(ProcessorId::new(2), 5, cfg);
         assert!(!other_core.is_da_primary(OBJECT));
-        assert_eq!(other_core.da[&OBJECT].extra, None);
+        assert_eq!(other_core.da_extra(OBJECT), None);
     }
 
     #[test]

@@ -54,11 +54,8 @@ pub(crate) fn object_of(msg: &DomMsg) -> Option<ObjectId> {
 
 /// The algorithm governing an object, as a metric label (`cluster` for
 /// whole-node traffic outside any one object's configuration).
-pub(crate) fn algo_label(
-    configs: &BTreeMap<ObjectId, ProtocolConfig>,
-    object: Option<ObjectId>,
-) -> &'static str {
-    match object.and_then(|o| configs.get(&o)) {
+pub(crate) fn algo_label(config: Option<&ProtocolConfig>) -> &'static str {
+    match config {
         Some(ProtocolConfig::Sa { .. }) => "sa",
         Some(ProtocolConfig::Da { .. }) => "da",
         None => "cluster",

@@ -22,6 +22,11 @@ pub struct SimReport {
     pub final_holders: ProcSet,
     /// Completed reads.
     pub reads_completed: u64,
+    /// Total read latency in simulator ticks, summed over completed
+    /// reads. Kept as an exact integer so merged shard reports can
+    /// recompute [`SimReport::mean_read_latency`] with the *same*
+    /// division a sequential run performs — bit-identical f64 output.
+    pub read_latency_ticks: u64,
     /// Mean read latency in simulator ticks (0 if no reads).
     pub mean_read_latency: f64,
     /// Messages dropped at crashed nodes (0 in failure-free runs).
@@ -508,12 +513,27 @@ impl ProtocolSim {
         Ok(self.report())
     }
 
-    /// Injects simultaneous reads from all `readers` (legal under the
-    /// model — reads between consecutive writes may execute concurrently,
-    /// §3.1) and runs to quiescence. Returns the burst's response
-    /// statistics — the quantity the introduction's Ethernet-contention
-    /// argument is about.
+    /// Injects simultaneous reads of object 0 from all `readers` — see
+    /// [`ProtocolSim::execute_read_burst_on`].
     pub fn execute_read_burst(&mut self, readers: &[ProcessorId]) -> Result<BurstReport> {
+        self.execute_read_burst_on(OBJECT, readers)
+    }
+
+    /// Injects simultaneous reads of `object` from all `readers` (legal
+    /// under the model — reads between consecutive writes may execute
+    /// concurrently, §3.1) and runs to quiescence. Returns the burst's
+    /// response statistics — the quantity the introduction's
+    /// Ethernet-contention argument is about.
+    pub fn execute_read_burst_on(
+        &mut self,
+        object: ObjectId,
+        readers: &[ProcessorId],
+    ) -> Result<BurstReport> {
+        if !self.configs.contains_key(&object) {
+            return Err(DomaError::InvalidConfig(format!(
+                "object {object} not in the cluster catalog"
+            )));
+        }
         for reader in readers {
             if reader.index() >= self.n {
                 return Err(DomaError::InvalidConfig(format!(
@@ -526,21 +546,17 @@ impl ProtocolSim {
         let wait_before = self.engine.bus_queue_wait();
         let start = self.engine.now();
         for reader in readers {
-            self.engine.inject(
-                NodeId(reader.index()),
-                1,
-                DomMsg::ClientRead { object: OBJECT },
-            );
+            self.engine
+                .inject(NodeId(reader.index()), 1, DomMsg::ClientRead { object });
         }
         self.run_settle()?;
         let after = self.report();
         let completed = after.reads_completed - before.reads_completed;
-        let total_latency_after = after.mean_read_latency * after.reads_completed as f64;
-        let total_latency_before = before.mean_read_latency * before.reads_completed as f64;
+        let latency = after.read_latency_ticks - before.read_latency_ticks;
         Ok(BurstReport {
             completed,
             mean_response: if completed > 0 {
-                (total_latency_after - total_latency_before) / completed as f64
+                latency as f64 / completed as f64
             } else {
                 0.0
             },
@@ -578,6 +594,7 @@ impl ProtocolSim {
             cost: CostVector::new(net.control_sent, net.data_sent, io),
             final_holders: holders,
             reads_completed: reads,
+            read_latency_ticks: latency,
             mean_read_latency: if reads > 0 {
                 latency as f64 / reads as f64
             } else {
@@ -817,6 +834,47 @@ mod tests {
             );
         }
         assert_eq!(report.cost, expected, "multi-object tallies must decompose");
+    }
+
+    #[test]
+    fn read_burst_targets_the_named_object() {
+        use doma_core::ObjectId;
+        use std::collections::BTreeMap;
+        let mut configs = BTreeMap::new();
+        configs.insert(ObjectId(5), ProtocolConfig::Sa { q: ps(&[0, 1]) });
+        configs.insert(ObjectId(7), ProtocolConfig::Sa { q: ps(&[2, 3]) });
+        let mut sim = ProtocolSim::new_catalog(6, configs).unwrap();
+        let burst = sim
+            .execute_read_burst_on(ObjectId(7), &[ProcessorId::new(4), ProcessorId::new(5)])
+            .unwrap();
+        assert_eq!(burst.completed, 2);
+        assert!(burst.mean_response > 0.0);
+        // Only object 7's replicas served: object 5's holders unchanged,
+        // and a burst on an uncatalogued object is rejected.
+        assert_eq!(sim.valid_holders_of(ObjectId(5)), ps(&[0, 1]));
+        assert!(sim
+            .execute_read_burst_on(ObjectId(9), &[ProcessorId::new(0)])
+            .is_err());
+        assert!(sim
+            .execute_read_burst_on(ObjectId(7), &[ProcessorId::new(9)])
+            .is_err());
+    }
+
+    #[test]
+    fn burst_report_is_burst_local() {
+        // A prior read must not pollute the burst's mean: the burst delta
+        // uses exact tick sums, not back-multiplied means.
+        let mut sim = ProtocolSim::new_sa(4, ps(&[0, 1])).unwrap();
+        sim.execute_request(Request::read(3usize)).unwrap();
+        let before = sim.report();
+        assert_eq!(before.reads_completed, 1);
+        let burst = sim.execute_read_burst(&[ProcessorId::new(2)]).unwrap();
+        assert_eq!(burst.completed, 1);
+        let after = sim.report();
+        assert_eq!(
+            after.read_latency_ticks - before.read_latency_ticks,
+            burst.mean_response as u64
+        );
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Shard-parity gate (wired into `scripts/verify.sh`): the object-sharded
+//! executor must reproduce sequential [`ProtocolSim::execute_multi`]
+//! *exactly* — same total [`doma_core::CostVector`], same per-object final
+//! holders, same `reads_completed` (and bit-identical mean latency, since
+//! [`doma_protocol::SimReport`] is compared wholesale), and byte-identical
+//! obs `protocol.cost.*` registry sums — for every shard count
+//! K ∈ {1, 2, 4, 8} under every [`Placement`] policy.
+//!
+//! A fixed-workload matrix test carries the CI gate; a property test
+//! behind it randomizes the cluster shape, the catalog (including
+//! non-contiguous object ids, exercising the binary-search slot path) and
+//! the schedule, so the gate does not overfit to one workload's traffic
+//! pattern. Failures print a `DOMA_PROP_SEED=…` replay line.
+
+use doma_algorithms::multi::Placement;
+use doma_core::{MultiSchedule, ObjectId, ProcessorId, Request};
+use doma_protocol::{ProtocolConfig, ProtocolSim, ShardedSim};
+use doma_testkit::property::{self as prop, Gen};
+use doma_testkit::TestRng;
+use doma_workload::{MultiScheduleGen, MultiUniformWorkload};
+use std::collections::BTreeMap;
+
+const PLACEMENTS: [Placement; 3] = [
+    Placement::SameCore,
+    Placement::RoundRobin,
+    Placement::LoadAware,
+];
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The CI-gated matrix: one realistic workload, every (K, placement) cell.
+#[test]
+fn sharded_execution_matches_sequential_for_all_k_and_placements() {
+    let n = 8;
+    let objects = 32;
+    let configs: BTreeMap<ObjectId, ProtocolConfig> = (0..objects)
+        .map(|o| {
+            let base = (o as usize) % (n - 1);
+            let config = if o % 2 == 0 {
+                ProtocolConfig::Sa {
+                    q: [base, base + 1].into_iter().collect(),
+                }
+            } else {
+                ProtocolConfig::Da {
+                    f: [base].into_iter().collect(),
+                    p: ProcessorId::new(base + 1),
+                }
+            };
+            (ObjectId(o), config)
+        })
+        .collect();
+    let schedule = MultiUniformWorkload::new(objects, n, 0.75)
+        .unwrap()
+        .generate_multi(2_000, 7);
+
+    let mut sequential = ProtocolSim::new_catalog(n, configs.clone()).unwrap();
+    let seq_obs = sequential.attach_obs(1 << 16);
+    let expected = sequential.execute_multi(&schedule).unwrap();
+    let expected_metrics = seq_obs.metrics().snapshot().to_json();
+    let snap = seq_obs.metrics().snapshot();
+    let expected_cost_sums = [
+        snap.sum_counters("protocol", "cost.control"),
+        snap.sum_counters("protocol", "cost.data"),
+        snap.sum_counters("protocol", "cost.io"),
+    ];
+
+    for placement in PLACEMENTS {
+        for shards in SHARD_COUNTS {
+            let run = ShardedSim::new(n, configs.clone(), shards, placement)
+                .unwrap()
+                .with_obs(1 << 16)
+                .execute_multi(&schedule)
+                .unwrap();
+            let cell = format!("K={shards}, {placement:?}");
+            assert_eq!(run.report, expected, "SimReport diverged at {cell}");
+            assert_eq!(
+                run.report.reads_completed, expected.reads_completed,
+                "reads_completed diverged at {cell}"
+            );
+            for object in configs.keys() {
+                assert_eq!(
+                    run.holders.get(object),
+                    Some(&sequential.valid_holders_of(*object)),
+                    "holders of {object} diverged at {cell}"
+                );
+            }
+            let obs = run.obs.expect("obs requested");
+            let merged = obs.metrics().snapshot();
+            let cost_sums = [
+                merged.sum_counters("protocol", "cost.control"),
+                merged.sum_counters("protocol", "cost.data"),
+                merged.sum_counters("protocol", "cost.io"),
+            ];
+            assert_eq!(
+                cost_sums, expected_cost_sums,
+                "cost.* sums diverged at {cell}"
+            );
+            assert_eq!(
+                merged.to_json(),
+                expected_metrics,
+                "metrics registry diverged at {cell}"
+            );
+        }
+    }
+}
+
+/// One sampled parity case: a cluster, a catalog over possibly
+/// non-contiguous object ids, and an interleaved schedule.
+#[derive(Debug, Clone)]
+struct Case {
+    n: usize,
+    configs: BTreeMap<ObjectId, ProtocolConfig>,
+    schedule: MultiSchedule,
+}
+
+struct CaseGen;
+
+impl Gen for CaseGen {
+    type Value = Case;
+
+    fn generate(&self, rng: &mut TestRng) -> Case {
+        let n = prop::range(3usize..9).generate(rng);
+        let objects = prop::range(1usize..10).generate(rng);
+        // A coin-flipped id stride: stride 1 keeps the catalog contiguous
+        // (dense slot fast path), larger strides force binary search.
+        let stride = if prop::bools().generate(rng) {
+            1
+        } else {
+            prop::range(2u64..5).generate(rng)
+        };
+        let configs: BTreeMap<ObjectId, ProtocolConfig> = (0..objects as u64)
+            .map(|o| {
+                let base = prop::range(0usize..n - 1).generate(rng);
+                let config = if prop::bools().generate(rng) {
+                    ProtocolConfig::Sa {
+                        q: [base, base + 1].into_iter().collect(),
+                    }
+                } else {
+                    ProtocolConfig::Da {
+                        f: [base].into_iter().collect(),
+                        p: ProcessorId::new(base + 1),
+                    }
+                };
+                (ObjectId(o * stride), config)
+            })
+            .collect();
+        let ids: Vec<ObjectId> = configs.keys().copied().collect();
+        let len = prop::range(0usize..80).generate(rng);
+        let mut schedule = MultiSchedule::default();
+        for _ in 0..len {
+            let object = ids[prop::range(0usize..ids.len()).generate(rng)];
+            let issuer = prop::range(0usize..n).generate(rng);
+            let request = if prop::bools().generate(rng) {
+                Request::read(issuer)
+            } else {
+                Request::write(issuer)
+            };
+            schedule.push(object, request);
+        }
+        Case {
+            n,
+            configs,
+            schedule,
+        }
+    }
+
+    fn shrink(&self, v: &Case) -> Vec<Case> {
+        // Shrink the schedule only; the catalog shape is cheap to keep.
+        let requests = v.schedule.requests();
+        let mut out = Vec::new();
+        if !requests.is_empty() {
+            for shorter in [
+                requests[..requests.len() / 2].to_vec(),
+                requests[1..].to_vec(),
+            ] {
+                out.push(Case {
+                    n: v.n,
+                    configs: v.configs.clone(),
+                    schedule: MultiSchedule::from_requests(shorter),
+                });
+            }
+        }
+        out
+    }
+}
+
+doma_testkit::property! {
+    #[cases(32)]
+    /// Random catalogs and schedules: every (K, placement) cell of the
+    /// matrix reproduces the sequential run exactly.
+    fn random_catalogs_shard_to_the_same_result(case in CaseGen) {
+        let mut sequential = ProtocolSim::new_catalog(case.n, case.configs.clone()).unwrap();
+        let expected = sequential.execute_multi(&case.schedule).unwrap();
+        for placement in PLACEMENTS {
+            for shards in SHARD_COUNTS {
+                let run = ShardedSim::new(case.n, case.configs.clone(), shards, placement)
+                    .unwrap()
+                    .execute_multi(&case.schedule)
+                    .unwrap();
+                assert_eq!(run.report, expected, "K={shards}, {placement:?}");
+                for object in case.configs.keys() {
+                    assert_eq!(
+                        run.holders.get(object),
+                        Some(&sequential.valid_holders_of(*object)),
+                        "holders of {object} at K={shards}, {placement:?}"
+                    );
+                }
+            }
+        }
+    }
+}

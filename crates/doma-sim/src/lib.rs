@@ -17,9 +17,12 @@
 //!   installed via [`Engine::install_faults`] and reproducible from a
 //!   single seed.
 //!
-//! The simulator is intentionally single-threaded: determinism is worth
-//! more than parallelism at these workload sizes, and the analysis crate
-//! parallelizes at the experiment level instead.
+//! Each engine is intentionally single-threaded: determinism is worth
+//! more than parallelism inside one event loop. Parallelism happens
+//! *across* engines instead — the [`shard`] module runs independent
+//! engines on scoped threads (one per object shard) and returns their
+//! outputs in a deterministic order, and the analysis crate parallelizes
+//! at the experiment level the same way.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -27,6 +30,7 @@
 mod engine;
 mod fault;
 mod network;
+pub mod shard;
 mod time;
 mod trace;
 

@@ -29,6 +29,7 @@ mod composite;
 mod hotspot;
 mod mobile;
 mod multi_mobile;
+mod multi_uniform;
 pub mod trace;
 mod uniform;
 mod zipf;
@@ -39,10 +40,11 @@ pub use composite::CompositeWorkload;
 pub use hotspot::HotspotWorkload;
 pub use mobile::MobileWorkload;
 pub use multi_mobile::MultiMobileWorkload;
+pub use multi_uniform::MultiUniformWorkload;
 pub use uniform::UniformWorkload;
 pub use zipf::{ZipfSampler, ZipfWorkload};
 
-use doma_core::Schedule;
+use doma_core::{MultiSchedule, Schedule};
 
 /// A deterministic schedule generator: same seed, same schedule.
 pub trait ScheduleGen {
@@ -51,6 +53,27 @@ pub trait ScheduleGen {
 
     /// Generates a schedule of `len` requests using `seed`.
     fn generate(&self, len: usize, seed: u64) -> Schedule;
+}
+
+/// A deterministic multi-object schedule generator: same seed, same
+/// interleaved schedule. The multi-object analogue of [`ScheduleGen`];
+/// these feed the shard partitioner and the sharded executor.
+pub trait MultiScheduleGen {
+    /// A short name for reports ("multi-uniform", "multi-mobile", …).
+    fn name(&self) -> &str;
+
+    /// Generates an interleaved schedule of `len` requests using `seed`.
+    fn generate_multi(&self, len: usize, seed: u64) -> MultiSchedule;
+}
+
+impl MultiScheduleGen for MultiMobileWorkload {
+    fn name(&self) -> &str {
+        "multi-mobile"
+    }
+
+    fn generate_multi(&self, len: usize, seed: u64) -> MultiSchedule {
+        MultiMobileWorkload::generate_multi(self, len, seed)
+    }
 }
 
 #[cfg(test)]

@@ -109,6 +109,21 @@ if ! cargo run -q --release --offline -p doma-check --bin doma-check; then
 fi
 
 # ---------------------------------------------------------------------------
+# Shard parity: object-sharded execution must reproduce the sequential
+# driver exactly — report, holders and obs registry — for every shard
+# count × placement cell, then once more with DOMA_SHARDS=1 forcing the
+# serial in-thread worker path (the CI fallback for constrained boxes).
+# ---------------------------------------------------------------------------
+if ! cargo test -q --offline -p doma-protocol --test shard_parity; then
+    echo "verify: FAILED (shard parity matrix)" >&2
+    exit 1
+fi
+if ! DOMA_SHARDS=1 cargo test -q --offline -p doma-protocol --test shard_parity; then
+    echo "verify: FAILED (shard parity under DOMA_SHARDS=1 serial fallback)" >&2
+    exit 1
+fi
+
+# ---------------------------------------------------------------------------
 # Fault matrix: 32 seeded fault plans per {SA,DA} × {crash,partition,drop}
 # cell, with the invariant checker auditing every step. On a violation the
 # harness itself prints the exact `DOMA_FAULT_SEED=…` replay line; the hint
