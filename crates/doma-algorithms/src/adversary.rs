@@ -74,7 +74,15 @@ pub fn bursty_reader(
 
 /// The §1.3 worked example: `r1 r1 r2 w2 r2 r2 r2`.
 pub fn section_1_3_example() -> Schedule {
-    "r1 r1 r2 w2 r2 r2 r2".parse().expect("static schedule")
+    let mut s = Schedule::new();
+    s.push(Request::read(1usize));
+    s.push(Request::read(1usize));
+    s.push(Request::read(2usize));
+    s.push(Request::write(2usize));
+    s.push(Request::read(2usize));
+    s.push(Request::read(2usize));
+    s.push(Request::read(2usize));
+    s
 }
 
 /// The Proposition 2 adversary, *rediscovered by exhaustive asymptotic
@@ -90,7 +98,10 @@ pub fn section_1_3_example() -> Schedule {
 /// each) — 4 per cycle. Ratio → 6/4 = **1.5**, exactly the paper's lower
 /// bound.
 pub fn da_prop2_cycle(rounds: usize) -> Schedule {
-    let cycle: Schedule = "w3 r2 r1".parse().expect("static schedule");
+    let mut cycle = Schedule::new();
+    cycle.push(Request::write(3usize));
+    cycle.push(Request::read(2usize));
+    cycle.push(Request::read(1usize));
     cycle.repeated(rounds)
 }
 

@@ -124,7 +124,8 @@ impl OnlineDom for SlidingWindowConvergent {
             if self.scheme.contains(i) {
                 Decision::exec(ProcSet::singleton(i))
             } else {
-                let server = self.scheme.any_member().expect("scheme non-empty");
+                // Non-empty by construction: writes keep |scheme| >= t.
+                let server = self.scheme.any_member().unwrap_or(i);
                 if self.target.contains(i) {
                     // A hot reader: pull the object in.
                     self.scheme.insert(i);
@@ -195,7 +196,8 @@ impl OnlineDom for WriteInvalidateCache {
             if self.scheme.contains(i) {
                 Decision::exec(ProcSet::singleton(i))
             } else {
-                let server = self.scheme.any_member().expect("scheme non-empty");
+                // Non-empty by construction: writes leave the writer behind.
+                let server = self.scheme.any_member().unwrap_or(i);
                 self.scheme.insert(i);
                 Decision::saving(ProcSet::singleton(server))
             }
@@ -256,9 +258,8 @@ impl OnlineDom for DaNoSave {
             if self.scheme.contains(i) {
                 Decision::exec(ProcSet::singleton(i))
             } else {
-                Decision::exec(ProcSet::singleton(
-                    self.f.any_member().expect("F non-empty"),
-                ))
+                // F is non-empty by construction.
+                Decision::exec(ProcSet::singleton(self.f.any_member().unwrap_or(i)))
             }
         } else {
             let core_or_floater = self.f.with(self.p);

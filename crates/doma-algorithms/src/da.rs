@@ -135,12 +135,9 @@ impl OnlineDom for DynamicAllocation {
                 let members: Vec<ProcessorId> = self.f.iter().collect();
                 let u = members[self.serve_cursor % members.len()];
                 self.serve_cursor = self.serve_cursor.wrapping_add(1);
-                let (_, list) = self
-                    .join_lists
-                    .iter_mut()
-                    .find(|(m, _)| *m == u)
-                    .expect("u is a core member");
-                list.insert(i);
+                if let Some((_, list)) = self.join_lists.iter_mut().find(|(m, _)| *m == u) {
+                    list.insert(i);
+                }
                 self.scheme.insert(i);
                 Decision::saving(ProcSet::singleton(u))
             }
@@ -161,8 +158,9 @@ impl OnlineDom for DynamicAllocation {
             // and must itself be tracked for the *next* invalidation round.
             self.clear_join_lists();
             if !core_or_floater.contains(i) {
-                let (_, list) = self.join_lists.first_mut().expect("F is non-empty");
-                list.insert(i);
+                if let Some((_, list)) = self.join_lists.first_mut() {
+                    list.insert(i);
+                }
             }
             Decision::exec(exec)
         }

@@ -20,9 +20,15 @@
 //!   Propositions 1–3.
 //! * [`search`] — exhaustive worst-case-ratio search over all short
 //!   schedules (empirical lower bounds on competitiveness).
-//! * [`baselines`] — extension algorithms for the ablation benches:
-//!   a convergent frequency-based allocator (à la Wolfson–Jajodia) and
-//!   CDVM-style caching variants.
+//! * [`baselines`] — first-class tournament baselines: a convergent
+//!   frequency-based allocator (à la Wolfson–Jajodia) and CDVM-style
+//!   caching variants, promoted from ablation-only code so the fault
+//!   matrix and model checker cover them too.
+//! * [`contenders`] — tournament contenders adapted from the online
+//!   allocation literature: cost-oblivious reallocation (Bender et al.,
+//!   arXiv:1404.2019), multiple-mobile-resource allocation (Feldkord
+//!   et al., arXiv:1907.09834) and clustering-based fragment allocation
+//!   (arXiv:1310.1190).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -31,6 +37,7 @@ pub mod adversary;
 pub mod baselines;
 pub mod bounds;
 mod brute;
+pub mod contenders;
 mod da;
 pub mod multi;
 mod opt;
@@ -40,7 +47,9 @@ mod sa;
 pub mod search;
 mod static_opt;
 
+pub use baselines::{SlidingWindowConvergent, WriteInvalidateCache};
 pub use brute::{BruteForceOptimal, NaiveDpOptimal};
+pub use contenders::{ClusteredAllocation, CostOblivious, MobileMirror};
 pub use da::DynamicAllocation;
 pub use opt::OfflineOptimal;
 pub use quorum::QuorumConsensus;

@@ -95,7 +95,9 @@ impl MultiObjectDa {
             self.instances.insert(object, da);
             self.created += 1;
         }
-        Ok(self.instances.get_mut(&object).expect("just inserted"))
+        self.instances.get_mut(&object).ok_or_else(|| {
+            DomaError::InvalidConfig(format!("object {object:?} vanished after placement"))
+        })
     }
 
     /// Serves one request, updating the object's transcript and the load
@@ -104,7 +106,9 @@ impl MultiObjectDa {
         let t = self.t;
         let da = self.place(mr.object)?;
         let decision = da.decide(mr.request);
-        let transcript = self.transcripts.get_mut(&mr.object).expect("placed above");
+        let transcript = self.transcripts.get_mut(&mr.object).ok_or_else(|| {
+            DomaError::InvalidConfig(format!("object {:?} has no transcript", mr.object))
+        })?;
         transcript.push(mr.request, decision);
         // Incremental load attribution (same rule as per_processor_io).
         for member in decision.exec.iter() {

@@ -228,14 +228,21 @@ impl OfflineOptimal {
         if schedule.is_empty() {
             return alloc;
         }
-        let last = table.rows.last().expect("non-empty schedule");
-        let (mut state, _) = last
+        let Some(last) = table.rows.last() else {
+            return alloc;
+        };
+        // At least one final state is reachable (the forward pass
+        // succeeded); an empty filter would only mean an internal DP bug,
+        // in which case the validating caller rejects the empty schedule.
+        let Some((mut state, _)) = last
             .cost
             .iter()
             .enumerate()
             .filter(|(_, c)| c.is_finite())
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite costs"))
-            .expect("at least one reachable final state");
+            .min_by(|a, b| a.1.total_cmp(b.1))
+        else {
+            return alloc;
+        };
 
         // Walk backwards collecting (request, decision) pairs.
         let mut decisions: Vec<Decision> = Vec::with_capacity(schedule.len());
@@ -250,17 +257,14 @@ impl OfflineOptimal {
                     if y & ibit != 0 {
                         Decision::exec(ProcSet::singleton(i))
                     } else {
-                        let server = ProcSet::from_bits(y as u64)
-                            .any_member()
-                            .expect("scheme non-empty");
+                        // Reachable DP states are t-available, so non-empty.
+                        let server = ProcSet::from_bits(y as u64).any_member().unwrap_or(i);
                         Decision::exec(ProcSet::singleton(server))
                     }
                 } else {
                     // Saving-read: state == y | ibit.
                     debug_assert_eq!(state, y | ibit);
-                    let server = ProcSet::from_bits(y as u64)
-                        .any_member()
-                        .expect("scheme non-empty");
+                    let server = ProcSet::from_bits(y as u64).any_member().unwrap_or(i);
                     Decision::saving(ProcSet::singleton(server))
                 }
             } else {

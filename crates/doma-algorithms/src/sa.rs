@@ -67,9 +67,10 @@ impl OnlineDom for StaticAllocation {
         } else {
             // Non-member read: read-one from an arbitrary member of Q.
             // SA never converts reads into saving-reads — the scheme is
-            // static by definition.
+            // static by definition. Q has >= 2 members by construction,
+            // so the issuer fallback is unreachable.
             Decision::exec(ProcSet::singleton(
-                self.q.any_member().expect("Q is non-empty"),
+                self.q.any_member().unwrap_or(request.issuer),
             ))
         }
     }

@@ -197,7 +197,11 @@ pub fn greedy_adversary<A: OnlineDom + ?Sized>(
                 }
             }
         }
-        let (request, result) = step_best.expect("n >= 1");
+        let Some((request, result)) = step_best else {
+            return Err(DomaError::InvalidConfig(
+                "greedy step found no candidate request (n must be >= 1)".to_string(),
+            ));
+        };
         schedule.push(request);
         last_ratio = result.ratio;
         if result.ratio > best.ratio {

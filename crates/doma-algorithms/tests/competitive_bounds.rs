@@ -189,3 +189,117 @@ fn prop2_cycle_drives_da_toward_lower_bound() {
 fn cost_grid_is_deterministic() {
     assert_eq!(cost_pairs(), cost_pairs());
 }
+
+/// Named regression pins: the *exact* measured SA/DA ratio on one
+/// adversary schedule per theorem, at fixed grid corners. The inequality
+/// tests above catch bound violations; these catch silent drift in either
+/// the algorithms or the cost engine (a changed decision changes the
+/// fourth decimal long before it breaks a bound).
+#[test]
+fn pinned_adversary_ratios_across_the_grid() {
+    fn measured(algo: &str, schedule: &Schedule, model: CostModel) -> f64 {
+        let opt = opt_cost(schedule, model);
+        let cost = match algo {
+            "sa" => sa_cost(schedule, &model),
+            _ => da_cost(schedule, &model),
+        };
+        cost / opt
+    }
+    let sc = |cc, cd| CostModel::stationary(cc, cd).unwrap();
+    let mc = |cc, cd| CostModel::mobile(cc, cd).unwrap();
+    let cases: Vec<(&str, &str, Schedule, CostModel, f64)> = vec![
+        // Theorem 1 (SA in SC), three grid corners.
+        (
+            "thm1/remote_reader/cc=0.25,cd=1",
+            "sa",
+            remote_reader(p(2), 12),
+            sc(0.25, 1.0),
+            1.8947368421,
+        ),
+        (
+            "thm1/section_1_3/cc=1,cd=1",
+            "sa",
+            section_1_3_example(),
+            sc(1.0, 1.0),
+            1.5000000000,
+        ),
+        (
+            "thm1/rotating/cc=0.25,cd=4",
+            "sa",
+            rotating_reader(&[p(1), p(2), p(3)], p(0), 4),
+            sc(0.25, 4.0),
+            1.0071942446,
+        ),
+        // Theorem 2 (DA in SC, cd <= 1).
+        (
+            "thm2/ping_pong/cc=0.5,cd=1",
+            "da",
+            read_write_ping_pong(p(2), p(3), 8),
+            sc(0.5, 1.0),
+            1.6376811594,
+        ),
+        (
+            "thm2/remote_reader/cc=1,cd=1",
+            "da",
+            remote_reader(p(2), 12),
+            sc(1.0, 1.0),
+            1.0000000000,
+        ),
+        // Theorem 3 (DA in SC, cd > 1 tightens the factor to 2 + cc).
+        (
+            "thm3/ping_pong/cc=0.5,cd=1.5",
+            "da",
+            read_write_ping_pong(p(2), p(3), 8),
+            sc(0.5, 1.5),
+            1.6538461538,
+        ),
+        (
+            "thm3/bursty_short/cc=1,cd=4",
+            "da",
+            bursty_reader(p(2), p(3), 1, 8),
+            sc(1.0, 4.0),
+            1.7936507937,
+        ),
+        // Theorem 4 (DA in MC).
+        (
+            "thm4/rotating/cc=0.25,cd=1",
+            "da",
+            rotating_reader(&[p(1), p(2), p(3)], p(0), 4),
+            mc(0.25, 1.0),
+            1.2307692308,
+        ),
+        (
+            "thm4/bursty_long/cc=1,cd=4",
+            "da",
+            bursty_reader(p(2), p(3), 6, 3),
+            mc(1.0, 4.0),
+            1.6315789474,
+        ),
+        // Proposition 2 tightness witness.
+        (
+            "prop2/cycle/cc=0.01,cd=0.01",
+            "da",
+            da_prop2_cycle(40),
+            sc(0.01, 0.01),
+            1.5097941670,
+        ),
+    ];
+    for (name, algo, schedule, model, expected) in cases {
+        let got = measured(algo, &schedule, model);
+        assert!(
+            (got - expected).abs() < 1e-9,
+            "{name}: pinned ratio drifted — expected {expected}, got {got:.10}"
+        );
+        // Every pin must also sit inside its theorem's bound where one
+        // exists, tying the regression back to the paper.
+        if let Some(bound) = match algo {
+            "sa" => model.sa_bound(),
+            _ => model.da_bound(),
+        } {
+            assert!(
+                got <= bound + EPS,
+                "{name}: pin {got} exceeds bound {bound}"
+            );
+        }
+    }
+}

@@ -13,6 +13,8 @@
 //! domactl shard    [--objects 16] [--requests 10000] [--shards 1,2,4,8]
 //!                  [--n 8] [--t 2] [--placement same-core|round-robin|load-aware]
 //!                  [--seed 0] [--read-fraction 0.8]
+//! domactl tournament [--n 6] [--len 40] [--seed 7] [--out BENCH_tournament.json]
+//!                  [--format table|json]
 //! ```
 //!
 //! Schedules use the paper's notation: whitespace-separated `r<i>` / `w<i>`
@@ -61,7 +63,8 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
     }
     if opts.command.is_empty() {
         return Err(
-            "missing command (cost | stats | simulate | obs | generate | shard)".to_string(),
+            "missing command (cost | stats | simulate | obs | generate | shard | tournament)"
+                .to_string(),
         );
     }
     Ok(opts)
@@ -402,8 +405,41 @@ fn cmd_shard(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// The algorithm tournament: every first-class allocator × every workload
+/// × the `(cc, cd)` model grid, measured against OPT through the protocol
+/// sim with the obs registry cross-checked. Prints the standings table
+/// (or the JSON export with `--format json`); `--out <path>` additionally
+/// writes the byte-stable JSON artifact.
+fn cmd_tournament(opts: &Opts) -> Result<(), String> {
+    let spec = doma_analysis::tournament::TournamentSpec {
+        n: opts.get_usize("n", 6)?,
+        len: opts.get_usize("len", 40)?,
+        seed: opts.get_usize("seed", 7)? as u64,
+    };
+    let cells = doma_analysis::tournament::run_tournament(&spec).map_err(|e| e.to_string())?;
+    let json = doma_analysis::tournament::render_json(&spec, &cells);
+    match opts.get("format", "table").as_str() {
+        "table" => {
+            println!(
+                "tournament: n={} len={} seed={} ({} cells)",
+                spec.n,
+                spec.len,
+                spec.seed,
+                cells.len()
+            );
+            print!("{}", doma_analysis::tournament::render_table(&cells));
+        }
+        "json" => print!("{json}"),
+        other => return Err(format!("--format must be table or json, got '{other}'")),
+    }
+    if let Some(path) = opts.flags.get("out") {
+        std::fs::write(path, &json).map_err(|e| format!("--out {path}: {e}"))?;
+    }
+    Ok(())
+}
+
 fn usage() -> String {
-    "usage: domactl <cost|stats|simulate|obs|generate|shard> [--flags]\n\
+    "usage: domactl <cost|stats|simulate|obs|generate|shard|tournament> [--flags]\n\
      try: domactl cost --schedule \"r1 r1 r2 w2 r2 r2 r2\" --cc 0.5 --cd 1.0"
         .to_string()
 }
@@ -417,6 +453,7 @@ fn main() -> ExitCode {
         "obs" => cmd_obs(&opts),
         "generate" => cmd_generate(&opts),
         "shard" => cmd_shard(&opts),
+        "tournament" => cmd_tournament(&opts),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     });
     match result {
@@ -530,6 +567,32 @@ mod tests {
         assert!(cmd_shard(&o).is_err());
         let o = parse_args(&args(&["shard", "--t", "9", "--n", "4"])).unwrap();
         assert!(cmd_shard(&o).is_err());
+    }
+
+    #[test]
+    fn tournament_runs_and_rejects_bad_format() {
+        let o = parse_args(&args(&[
+            "tournament",
+            "--n",
+            "5",
+            "--len",
+            "12",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        cmd_tournament(&o).unwrap();
+        let o = parse_args(&args(&[
+            "tournament",
+            "--n",
+            "5",
+            "--len",
+            "12",
+            "--format",
+            "yaml",
+        ]))
+        .unwrap();
+        assert!(cmd_tournament(&o).is_err());
     }
 
     #[test]

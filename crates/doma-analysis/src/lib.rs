@@ -12,6 +12,11 @@
 //!   renderer that mirrors the figures.
 //! * [`sweep`] — average-case cost sweeps (read/write mix, E9) run in
 //!   parallel with `std::thread::scope`.
+//! * [`tournament`] — every first-class allocator (SA, DA, the promoted
+//!   baselines and the contenders) run as a real protocol over every
+//!   workload generator, priced on a `(cc, cd)` grid and measured against
+//!   the exact offline optimum, with a byte-stable JSON export
+//!   (`BENCH_tournament.json`).
 //! * [`experiments`] — one driver per experiment id (E1–E21 in DESIGN.md),
 //!   returning structured reports the `repro` binary prints and the
 //!   integration tests assert on.
@@ -33,3 +38,4 @@ pub mod region;
 pub mod report;
 pub mod stats;
 pub mod sweep;
+pub mod tournament;

@@ -12,8 +12,11 @@
 //! and writes freely in one phase — the per-read floor capture in
 //! [`doma_fault::InvariantChecker`] keeps the oracle sound under overlap.
 
-use doma_core::{DomaError, Result};
-use doma_protocol::{BugSwitches, ProtocolSim};
+use doma_algorithms::{
+    ClusteredAllocation, CostOblivious, MobileMirror, SlidingWindowConvergent, WriteInvalidateCache,
+};
+use doma_core::{DomaError, ProcSet, Result};
+use doma_protocol::{BugSwitches, PlanOracle, ProtocolSim};
 use doma_sim::{FaultAction, FaultPlan, LinkFilter, MsgKind, NodeId};
 
 /// One client- or environment-level action, injected at the start of its
@@ -52,6 +55,23 @@ impl std::fmt::Display for Action {
     }
 }
 
+/// Which adaptive allocator a [`Cluster::Adaptive`] scenario runs as its
+/// plan oracle. Oracle parameters are fixed constants (window 8 / period
+/// 4, threshold 2) so scenario construction stays deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdaptiveKind {
+    /// Sliding-window convergent baseline (promoted).
+    Convergent,
+    /// Write-invalidate cache baseline (promoted).
+    WriteInvalidate,
+    /// Cost-oblivious reallocation contender.
+    CostOblivious,
+    /// Multiple-mobile-resource mirror contender.
+    MobileMirror,
+    /// Clustering-based fragment allocation contender.
+    Clustered,
+}
+
 /// Which replication scheme the scenario's cluster runs.
 #[derive(Debug, Clone)]
 pub enum Cluster {
@@ -71,13 +91,25 @@ pub enum Cluster {
         /// The initial floater p.
         p: usize,
     },
+    /// An adaptive allocator driven as a plan oracle. Oracle state is a
+    /// deterministic function of the injected request sequence (identical
+    /// on every explored path), so the explorer's content-fingerprint
+    /// deduplication stays sound.
+    Adaptive {
+        /// Cluster size.
+        n: usize,
+        /// The initial replication scheme.
+        initial: Vec<usize>,
+        /// Which allocator decides the plans.
+        kind: AdaptiveKind,
+    },
 }
 
 impl Cluster {
     /// Cluster size.
     pub fn n(&self) -> usize {
         match self {
-            Cluster::Sa { n, .. } | Cluster::Da { n, .. } => *n,
+            Cluster::Sa { n, .. } | Cluster::Da { n, .. } | Cluster::Adaptive { n, .. } => *n,
         }
     }
 }
@@ -194,6 +226,38 @@ impl Scenario {
             Cluster::Sa { n, q } => ProtocolSim::new_sa(*n, q.iter().copied().collect())?,
             Cluster::Da { n, f, p } => {
                 ProtocolSim::new_da(*n, f.iter().copied().collect(), (*p).into())?
+            }
+            Cluster::Adaptive { n, initial, kind } => {
+                // Adaptive scenarios stay out of quorum-*exit* territory:
+                // the checker injects ModeChange as raw messages, bypassing
+                // the failover driver's oracle reset, so a scenario that
+                // leaves quorum mode would run with a desynchronized
+                // oracle. Entering quorum mode is fine (plans are ignored
+                // there).
+                for action in self.phases.iter().flatten() {
+                    if matches!(
+                        action,
+                        Action::ModeChange(false) | Action::ModeChangeAt(_, false)
+                    ) {
+                        return Err(DomaError::InvalidConfig(format!(
+                            "scenario {}: adaptive clusters may not leave quorum \
+                             mode (oracle state is only resynchronized by the \
+                             failover driver)",
+                            self.name
+                        )));
+                    }
+                }
+                let init: ProcSet = initial.iter().copied().collect();
+                let oracle: Box<dyn PlanOracle> = match kind {
+                    AdaptiveKind::Convergent => {
+                        Box::new(SlidingWindowConvergent::new(*n, 2, init, 8, 4)?)
+                    }
+                    AdaptiveKind::WriteInvalidate => Box::new(WriteInvalidateCache::new(init)?),
+                    AdaptiveKind::CostOblivious => Box::new(CostOblivious::new(*n, 2, init, 2)?),
+                    AdaptiveKind::MobileMirror => Box::new(MobileMirror::new(*n, 2, init)?),
+                    AdaptiveKind::Clustered => Box::new(ClusteredAllocation::new(*n, 2, init)?),
+                };
+                ProtocolSim::new_adaptive(*n, oracle)?
             }
         };
         sim.set_bug_switches(self.bugs);
@@ -313,6 +377,107 @@ pub fn sa_quorum_duplicates() -> Scenario {
     .phase(&[Action::Read(3)])
 }
 
+/// Small-bound scenario for the promoted sliding-window convergent
+/// baseline: 3 processors, initial scheme {0, 1}, with an outsider read,
+/// a write that may shrink the scheme, two concurrent reads, and an
+/// outsider write — enough churn for the oracle to issue a non-trivial
+/// expansion/contraction plan. Reads within one phase are concurrent on
+/// *different* nodes: adaptive reads are untagged (round 0), so two
+/// overlapping reads on the same node would alias their replies.
+pub fn convergent_small() -> Scenario {
+    Scenario::new(
+        "convergent-small",
+        Cluster::Adaptive {
+            n: 3,
+            initial: vec![0, 1],
+            kind: AdaptiveKind::Convergent,
+        },
+    )
+    .phase(&[Action::Read(2)])
+    .phase(&[Action::Write(0)])
+    .phase(&[Action::Read(2), Action::Read(1)])
+    .phase(&[Action::Write(2)])
+}
+
+/// Small-bound scenario for the promoted write-invalidate baseline
+/// (t = 1, single-copy): cache-populating reads from two outsiders, then
+/// a write by a non-holder that must invalidate every cached copy before
+/// the final read audits the one-copy guarantee.
+pub fn write_invalidate_small() -> Scenario {
+    Scenario::new(
+        "write-invalidate-small",
+        Cluster::Adaptive {
+            n: 3,
+            initial: vec![0],
+            kind: AdaptiveKind::WriteInvalidate,
+        },
+    )
+    .phase(&[Action::Read(2)])
+    .phase(&[Action::Write(0)])
+    .phase(&[Action::Read(1)])
+    .phase(&[Action::Write(2)])
+}
+
+/// The cost-oblivious contender under quorum mode: after the cluster
+/// enters quorum mode the oracle's plans are ignored and reads/writes may
+/// overlap freely in one phase — the same round-tag straggler race as
+/// [`sa_quorum_overlap`], now reached from an adaptive cluster.
+pub fn cost_oblivious_quorum_overlap() -> Scenario {
+    Scenario::new(
+        "cost-oblivious-quorum-overlap",
+        Cluster::Adaptive {
+            n: 3,
+            initial: vec![0, 1],
+            kind: AdaptiveKind::CostOblivious,
+        },
+    )
+    .phase(&[Action::ModeChange(true)])
+    .phase(&[Action::Read(2), Action::Write(0), Action::Read(2)])
+}
+
+/// The mobile-mirror contender against the duplicated-data-link fault of
+/// [`da_resurrect`]: every data message on 0 → 2 is duplicated, so the
+/// saving-read reply and the write's replica shipment each arrive twice,
+/// and the late duplicates race the write's invalidation of node 1. The
+/// saving read runs in its own phase: mobile-mirror *moves* its scheme on
+/// writes (unlike DA's static core), so a write concurrent with the
+/// scheme-growing read would drop node 1 while node 2's replica is still
+/// in flight — a transient (and checker-visible) dip below t that the
+/// phase barrier rules out, mirroring the paper's §3.1 schedule model
+/// where the scheme change between writes is well-founded.
+pub fn mobile_mirror_resurrect() -> Scenario {
+    Scenario::new(
+        "mobile-mirror-resurrect",
+        Cluster::Adaptive {
+            n: 3,
+            initial: vec![0, 1],
+            kind: AdaptiveKind::MobileMirror,
+        },
+    )
+    .with_faults(duplicate_data_link(0, 2))
+    .phase(&[Action::Read(2)])
+    .phase(&[Action::Write(0)])
+    .phase(&[Action::Read(2)])
+}
+
+/// Small-bound scenario for the clustered-allocation contender: an
+/// outsider read pulls node 2 toward the scheme, a write re-anchors the
+/// cluster, and the final outsider write forces a full migration plan.
+pub fn clustered_small() -> Scenario {
+    Scenario::new(
+        "clustered-small",
+        Cluster::Adaptive {
+            n: 3,
+            initial: vec![0, 1],
+            kind: AdaptiveKind::Clustered,
+        },
+    )
+    .phase(&[Action::Read(2)])
+    .phase(&[Action::Write(0)])
+    .phase(&[Action::Read(2)])
+    .phase(&[Action::Write(2)])
+}
+
 /// Every built-in scenario, clean by construction on the fixed protocol.
 pub fn builtin() -> Vec<Scenario> {
     vec![
@@ -321,5 +486,10 @@ pub fn builtin() -> Vec<Scenario> {
         sa_quorum_overlap(),
         da_resurrect(),
         sa_quorum_duplicates(),
+        convergent_small(),
+        write_invalidate_small(),
+        cost_oblivious_quorum_overlap(),
+        mobile_mirror_resurrect(),
+        clustered_small(),
     ]
 }

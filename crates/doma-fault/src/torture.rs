@@ -1,5 +1,6 @@
 //! The randomized torture driver: seeded fault plans crossed with the
-//! workload generators, run against SA, DA and the failover path with
+//! workload generators, run against the full tournament roster (SA, DA
+//! and the five adaptive allocators) and the failover path with
 //! [`InvariantChecker`] auditing every step.
 //!
 //! Every random decision of an episode — cluster size, scheme membership,
@@ -45,13 +46,37 @@ const EPISODE_EVENT_CAPACITY: usize = 512;
 /// How many trailing event records a failure report carries.
 const EVENT_TAIL_LEN: usize = 12;
 
-/// Which protocol an episode exercises.
+/// Which protocol an episode exercises — the full tournament roster: the
+/// paper's SA/DA plus the five adaptive allocators run as plan oracles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algo {
     /// Static allocation (read-one-write-all over a fixed `Q`).
     Sa,
     /// Dynamic allocation (core `F`, floating member).
     Da,
+    /// Sliding-window convergent baseline (promoted).
+    Convergent,
+    /// Write-invalidate cache baseline (promoted).
+    WriteInvalidate,
+    /// Cost-oblivious reallocation contender.
+    CostOblivious,
+    /// Multiple-mobile-resource mirror contender.
+    MobileMirror,
+    /// Clustering-based fragment allocation contender.
+    Clustered,
+}
+
+impl Algo {
+    /// Every torture-matrix algorithm, in display order.
+    pub const ALL: [Algo; 7] = [
+        Algo::Sa,
+        Algo::Da,
+        Algo::Convergent,
+        Algo::WriteInvalidate,
+        Algo::CostOblivious,
+        Algo::MobileMirror,
+        Algo::Clustered,
+    ];
 }
 
 impl fmt::Display for Algo {
@@ -59,6 +84,11 @@ impl fmt::Display for Algo {
         f.write_str(match self {
             Algo::Sa => "sa",
             Algo::Da => "da",
+            Algo::Convergent => "convergent",
+            Algo::WriteInvalidate => "write-invalidate",
+            Algo::CostOblivious => "cost-oblivious",
+            Algo::MobileMirror => "mobile-mirror",
+            Algo::Clustered => "clustered",
         })
     }
 }
@@ -307,6 +337,42 @@ fn run_episode_observed(
                 ProcessorId::new(members[k]),
             )
         }
+        adaptive => {
+            let k = rng.gen_range(2usize..4);
+            let initial: doma_core::ProcSet = members[..k].iter().copied().collect();
+            let oracle: Box<dyn doma_protocol::PlanOracle> = match adaptive {
+                Algo::Convergent => {
+                    let window = rng.gen_range(4usize..12);
+                    let period = rng.gen_range(2usize..8);
+                    Box::new(
+                        doma_algorithms::SlidingWindowConvergent::new(
+                            n, 2, initial, window, period,
+                        )
+                        .expect("sampled configuration is valid"),
+                    )
+                }
+                Algo::WriteInvalidate => Box::new(
+                    doma_algorithms::WriteInvalidateCache::new(initial)
+                        .expect("sampled configuration is valid"),
+                ),
+                Algo::CostOblivious => {
+                    let threshold = rng.gen_range(1u32..4);
+                    Box::new(
+                        doma_algorithms::CostOblivious::new(n, 2, initial, threshold)
+                            .expect("sampled configuration is valid"),
+                    )
+                }
+                Algo::MobileMirror => Box::new(
+                    doma_algorithms::MobileMirror::new(n, 2, initial)
+                        .expect("sampled configuration is valid"),
+                ),
+                _ => Box::new(
+                    doma_algorithms::ClusteredAllocation::new(n, 2, initial)
+                        .expect("sampled configuration is valid"),
+                ),
+            };
+            ProtocolSim::new_adaptive(n, oracle)
+        }
     }
     .expect("sampled configuration is valid");
     let t = sim.config().t();
@@ -376,8 +442,11 @@ fn drive_episode(
     match class {
         FaultClass::Crash => {
             // The paper assumes fewer than t simultaneous failures;
-            // quorum fallback additionally needs a live majority.
-            let max_down = (t - 1).min((n - 1) / 2).max(1);
+            // quorum fallback additionally needs a live majority. For
+            // t = 1 (write-invalidate) that assumption admits no crashes
+            // at all — the sole replica is the availability guarantee —
+            // so the crash phase degenerates to plain execution.
+            let max_down = (t - 1).min((n - 1) / 2);
             for (i, req) in requests.iter().enumerate() {
                 let down: Vec<usize> = (0..n)
                     .filter(|&j| driver.is_crashed(ProcessorId::new(j)))
@@ -551,16 +620,13 @@ mod tests {
 
     #[test]
     fn a_few_episodes_of_every_class_hold() {
-        for (algo, class, seed) in [
-            (Algo::Sa, FaultClass::Crash, 1u64),
-            (Algo::Sa, FaultClass::Partition, 2),
-            (Algo::Sa, FaultClass::Drop, 3),
-            (Algo::Da, FaultClass::Crash, 4),
-            (Algo::Da, FaultClass::Partition, 5),
-            (Algo::Da, FaultClass::Drop, 6),
-        ] {
-            let out = run_episode(seed, algo, class).unwrap_or_else(|f| panic!("{f}"));
-            assert!(out.requests_issued > 0, "{algo}/{class} issued nothing");
+        let mut seed = 0u64;
+        for algo in Algo::ALL {
+            for class in [FaultClass::Crash, FaultClass::Partition, FaultClass::Drop] {
+                seed += 1;
+                let out = run_episode(seed, algo, class).unwrap_or_else(|f| panic!("{f}"));
+                assert!(out.requests_issued > 0, "{algo}/{class} issued nothing");
+            }
         }
     }
 

@@ -1,6 +1,7 @@
 //! Walks the workspace's `crates/` tree and applies the lint wall:
 //!
-//! * `no-panic` over `doma-protocol` and `doma-sim` non-test sources,
+//! * `no-panic` over `doma-algorithms`, `doma-protocol` and `doma-sim`
+//!   non-test sources,
 //! * `exhaustive-dispatch` over `doma-protocol`,
 //! * `no-adhoc-print` over the instrumented crates' non-test, non-bin
 //!   sources (CLI binaries under `src/bin` are exempt),
@@ -21,8 +22,11 @@ use doma_lint::{
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Crates whose non-test code must never panic.
-const NO_PANIC_CRATES: &[&str] = &["doma-protocol", "doma-sim"];
+/// Crates whose non-test code must never panic. `doma-algorithms` joined
+/// when its baselines were promoted to first-class tournament entrants:
+/// every allocator on the roster now runs inside the protocol sim as a
+/// plan oracle, so a panic there takes the whole cluster down.
+const NO_PANIC_CRATES: &[&str] = &["doma-algorithms", "doma-protocol", "doma-sim"];
 /// Crates whose message dispatch must name every variant.
 const DISPATCH_CRATES: &[&str] = &["doma-protocol"];
 /// Instrumented crates whose library code must not print ad hoc: output

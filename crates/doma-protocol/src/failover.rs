@@ -85,7 +85,13 @@ impl FailoverDriver {
     /// silently lost. The failure detector therefore falls back to quorum
     /// mode for the whole scheme, not just the core.
     fn in_home_scheme(&self, p: ProcessorId) -> bool {
-        self.sim.config().initial_scheme().contains(p)
+        match self.sim.config() {
+            // An adaptive scheme moves with the workload, so any node can
+            // be (or become) a scheme member: every crash endangers the
+            // next write and triggers the quorum fallback.
+            crate::ProtocolConfig::Adaptive { .. } => true,
+            config => config.initial_scheme().contains(p),
+        }
     }
 
     /// Crashes a processor. If it is a member of the home allocation
@@ -159,12 +165,16 @@ impl FailoverDriver {
                 .inject(node, 1, DomMsg::CatchUp { object });
             self.sim.engine_mut().run_until_idle();
         }
-        let any_scheme_down = self
-            .sim
-            .config()
-            .initial_scheme()
-            .iter()
-            .any(|m| self.crashed[m.index()]);
+        let any_scheme_down = match self.sim.config() {
+            // Adaptive: every node is a potential scheme member (see
+            // `in_home_scheme`), so normal mode resumes only with the
+            // whole cluster live.
+            crate::ProtocolConfig::Adaptive { .. } => self.crashed.iter().any(|&c| c),
+            config => config
+                .initial_scheme()
+                .iter()
+                .any(|m| self.crashed[m.index()]),
+        };
         if !any_scheme_down && (self.quorum_engaged || self.bug_destructive_mode_reset) {
             // Normal mode resumes only once the whole home scheme is back
             // (the `ModeChange { quorum: false }` reset re-homes the
@@ -176,6 +186,13 @@ impl FailoverDriver {
 
     fn broadcast_mode(&mut self, quorum: bool) {
         self.quorum_engaged = quorum;
+        if !quorum {
+            // The `ModeChange { quorum: false }` transition snaps every
+            // adaptive object's replica set back to its initial scheme;
+            // the driver-side oracles must agree or their plans would
+            // reference replicas that no longer exist.
+            self.sim.reset_adaptive_oracles();
+        }
         for i in 0..self.n {
             if !self.crashed[i] {
                 self.sim

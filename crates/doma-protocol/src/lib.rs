@@ -29,6 +29,14 @@
 //!   fails, the cluster falls back to majority-quorum reads/writes and a
 //!   recovering node catches up via a quorum read (the missing-writes
 //!   transition) before normal DA operation resumes.
+//! * [`ProtocolConfig::Adaptive`] — adaptive algorithms (the promoted
+//!   tournament baselines and contenders) run as driver-side
+//!   [`PlanOracle`]s: each injected request is decided by the live
+//!   algorithm and the decision ships inside the client message as a
+//!   [`ReadPlan`]/[`WritePlan`] the issuing node executes exactly. The
+//!   same exact-tally-parity property holds for them, and the quorum
+//!   failure fallback covers them unchanged (plans are ignored in quorum
+//!   mode).
 //!
 //! Write acknowledgements are deliberately *not* modeled: the paper's cost
 //! model does not price them (§1.2 counts request, data and invalidate
@@ -45,7 +53,7 @@ mod obs;
 mod sharded;
 mod sim;
 
-pub use msg::DomMsg;
-pub use node::{BugSwitches, CompletedRead, DomNode, ProtocolConfig};
+pub use msg::{DomMsg, ReadPlan, WritePlan};
+pub use node::{AdaptiveAlgo, BugSwitches, CompletedRead, DomNode, ProtocolConfig};
 pub use sharded::{ShardedRun, ShardedSim};
-pub use sim::{BurstReport, OpenLoopReport, ProtocolSim, SimReport};
+pub use sim::{BurstReport, OpenLoopReport, PlanOracle, ProtocolSim, SimReport};

@@ -1,8 +1,37 @@
 //! The wire protocol.
 
-use doma_core::ObjectId;
+use doma_core::{ObjectId, ProcSet, ProcessorId};
 use doma_sim::NodeId;
 use doma_storage::Version;
+
+/// A driver-computed read placement for an adaptive-algorithm object
+/// (see [`crate::ProtocolConfig::Adaptive`]): the online algorithm runs
+/// as an oracle inside the driver, and the node executes its decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReadPlan {
+    /// Remote server to fetch from (`None` = the issuer's own replica).
+    pub server: Option<ProcessorId>,
+    /// Whether the fetched copy is stored at the issuer (a saving-read,
+    /// growing the allocation scheme).
+    pub saving: bool,
+    /// A scheme member to fall back to when a local read finds the
+    /// replica unexpectedly invalid (possible only after fault episodes).
+    pub fallback: Option<ProcessorId>,
+}
+
+/// A driver-computed write placement for an adaptive-algorithm object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WritePlan {
+    /// The execution set `X`: every member stores the new version.
+    pub exec: ProcSet,
+    /// Scheme members outside `X` (and other than the issuer) whose
+    /// replicas the issuer invalidates — the paper's `Y \ X \ {i}`.
+    pub invalidate: ProcSet,
+    /// The issuer was a scheme member but is not in `X`: it drops its own
+    /// replica locally, without any message (the analytic model charges
+    /// nothing for this).
+    pub self_invalidate: bool,
+}
 
 /// Messages exchanged by [`crate::DomNode`]s (plus the locally injected
 /// client requests, which are not network messages and are not tallied).
@@ -23,6 +52,9 @@ pub enum DomMsg {
     ClientRead {
         /// The object to read.
         object: ObjectId,
+        /// Placement computed by the driver-side decision oracle
+        /// (`None` for SA/DA objects, whose placement is node-local).
+        plan: Option<ReadPlan>,
     },
     /// Client request: write a new version (injected locally by the
     /// driver, which owns the per-object version counter — the stand-in
@@ -34,6 +66,9 @@ pub enum DomMsg {
         version: Version,
         /// The new object payload.
         payload: Vec<u8>,
+        /// Placement computed by the driver-side decision oracle
+        /// (`None` for SA/DA objects).
+        plan: Option<WritePlan>,
     },
     /// "Send me the latest object." `saving` tells the server the
     /// requester will store the reply (DA), so DA core members record the
@@ -117,7 +152,7 @@ impl DomMsg {
     /// A short label for message traces.
     pub fn label(&self) -> String {
         match self {
-            DomMsg::ClientRead { object } => format!("ClientRead({object})"),
+            DomMsg::ClientRead { object, .. } => format!("ClientRead({object})"),
             DomMsg::ClientWrite {
                 object, version, ..
             } => {

@@ -1,7 +1,7 @@
 //! The per-processor protocol state machine.
 
 use crate::obs::{algo_label, object_of, op_of, NodeObs};
-use crate::DomMsg;
+use crate::{DomMsg, ReadPlan, WritePlan};
 use doma_core::{DomaError, ObjectId, ProcSet, ProcessorId};
 use doma_sim::{Actor, Context, MsgKind, NodeId, SimTime};
 use doma_storage::{CacheStats, CachedStore, IoStats, LocalStore, Version};
@@ -10,6 +10,49 @@ use std::collections::BTreeMap;
 /// The object id used by the single-object convenience constructors (the
 /// paper analyzes a single object).
 pub(crate) const OBJECT: ObjectId = ObjectId(0);
+
+/// The adaptive algorithm governing an object under
+/// [`ProtocolConfig::Adaptive`] — used only as an observability label;
+/// the actual placement decisions arrive in the client requests' plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdaptiveAlgo {
+    /// Sliding-window convergent allocation (Wolfson–Jajodia style).
+    Convergent,
+    /// CDVM-style write-invalidate caching.
+    WriteInvalidate,
+    /// Cost-oblivious reallocation (Bender et al.).
+    CostOblivious,
+    /// Mobile-resource mirroring (Feldkord et al.).
+    MobileMirror,
+    /// Clustering-based fragment allocation.
+    Clustered,
+}
+
+impl AdaptiveAlgo {
+    /// The metric-label spelling of the algorithm name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AdaptiveAlgo::Convergent => "convergent",
+            AdaptiveAlgo::WriteInvalidate => "write-invalidate",
+            AdaptiveAlgo::CostOblivious => "cost-oblivious",
+            AdaptiveAlgo::MobileMirror => "mobile-mirror",
+            AdaptiveAlgo::Clustered => "clustered",
+        }
+    }
+
+    /// Maps a [`doma_core::DomAlgorithm::name`] to its label, if it is a
+    /// known adaptive algorithm.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "Convergent" => Some(AdaptiveAlgo::Convergent),
+            "WriteInvalidate" => Some(AdaptiveAlgo::WriteInvalidate),
+            "CostOblivious" => Some(AdaptiveAlgo::CostOblivious),
+            "MobileMirror" => Some(AdaptiveAlgo::MobileMirror),
+            "Clustered" => Some(AdaptiveAlgo::Clustered),
+            _ => None,
+        }
+    }
+}
 
 /// Which DOM algorithm governs one object.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,6 +69,18 @@ pub enum ProtocolConfig {
         /// The designated floating member (`p ∉ F`).
         p: ProcessorId,
     },
+    /// An adaptive algorithm whose placement decisions are computed by a
+    /// driver-side oracle ([`crate::ProtocolSim::new_adaptive`]) and
+    /// carried in the client requests' plans. Nodes execute the plans
+    /// exactly; the quorum failure fallback ignores them.
+    Adaptive {
+        /// The availability threshold the oracle maintains.
+        t: usize,
+        /// The oracle's initial allocation scheme (preloaded replicas).
+        initial: ProcSet,
+        /// Which algorithm the oracle runs (observability label).
+        algo: AdaptiveAlgo,
+    },
 }
 
 impl ProtocolConfig {
@@ -34,6 +89,7 @@ impl ProtocolConfig {
         match self {
             ProtocolConfig::Sa { q } => q.len(),
             ProtocolConfig::Da { f, .. } => f.len() + 1,
+            ProtocolConfig::Adaptive { t, .. } => *t,
         }
     }
 
@@ -42,6 +98,7 @@ impl ProtocolConfig {
         match self {
             ProtocolConfig::Sa { q } => *q,
             ProtocolConfig::Da { f, p } => f.with(*p),
+            ProtocolConfig::Adaptive { initial, .. } => *initial,
         }
     }
 
@@ -56,6 +113,7 @@ impl ProtocolConfig {
                 }
             }
             ProtocolConfig::Sa { q } => *q,
+            ProtocolConfig::Adaptive { initial, .. } => *initial,
         }
     }
 }
@@ -749,7 +807,12 @@ impl DomNode {
         self.maybe_finish_quorum(ctx, object);
     }
 
-    fn handle_client_read(&mut self, ctx: &mut Context<DomMsg>, object: ObjectId) {
+    fn handle_client_read(
+        &mut self,
+        ctx: &mut Context<DomMsg>,
+        object: ObjectId,
+        plan: Option<ReadPlan>,
+    ) {
         if self.quorum_mode {
             let Some(slot) = self.slot_or_record(object) else {
                 return;
@@ -811,6 +874,52 @@ impl DomNode {
                     );
                 }
             }
+            ProtocolConfig::Adaptive { .. } => {
+                let Some(plan) = plan else {
+                    self.errors.push(DomaError::InvalidConfig(
+                        "adaptive read injected without a plan".into(),
+                    ));
+                    return;
+                };
+                match plan.server {
+                    None if self.store.holds_valid(object) => {
+                        let got = self.store.input(object);
+                        let version = got.map(|(v, _)| v);
+                        self.complete_read(object, version, ctx.now());
+                    }
+                    None => {
+                        // The oracle believes we hold a replica, but a
+                        // fault episode dropped it: fetch (saving) from a
+                        // scheme member to restore the oracle's invariant.
+                        if let Some(fallback) = plan.fallback {
+                            ctx.send(
+                                node(fallback),
+                                MsgKind::Control,
+                                DomMsg::ReadReq {
+                                    object,
+                                    saving: true,
+                                    round: 0,
+                                },
+                            );
+                        } else {
+                            self.errors.push(DomaError::InvalidConfig(
+                                "adaptive local read found no valid replica".into(),
+                            ));
+                        }
+                    }
+                    Some(server) => {
+                        ctx.send(
+                            node(server),
+                            MsgKind::Control,
+                            DomMsg::ReadReq {
+                                object,
+                                saving: plan.saving,
+                                round: 0,
+                            },
+                        );
+                    }
+                }
+            }
         }
     }
 
@@ -820,6 +929,7 @@ impl DomNode {
         object: ObjectId,
         version: Version,
         payload: Vec<u8>,
+        plan: Option<WritePlan>,
     ) {
         if self.quorum_mode {
             // Quorum write: store locally, propagate to all peers; the
@@ -883,6 +993,51 @@ impl DomNode {
                     self.da_invalidate_duties(ctx, object, version, self.id);
                 }
             }
+            ProtocolConfig::Adaptive { .. } => {
+                let Some(plan) = plan else {
+                    self.errors.push(DomaError::InvalidConfig(
+                        "adaptive write injected without a plan".into(),
+                    ));
+                    return;
+                };
+                if plan.exec.contains(self.id) {
+                    self.store.output(object, version, payload.clone());
+                }
+                for member in plan.exec.iter().filter(|&m| m != self.id) {
+                    ctx.send(
+                        node(member),
+                        MsgKind::Data,
+                        DomMsg::WriteProp {
+                            object,
+                            version,
+                            payload: payload.clone(),
+                            writer: node(self.id),
+                        },
+                    );
+                }
+                // The issuer performs the invalidation duties itself: the
+                // driver already computed `Y \ X \ {i}` from the oracle's
+                // scheme.
+                for member in plan.invalidate.iter().filter(|&m| m != self.id) {
+                    ctx.send(
+                        node(member),
+                        MsgKind::Control,
+                        DomMsg::Invalidate { object, version },
+                    );
+                }
+                if plan.self_invalidate && !plan.exec.contains(self.id) {
+                    // A scheme member writing remotely drops its own
+                    // replica without any message — the analytic model
+                    // charges nothing for it.
+                    if let Some(slot) = self.catalog.slot(object) {
+                        let floor = &mut self.invalidated_below[slot];
+                        if version > *floor {
+                            *floor = version;
+                        }
+                    }
+                    self.store.invalidate(object);
+                }
+            }
         }
     }
 
@@ -935,7 +1090,7 @@ impl DomNode {
                         Some(writer)
                     }
                 }
-                ProtocolConfig::Sa { .. } => None,
+                ProtocolConfig::Sa { .. } | ProtocolConfig::Adaptive { .. } => None,
             };
         }
         if flushed > 0 {
@@ -1040,12 +1195,13 @@ fn preload(mut store: LocalStore, object: ObjectId) -> LocalStore {
 impl DomNode {
     fn handle_message(&mut self, ctx: &mut Context<DomMsg>, from: NodeId, msg: DomMsg) {
         match msg {
-            DomMsg::ClientRead { object } => self.handle_client_read(ctx, object),
+            DomMsg::ClientRead { object, plan } => self.handle_client_read(ctx, object, plan),
             DomMsg::ClientWrite {
                 object,
                 version,
                 payload,
-            } => self.handle_client_write(ctx, object, version, payload),
+                plan,
+            } => self.handle_client_write(ctx, object, version, payload, plan),
             DomMsg::ReadReq {
                 object,
                 saving,
@@ -1213,6 +1369,14 @@ impl DomNode {
                                     self.store.invalidate(object);
                                 }
                             }
+                            ProtocolConfig::Adaptive { initial, .. } => {
+                                // The driver resets its oracle to the
+                                // initial scheme on this transition, so the
+                                // replica set snaps back to match it.
+                                if !initial.contains(self.id) {
+                                    self.store.invalidate(object);
+                                }
+                            }
                         }
                     }
                 }
@@ -1238,7 +1402,15 @@ impl DomNode {
                     let Some(config) = self.config_or_record(object) else {
                         return;
                     };
-                    for member in config.initial_scheme().iter() {
+                    // Adaptive schemes move with the workload, so the
+                    // initial members may no longer hold the object: ask
+                    // everyone, keep the freshest reply (stale and NoData
+                    // round-0 replies drop harmlessly).
+                    let targets = match config {
+                        ProtocolConfig::Adaptive { .. } => ProcSet::universe(self.n),
+                        other => other.initial_scheme(),
+                    };
+                    for member in targets.iter() {
                         if member == self.id {
                             continue;
                         }
@@ -1401,6 +1573,7 @@ mod tests {
             0,
             DomMsg::ClientRead {
                 object: ObjectId(9),
+                plan: None,
             },
         );
         engine.inject(
@@ -1410,6 +1583,7 @@ mod tests {
                 object: ObjectId(9),
                 version: Version(1),
                 payload: vec![1],
+                plan: None,
             },
         );
         engine.run_until_idle();

@@ -40,7 +40,7 @@ pub(crate) fn op_of(msg: &DomMsg) -> &'static str {
 /// [`DomMsg::ModeChange`]).
 pub(crate) fn object_of(msg: &DomMsg) -> Option<ObjectId> {
     match msg {
-        DomMsg::ClientRead { object }
+        DomMsg::ClientRead { object, .. }
         | DomMsg::ClientWrite { object, .. }
         | DomMsg::ReadReq { object, .. }
         | DomMsg::ObjData { object, .. }
@@ -58,6 +58,7 @@ pub(crate) fn algo_label(config: Option<&ProtocolConfig>) -> &'static str {
     match config {
         Some(ProtocolConfig::Sa { .. }) => "sa",
         Some(ProtocolConfig::Da { .. }) => "da",
+        Some(ProtocolConfig::Adaptive { algo, .. }) => algo.as_str(),
         None => "cluster",
     }
 }
@@ -141,7 +142,13 @@ mod tests {
     #[test]
     fn message_op_classification() {
         let obj = ObjectId(0);
-        assert_eq!(op_of(&DomMsg::ClientRead { object: obj }), "read");
+        assert_eq!(
+            op_of(&DomMsg::ClientRead {
+                object: obj,
+                plan: None
+            }),
+            "read"
+        );
         assert_eq!(
             op_of(&DomMsg::ReadReq {
                 object: obj,

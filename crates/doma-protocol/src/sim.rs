@@ -1,14 +1,31 @@
 //! The protocol driver: executes a schedule on a simulated cluster.
 
-use crate::node::OBJECT;
-use crate::{DomMsg, DomNode, ProtocolConfig};
+use crate::node::{AdaptiveAlgo, OBJECT};
+use crate::{DomMsg, DomNode, ProtocolConfig, ReadPlan, WritePlan};
 use doma_core::{
-    CostVector, DomaError, MultiRequest, MultiSchedule, ObjectId, ProcSet, ProcessorId, Request,
-    Result, Schedule,
+    scheme_after, AllocatedRequest, CostVector, DomaError, MultiRequest, MultiSchedule, ObjectId,
+    OnlineDom, ProcSet, ProcessorId, Request, Result, Schedule,
 };
 use doma_sim::{Engine, EngineConfig, NodeId};
 use doma_storage::Version;
 use std::collections::BTreeMap;
+
+/// A driver-side decision oracle for [`ProtocolConfig::Adaptive`]
+/// objects: any online DOM algorithm that can be deep-copied for cluster
+/// forks. Blanket-implemented for every `Clone` [`OnlineDom`], so the
+/// promoted baselines and tournament contenders all qualify as-is.
+pub trait PlanOracle: OnlineDom + Send {
+    /// Deep copy (object-safe stand-in for `Clone`), used by
+    /// [`ProtocolSim::fork`] so a model checker's speculative branches
+    /// advance independent oracle states.
+    fn clone_box(&self) -> Box<dyn PlanOracle>;
+}
+
+impl<T: OnlineDom + Clone + Send + 'static> PlanOracle for T {
+    fn clone_box(&self) -> Box<dyn PlanOracle> {
+        Box::new(self.clone())
+    }
+}
 
 /// The outcome of executing a schedule on the simulated cluster.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,6 +97,17 @@ pub struct ProtocolSim {
     configs: BTreeMap<ObjectId, ProtocolConfig>,
     n: usize,
     next_version: BTreeMap<ObjectId, Version>,
+    /// Live decision oracles for [`ProtocolConfig::Adaptive`] objects:
+    /// every injected request is decided here and the decision shipped in
+    /// the client message as a plan. Deterministic: the oracle state is a
+    /// pure function of the injected request sequence, so it is excluded
+    /// from [`ProtocolSim::fingerprint`] (the model checker varies only
+    /// delivery orders of already-planned messages).
+    oracles: BTreeMap<ObjectId, Box<dyn PlanOracle>>,
+    /// The allocation scheme each oracle believes is current, folded per
+    /// decision with [`scheme_after`] — the `Y` the write plans'
+    /// invalidation sets are computed from.
+    oracle_scheme: BTreeMap<ObjectId, ProcSet>,
 }
 
 impl ProtocolSim {
@@ -121,6 +149,46 @@ impl ProtocolSim {
     /// (processor 0), the floater is processor 1; `n` processors total.
     pub fn mobile(n: usize) -> Result<Self> {
         Self::new_da(n, ProcSet::from_iter([0usize]), ProcessorId::new(1))
+    }
+
+    /// Builds a cluster of `n` nodes governed by an adaptive algorithm:
+    /// the oracle runs inside the driver, each injected request is decided
+    /// by it, and the nodes execute the shipped plans exactly. The
+    /// oracle's `t`/initial scheme/name must describe a valid deployment
+    /// ([`AdaptiveAlgo::from_name`] must recognize the name).
+    pub fn new_adaptive(n: usize, mut oracle: Box<dyn PlanOracle>) -> Result<Self> {
+        let Some(algo) = AdaptiveAlgo::from_name(oracle.name()) else {
+            return Err(DomaError::InvalidConfig(format!(
+                "unknown adaptive algorithm {:?}",
+                oracle.name()
+            )));
+        };
+        let t = oracle.t();
+        let initial = oracle.initial_scheme();
+        oracle.reset();
+        let config = ProtocolConfig::Adaptive { t, initial, algo };
+        let mut sim = Self::build(n, config, doma_sim::NetworkConfig::default())?;
+        sim.oracle_scheme.insert(OBJECT, initial);
+        sim.oracles.insert(OBJECT, oracle);
+        Ok(sim)
+    }
+
+    /// Resets every adaptive oracle to its initial state (scheme
+    /// included). The failover driver calls this when it broadcasts
+    /// `ModeChange { quorum: false }`: the nodes snap their replica sets
+    /// back to the initial scheme on that transition, and the oracles
+    /// must agree.
+    pub fn reset_adaptive_oracles(&mut self) {
+        for (object, oracle) in self.oracles.iter_mut() {
+            oracle.reset();
+            self.oracle_scheme.insert(*object, oracle.initial_scheme());
+        }
+    }
+
+    /// Whether any object in the catalog is governed by an adaptive
+    /// oracle.
+    pub fn has_adaptive(&self) -> bool {
+        !self.oracles.is_empty()
     }
 
     /// Builds an SA cluster whose nodes have a memory cache of
@@ -211,6 +279,11 @@ impl ProtocolSim {
                         "{object}: DA requires non-empty F with p outside F"
                     )));
                 }
+                ProtocolConfig::Adaptive { t, initial, .. } if *t == 0 || initial.len() < *t => {
+                    return Err(DomaError::InvalidConfig(format!(
+                        "{object}: adaptive config requires 1 <= t <= |initial scheme|"
+                    )));
+                }
                 _ => {}
             }
         }
@@ -235,6 +308,8 @@ impl ProtocolSim {
             configs,
             n,
             next_version,
+            oracles: BTreeMap::new(),
+            oracle_scheme: BTreeMap::new(),
         })
     }
 
@@ -343,8 +418,12 @@ impl ProtocolSim {
             )));
         }
         let to = NodeId(request.issuer.index());
+        let plans = self.plan_for(object, request);
         let msg = if request.is_read() {
-            DomMsg::ClientRead { object }
+            DomMsg::ClientRead {
+                object,
+                plan: plans.and_then(|(r, _)| r),
+            }
         } else {
             let version = self.next_version[&object];
             self.next_version.insert(object, version.next());
@@ -352,9 +431,54 @@ impl ProtocolSim {
                 object,
                 version,
                 payload: format!("payload-{}-{}", object.0, version.0).into_bytes(),
+                plan: plans.and_then(|(_, w)| w),
             }
         };
         Ok(self.engine.inject(to, 1, msg))
+    }
+
+    /// Runs the object's adaptive oracle (if any) on `request`: advances
+    /// the oracle and its tracked scheme, and maps the decision to the
+    /// read/write plan the issuing node will execute. Returns `None` for
+    /// SA/DA objects.
+    #[allow(clippy::type_complexity)]
+    fn plan_for(
+        &mut self,
+        object: ObjectId,
+        request: Request,
+    ) -> Option<(Option<ReadPlan>, Option<WritePlan>)> {
+        let oracle = self.oracles.get_mut(&object)?;
+        let scheme = *self.oracle_scheme.get(&object)?;
+        let decision = oracle.decide(request);
+        let i = request.issuer;
+        let pair = if request.is_read() {
+            let server = if decision.exec.contains(i) {
+                None
+            } else {
+                decision.exec.any_member()
+            };
+            (
+                Some(ReadPlan {
+                    server,
+                    saving: decision.saving,
+                    fallback: scheme.without(i).any_member(),
+                }),
+                None,
+            )
+        } else {
+            (
+                None,
+                Some(WritePlan {
+                    exec: decision.exec,
+                    invalidate: scheme.difference(decision.exec).without(i),
+                    self_invalidate: scheme.contains(i) && !decision.exec.contains(i),
+                }),
+            )
+        };
+        let step = AllocatedRequest::new(request, decision);
+        self.oracle_scheme
+            .insert(object, scheme_after(scheme, &step));
+        Some(pair)
     }
 
     /// Drains the event queue, surfacing the engine's event-budget valve
@@ -407,6 +531,12 @@ impl ProtocolSim {
             configs: self.configs.clone(),
             n: self.n,
             next_version: self.next_version.clone(),
+            oracles: self
+                .oracles
+                .iter()
+                .map(|(object, oracle)| (*object, oracle.clone_box()))
+                .collect(),
+            oracle_scheme: self.oracle_scheme.clone(),
         }
     }
 
@@ -473,10 +603,14 @@ impl ProtocolSim {
             }
             if request.is_read() {
                 pending_offset += interval;
+                let plan = self.plan_for(OBJECT, request).and_then(|(r, _)| r);
                 self.engine.inject(
                     NodeId(request.issuer.index()),
                     pending_offset,
-                    DomMsg::ClientRead { object: OBJECT },
+                    DomMsg::ClientRead {
+                        object: OBJECT,
+                        plan,
+                    },
                 );
             } else {
                 // Barrier: drain the in-flight reads, then the write.
@@ -546,8 +680,14 @@ impl ProtocolSim {
         let wait_before = self.engine.bus_queue_wait();
         let start = self.engine.now();
         for reader in readers {
-            self.engine
-                .inject(NodeId(reader.index()), 1, DomMsg::ClientRead { object });
+            let plan = self
+                .plan_for(object, Request::read(*reader))
+                .and_then(|(r, _)| r);
+            self.engine.inject(
+                NodeId(reader.index()),
+                1,
+                DomMsg::ClientRead { object, plan },
+            );
         }
         self.run_settle()?;
         let after = self.report();
@@ -825,6 +965,7 @@ mod tests {
                     let mut sa = StaticAllocation::new(*q).unwrap();
                     doma_core::run_online(&mut sa, &schedule).unwrap()
                 }
+                ProtocolConfig::Adaptive { .. } => unreachable!("catalog is SA/DA only"),
             };
             expected += analytic.costed.total;
             assert_eq!(
@@ -1106,6 +1247,80 @@ mod tests {
             snap.sum_counters("protocol", "quorum_rounds"),
             enters as u64
         );
+    }
+
+    /// The headline parity property extended to the adaptive algorithms:
+    /// the plan-executing protocol's exact tallies equal the analytic
+    /// cost engine's run of the *same* algorithm, message for message.
+    fn check_adaptive_parity<A>(algo: A, schedule: &Schedule)
+    where
+        A: doma_core::OnlineDom + Clone + Send + 'static,
+    {
+        let mut analytic_algo = algo.clone();
+        let name = analytic_algo.name().to_string();
+        let n = 6;
+        let mut sim = ProtocolSim::new_adaptive(n, Box::new(algo)).unwrap();
+        let report = sim.execute(schedule).unwrap();
+        let analytic = run_online(&mut analytic_algo, schedule).unwrap();
+        assert_eq!(
+            report.cost, analytic.costed.total,
+            "{name}: protocol tallies diverged from the analytic engine"
+        );
+        assert_eq!(
+            report.final_holders, analytic.costed.final_scheme,
+            "{name}: final replica set diverged from the analytic scheme"
+        );
+        assert_eq!(report.dropped_messages, 0);
+    }
+
+    #[test]
+    fn adaptive_tallies_match_analytic_cost_engine() {
+        use doma_algorithms::{
+            ClusteredAllocation, CostOblivious, MobileMirror, SlidingWindowConvergent,
+            WriteInvalidateCache,
+        };
+        let schedule: Schedule = "r2 r2 w3 r2 r1 w0 r3 w2 r0 r2 w1 r3 r4 r4 w4 r1 r5 w5 r5 r0"
+            .parse()
+            .unwrap();
+        let initial = ps(&[0, 1]);
+        check_adaptive_parity(
+            SlidingWindowConvergent::new(6, 2, initial, 8, 4).unwrap(),
+            &schedule,
+        );
+        check_adaptive_parity(WriteInvalidateCache::new(ps(&[0])).unwrap(), &schedule);
+        check_adaptive_parity(CostOblivious::new(6, 2, initial, 2).unwrap(), &schedule);
+        check_adaptive_parity(MobileMirror::new(6, 2, initial).unwrap(), &schedule);
+        check_adaptive_parity(ClusteredAllocation::new(6, 2, initial).unwrap(), &schedule);
+    }
+
+    #[test]
+    fn adaptive_forks_advance_independent_oracles() {
+        use doma_algorithms::MobileMirror;
+        let mut sim =
+            ProtocolSim::new_adaptive(4, Box::new(MobileMirror::new(4, 2, ps(&[0, 1])).unwrap()))
+                .unwrap();
+        sim.execute_request(Request::read(2usize)).unwrap();
+        let mut fork = sim.fork();
+        // Diverge: the fork sees a write, the original another read.
+        fork.execute_request(Request::write(3usize)).unwrap();
+        sim.execute_request(Request::read(3usize)).unwrap();
+        // MobileMirror mirrors on read: both readers joined the
+        // original's scheme, which only ever grows on reads.
+        assert_eq!(sim.report().final_holders, ps(&[0, 1, 2, 3]));
+        // The fork's write collapsed its scheme to the t=2 execution set
+        // around the writer (recency keeps the recent reader 2).
+        assert_eq!(fork.report().final_holders, ps(&[2, 3]));
+        // And the two clusters kept independent version counters.
+        assert_eq!(fork.latest_version(), Version(1));
+        assert_eq!(sim.latest_version(), Version(0));
+    }
+
+    #[test]
+    fn adaptive_rejects_unknown_oracle_names() {
+        // DA is not an adaptive-plan algorithm: it has its own native
+        // protocol, so the constructor refuses to wrap it.
+        let da = DynamicAllocation::new(ps(&[0]), ProcessorId::new(1)).unwrap();
+        assert!(ProtocolSim::new_adaptive(4, Box::new(da)).is_err());
     }
 
     #[test]

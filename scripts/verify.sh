@@ -97,6 +97,26 @@ for key in '"metrics"' '"events"' '"dropped_events"'; do
 done
 
 # ---------------------------------------------------------------------------
+# Tournament smoke: a small seven-entrant tournament must run end to end
+# through the protocol sim, and the JSON export must be byte-identical
+# across two runs — the stable-bench contract for BENCH_tournament.json.
+# ---------------------------------------------------------------------------
+./target/release/domactl tournament --n 5 --len 12 --seed 3 --format json > "$obs_dir/tour1.json"
+./target/release/domactl tournament --n 5 --len 12 --seed 3 --format json > "$obs_dir/tour2.json"
+if ! cmp -s "$obs_dir/tour1.json" "$obs_dir/tour2.json"; then
+    echo "verify: FAILED (domactl tournament JSON differs across identical runs)" >&2
+    exit 1
+fi
+for key in '"group": "tournament"' '"algo": "sa"' '"algo": "da"' '"algo": "convergent"' \
+    '"algo": "write-invalidate"' '"algo": "cost-oblivious"' '"algo": "mobile-mirror"' \
+    '"algo": "clustered"' '"attachment": "tournament/spec"'; do
+    if ! grep -qF "$key" "$obs_dir/tour1.json"; then
+        echo "verify: FAILED (domactl tournament JSON missing $key)" >&2
+        exit 1
+    fi
+done
+
+# ---------------------------------------------------------------------------
 # Exhaustive small-bound model check: every built-in doma-check scenario
 # (3–5 processors, up to 6 requests) must be explored to completion with
 # zero violations. Exit 1 = counterexample (the tool prints the replayable
@@ -124,8 +144,10 @@ if ! DOMA_SHARDS=1 cargo test -q --offline -p doma-protocol --test shard_parity;
 fi
 
 # ---------------------------------------------------------------------------
-# Fault matrix: 32 seeded fault plans per {SA,DA} × {crash,partition,drop}
-# cell, with the invariant checker auditing every step. On a violation the
+# Fault matrix: 32 seeded fault plans per cell over the full tournament
+# roster — {SA,DA} × {crash,partition,drop} plus two fault classes per
+# adaptive allocator and the pinned per-allocator regression episodes —
+# with the invariant checker auditing every step. On a violation the
 # harness itself prints the exact `DOMA_FAULT_SEED=…` replay line; the hint
 # below covers infrastructure failures (build breaks, panics outside the
 # harness).

@@ -5,13 +5,92 @@
 //! Runs on the in-tree `doma-testkit` harness with a reduced case count:
 //! each case drives a full protocol simulation.
 
-use doma::algorithms::{DynamicAllocation, StaticAllocation};
-use doma::core::{run_online, ProcSet, ProcessorId, Request, Schedule};
-use doma::protocol::ProtocolSim;
+use doma::algorithms::{
+    ClusteredAllocation, CostOblivious, DynamicAllocation, MobileMirror, OfflineOptimal,
+    SlidingWindowConvergent, StaticAllocation, WriteInvalidateCache,
+};
+use doma::core::{run_online, CostModel, OnlineDom, ProcSet, ProcessorId, Request, Schedule};
+use doma::protocol::{PlanOracle, ProtocolSim};
 use doma_testkit::property::{self as prop, Gen};
 use doma_testkit::TestRng;
 
 const N: usize = 6;
+
+fn init_pair() -> ProcSet {
+    ProcSet::from_iter([0, 1])
+}
+
+/// Every first-class allocator as an analytic instance — the tournament
+/// roster (SA, DA, promoted baselines, contenders) behind one trait
+/// object.
+fn analytic_roster() -> Vec<Box<dyn OnlineDom>> {
+    vec![
+        Box::new(StaticAllocation::new(init_pair()).unwrap()),
+        Box::new(DynamicAllocation::new(ProcSet::from_iter([0]), ProcessorId::new(1)).unwrap()),
+        Box::new(SlidingWindowConvergent::new(N, 2, init_pair(), 8, 4).unwrap()),
+        Box::new(WriteInvalidateCache::new(init_pair()).unwrap()),
+        Box::new(CostOblivious::new(N, 2, init_pair(), 2).unwrap()),
+        Box::new(MobileMirror::new(N, 2, init_pair()).unwrap()),
+        Box::new(ClusteredAllocation::new(N, 2, init_pair()).unwrap()),
+    ]
+}
+
+/// The same roster as protocol simulators (adaptive entrants via the
+/// plan-oracle driver), labeled with the obs `algo` metric label.
+fn sim_roster() -> Vec<(&'static str, ProtocolSim)> {
+    let adaptive: Vec<(&'static str, Box<dyn PlanOracle>)> = vec![
+        (
+            "convergent",
+            Box::new(SlidingWindowConvergent::new(N, 2, init_pair(), 8, 4).unwrap()),
+        ),
+        (
+            "write-invalidate",
+            Box::new(WriteInvalidateCache::new(init_pair()).unwrap()),
+        ),
+        (
+            "cost-oblivious",
+            Box::new(CostOblivious::new(N, 2, init_pair(), 2).unwrap()),
+        ),
+        (
+            "mobile-mirror",
+            Box::new(MobileMirror::new(N, 2, init_pair()).unwrap()),
+        ),
+        (
+            "clustered",
+            Box::new(ClusteredAllocation::new(N, 2, init_pair()).unwrap()),
+        ),
+    ];
+    let mut roster = vec![
+        ("sa", ProtocolSim::new_sa(N, init_pair()).unwrap()),
+        (
+            "da",
+            ProtocolSim::new_da(N, ProcSet::from_iter([0]), ProcessorId::new(1)).unwrap(),
+        ),
+    ];
+    for (name, oracle) in adaptive {
+        roster.push((name, ProtocolSim::new_adaptive(N, oracle).unwrap()));
+    }
+    roster
+}
+
+/// One adaptive entrant: the plan-executing protocol must match
+/// `run_online` on the same algorithm exactly.
+fn check_adaptive_parity<A: OnlineDom + Clone + Send + 'static>(algo: A, schedule: &Schedule) {
+    let mut sim = ProtocolSim::new_adaptive(N, Box::new(algo.clone())).unwrap();
+    let report = sim.execute(schedule).unwrap();
+    let mut analytic_algo = algo;
+    analytic_algo.reset();
+    let name = analytic_algo.name().to_string();
+    let analytic = run_online(&mut analytic_algo, schedule).unwrap();
+    assert_eq!(report.cost, analytic.costed.total, "{name} on {schedule}");
+    assert_eq!(report.final_holders, analytic.costed.final_scheme, "{name}");
+    assert_eq!(report.dropped_messages, 0, "{name}");
+    assert_eq!(
+        report.reads_completed as usize,
+        schedule.read_count(),
+        "{name}"
+    );
+}
 
 /// Requests over `N` issuers; shrinks writes to reads and issuers toward 0.
 struct RequestGen;
@@ -94,18 +173,34 @@ doma_testkit::property! {
         assert_eq!(report.final_holders, analytic.costed.final_scheme);
     }
 
-    #[cases(32)]
+    #[cases(16)]
+    /// The promoted baselines run through the plan-oracle driver match
+    /// `run_online` exactly — the tournament-promotion analogue of
+    /// `sa_parity`/`da_parity`.
+    fn promoted_baseline_parity(schedule in arb_schedule()) {
+        check_adaptive_parity(
+            SlidingWindowConvergent::new(N, 2, init_pair(), 8, 4).unwrap(),
+            &schedule,
+        );
+        check_adaptive_parity(WriteInvalidateCache::new(init_pair()).unwrap(), &schedule);
+    }
+
+    #[cases(16)]
+    /// The three tournament contenders match `run_online` exactly too.
+    fn contender_parity(schedule in arb_schedule()) {
+        check_adaptive_parity(CostOblivious::new(N, 2, init_pair(), 2).unwrap(), &schedule);
+        check_adaptive_parity(MobileMirror::new(N, 2, init_pair()).unwrap(), &schedule);
+        check_adaptive_parity(ClusteredAllocation::new(N, 2, init_pair()).unwrap(), &schedule);
+    }
+
+    #[cases(16)]
     /// The observability registry decomposes the same tallies: summing
     /// the per-(algo, node, op) cost counters reproduces the report's
-    /// CostVector exactly, for SA and DA alike. Chained with the parity
-    /// properties above, the registry therefore agrees with the analytic
-    /// cost engine too.
+    /// CostVector exactly, for every first-class allocator. Chained with
+    /// the parity properties above, the registry therefore agrees with
+    /// the analytic cost engine too.
     fn obs_registry_parity(schedule in arb_schedule()) {
-        for algo in ["sa", "da"] {
-            let mut sim = match algo {
-                "sa" => ProtocolSim::new_sa(N, ProcSet::from_iter([0, 1])).unwrap(),
-                _ => ProtocolSim::new_da(N, ProcSet::from_iter([0]), ProcessorId::new(1)).unwrap(),
-            };
+        for (algo, mut sim) in sim_roster() {
             let obs = sim.attach_obs(64);
             let report = sim.execute(&schedule).unwrap();
             sim.obs_flush();
@@ -125,6 +220,33 @@ doma_testkit::property! {
                 report.cost.io,
                 "{algo} io on {}", schedule
             );
+        }
+    }
+
+    #[cases(12)]
+    /// Differential floor: no online allocator may beat the exact offline
+    /// optimum built with its own threshold and initial scheme, under
+    /// either environment's pricing.
+    fn no_algorithm_beats_opt(schedule in arb_schedule()) {
+        let models = [
+            CostModel::stationary(0.25, 1.0).unwrap(),
+            CostModel::mobile(1.0, 4.0).unwrap(),
+        ];
+        for algo in &mut analytic_roster() {
+            algo.reset();
+            let name = algo.name().to_string();
+            let outcome = run_online(&mut **algo, &schedule).unwrap();
+            for model in &models {
+                let opt = OfflineOptimal::new(N, algo.t(), algo.initial_scheme(), *model).unwrap();
+                let opt_cost = opt.optimal_cost(&schedule).unwrap();
+                let algo_cost = outcome.costed.total_cost(model);
+                assert!(
+                    algo_cost + 1e-9 >= opt_cost,
+                    "{name} beat OPT under {:?} on {}: {algo_cost} < {opt_cost}",
+                    model.environment(),
+                    schedule
+                );
+            }
         }
     }
 }
