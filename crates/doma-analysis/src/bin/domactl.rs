@@ -15,6 +15,7 @@
 //!                  [--seed 0] [--read-fraction 0.8]
 //! domactl tournament [--n 6] [--len 40] [--seed 7] [--out BENCH_tournament.json]
 //!                  [--format table|json]
+//! domactl scenario <name|path|all|list> [--format table|json]
 //! ```
 //!
 //! Schedules use the paper's notation: whitespace-separated `r<i>` / `w<i>`
@@ -40,6 +41,9 @@ use std::time::Instant;
 #[derive(Debug, Default)]
 struct Opts {
     command: String,
+    /// One optional positional operand after the command (the scenario
+    /// name or path for `domactl scenario …`).
+    target: Option<String>,
     flags: BTreeMap<String, String>,
     verbose: bool,
 }
@@ -57,13 +61,15 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             opts.flags.insert(key.to_string(), value.clone());
         } else if opts.command.is_empty() {
             opts.command = arg.clone();
+        } else if opts.target.is_none() {
+            opts.target = Some(arg.clone());
         } else {
             return Err(format!("unexpected argument '{arg}'"));
         }
     }
     if opts.command.is_empty() {
         return Err(
-            "missing command (cost | stats | simulate | obs | generate | shard | tournament)"
+            "missing command (cost | stats | simulate | obs | generate | shard | tournament | scenario)"
                 .to_string(),
         );
     }
@@ -438,15 +444,88 @@ fn cmd_tournament(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs a declarative scenario (builtin by name, or a `.toml` file by
+/// path) through the protocol simulator with obs attached, audits its
+/// expected-invariant block, and prints the report. `scenario list`
+/// prints the builtin roster; `scenario all` replays every builtin and
+/// fails if any expectation (golden digest included) is violated.
+fn cmd_scenario(opts: &Opts) -> Result<(), String> {
+    let target = opts
+        .target
+        .clone()
+        .or_else(|| opts.flags.get("name").cloned())
+        .ok_or_else(|| {
+            format!(
+                "need a scenario: domactl scenario <name|path|all|list>\nbuiltins: {}",
+                doma_scenario::builtin::names().join(", ")
+            )
+        })?;
+    let format = opts.get("format", "table");
+    if !["table", "json"].contains(&format.as_str()) {
+        return Err(format!("--format must be table or json, got '{format}'"));
+    }
+    if target == "list" {
+        for name in doma_scenario::builtin::names() {
+            let s = doma_scenario::builtin::load(name).map_err(|e| format!("{name}: {e}"))?;
+            println!("{name:<22} {}", s.description);
+        }
+        return Ok(());
+    }
+    let scenarios: Vec<doma_scenario::Scenario> = if target == "all" {
+        doma_scenario::builtin::names()
+            .into_iter()
+            .map(|name| doma_scenario::builtin::load(name).map_err(|e| format!("{name}: {e}")))
+            .collect::<Result<_, _>>()?
+    } else if target.ends_with(".toml") || target.contains('/') {
+        let text =
+            std::fs::read_to_string(&target).map_err(|e| format!("cannot read {target}: {e}"))?;
+        vec![doma_scenario::Scenario::parse(&text).map_err(|e| format!("{target}: {e}"))?]
+    } else {
+        vec![doma_scenario::builtin::load(&target).map_err(|e| e.to_string())?]
+    };
+
+    let mut failed = Vec::new();
+    let mut json_rows = Vec::new();
+    for scenario in &scenarios {
+        let report = doma_scenario::run(scenario).map_err(|e| format!("{}: {e}", scenario.name))?;
+        match format.as_str() {
+            "json" => json_rows.push(report.render_json()),
+            _ => print!("{}", report.render_table()),
+        }
+        if !report.passed() {
+            failed.push(format!(
+                "{}: {}",
+                report.scenario,
+                report.violations.join("; ")
+            ));
+        }
+    }
+    if format == "json" {
+        println!("[\n  {}\n]", json_rows.join(",\n  "));
+    }
+    if !failed.is_empty() {
+        return Err(format!(
+            "scenario expectations failed:\n  {}",
+            failed.join("\n  ")
+        ));
+    }
+    Ok(())
+}
+
 fn usage() -> String {
-    "usage: domactl <cost|stats|simulate|obs|generate|shard|tournament> [--flags]\n\
-     try: domactl cost --schedule \"r1 r1 r2 w2 r2 r2 r2\" --cc 0.5 --cd 1.0"
+    "usage: domactl <cost|stats|simulate|obs|generate|shard|tournament|scenario> [--flags]\n\
+     try: domactl cost --schedule \"r1 r1 r2 w2 r2 r2 r2\" --cc 0.5 --cd 1.0\n\
+     try: domactl scenario list"
         .to_string()
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = parse_args(&args).and_then(|opts| match opts.command.as_str() {
+        cmd if cmd != "scenario" && opts.target.is_some() => Err(format!(
+            "unexpected argument '{}'",
+            opts.target.as_deref().unwrap_or_default()
+        )),
         "cost" => cmd_cost(&opts),
         "stats" => cmd_stats(&opts),
         "simulate" => cmd_simulate(&opts),
@@ -454,6 +533,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&opts),
         "shard" => cmd_shard(&opts),
         "tournament" => cmd_tournament(&opts),
+        "scenario" => cmd_scenario(&opts),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     });
     match result {
@@ -487,7 +567,10 @@ mod tests {
     fn parser_rejects_malformed_input() {
         assert!(parse_args(&args(&[])).is_err());
         assert!(parse_args(&args(&["cost", "--cc"])).is_err());
-        assert!(parse_args(&args(&["cost", "stray"])).is_err());
+        // One extra positional is the scenario operand; two is an error.
+        let o = parse_args(&args(&["scenario", "flash-crowd"])).unwrap();
+        assert_eq!(o.target.as_deref(), Some("flash-crowd"));
+        assert!(parse_args(&args(&["cost", "stray", "stray2"])).is_err());
         let o = parse_args(&args(&["cost", "--cc", "abc"])).unwrap();
         assert!(o.get_f64("cc", 0.0).is_err());
     }
@@ -593,6 +676,21 @@ mod tests {
         ]))
         .unwrap();
         assert!(cmd_tournament(&o).is_err());
+    }
+
+    #[test]
+    fn scenario_lists_and_runs_builtins() {
+        let o = parse_args(&args(&["scenario", "list"])).unwrap();
+        cmd_scenario(&o).unwrap();
+        let o = parse_args(&args(&["scenario"])).unwrap();
+        let e = cmd_scenario(&o).unwrap_err();
+        assert!(e.contains("builtins:"), "{e}");
+        let o = parse_args(&args(&["scenario", "flash-crowd", "--format", "yaml"])).unwrap();
+        assert!(cmd_scenario(&o).unwrap_err().contains("--format"));
+        let o = parse_args(&args(&["scenario", "no-such-scenario"])).unwrap();
+        assert!(cmd_scenario(&o).unwrap_err().contains("unknown builtin"));
+        let o = parse_args(&args(&["scenario", "/no/such/file.toml"])).unwrap();
+        assert!(cmd_scenario(&o).unwrap_err().contains("cannot read"));
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //!   sources (CLI binaries under `src/bin` are exempt),
 //! * `lint-headers` over every crate's `lib.rs`,
 //! * `thread-containment` over every crate's `src/`, `benches/` and
-//!   `tests/` — `std::thread` only in the approved fan-out modules.
+//!   `tests/` — `std::thread` only in the approved fan-out modules,
+//! * `scenario-digest` over `doma-scenario/scenarios/*.toml` — every
+//!   builtin scenario parses as TOML-subset and pins a golden digest.
 //!
 //! ```text
 //! doma-lint [WORKSPACE_ROOT]
@@ -17,7 +19,7 @@
 
 use doma_lint::{
     check_dispatch_exhaustive, check_lint_headers, check_no_adhoc_prints, check_no_panics,
-    check_thread_containment, mask_cfg_test, mask_source,
+    check_scenario_file, check_thread_containment, mask_cfg_test, mask_source,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -129,6 +131,29 @@ fn main() -> ExitCode {
                 .any(|c| c.as_os_str() == "bin" || c.as_os_str() == "tests");
             if no_print && !in_bin {
                 findings.extend(check_no_adhoc_prints(&label, &masked));
+            }
+        }
+        if name == "doma-scenario" {
+            let mut scenario_files: Vec<_> = std::fs::read_dir(dir.join("scenarios"))
+                .map(|entries| {
+                    entries
+                        .flatten()
+                        .map(|e| e.path())
+                        .filter(|p| p.extension().is_some_and(|e| e == "toml"))
+                        .collect()
+                })
+                .unwrap_or_default();
+            scenario_files.sort();
+            if scenario_files.is_empty() {
+                eprintln!("doma-lint: no builtin scenarios under {}", dir.display());
+                return ExitCode::from(2);
+            }
+            for file in &scenario_files {
+                let Ok(src) = std::fs::read_to_string(file) else {
+                    continue;
+                };
+                files_checked += 1;
+                findings.extend(check_scenario_file(&rel(&root, file), &src));
             }
         }
     }

@@ -402,6 +402,88 @@ pub fn check_thread_containment(file: &str, masked: &str) -> Vec<Finding> {
     out
 }
 
+/// The `scenario-digest` rule: every builtin scenario file must be
+/// syntactically well-formed TOML-subset (each non-blank line a
+/// `[section]` / `[[section]]` header or a `key = value` entry) and must
+/// pin a golden obs digest — a `[golden]` section whose `digest` entry is
+/// `"0x"` + 16 hex digits. A builtin without a pin is a hole in the
+/// golden-trace conformance wall: `cargo test` would replay it without
+/// anything to compare against. (This check is deliberately text-level —
+/// `doma-lint` stays dependency-free; the real parser and digest replay
+/// run in `doma-scenario`'s own tests and the verify gate.)
+pub fn check_scenario_file(file: &str, src: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut in_golden = false;
+    let mut digest_line: Option<(usize, String)> = None;
+    for (idx, raw) in src.lines().enumerate() {
+        // Strip a `#` comment, ignoring `#` inside double quotes.
+        let mut in_str = false;
+        let mut escaped = false;
+        let mut body = raw;
+        for (pos, c) in raw.char_indices() {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' if in_str => escaped = true,
+                '"' => in_str = !in_str,
+                '#' if !in_str => {
+                    body = &raw[..pos];
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let line = body.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(section) = line
+            .strip_prefix("[[")
+            .and_then(|r| r.strip_suffix("]]"))
+            .or_else(|| line.strip_prefix('[').and_then(|r| r.strip_suffix(']')))
+        {
+            in_golden = section.trim() == "golden";
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            out.push(Finding {
+                file: file.to_string(),
+                line: idx + 1,
+                rule: "scenario-digest",
+                message: format!("not a section header or `key = value` entry: `{line}`"),
+            });
+            continue;
+        };
+        if in_golden && key.trim() == "digest" {
+            digest_line = Some((idx + 1, value.trim().to_string()));
+        }
+    }
+    match digest_line {
+        None => out.push(Finding {
+            file: file.to_string(),
+            line: 1,
+            rule: "scenario-digest",
+            message: "no `[golden]` digest pinned — every builtin scenario must name its \
+                      golden obs digest"
+                .to_string(),
+        }),
+        Some((line, value)) => {
+            let hex = value
+                .strip_prefix("\"0x")
+                .and_then(|r| r.strip_suffix('"'))
+                .unwrap_or("");
+            if hex.len() != 16 || !hex.chars().all(|c| c.is_ascii_hexdigit()) {
+                out.push(Finding {
+                    file: file.to_string(),
+                    line,
+                    rule: "scenario-digest",
+                    message: format!("golden digest must be \"0x\" + 16 hex digits, got {value}"),
+                });
+            }
+        }
+    }
+    out
+}
+
 /// The `lint-headers` rule: every crate root must opt into the
 /// workspace's documentation and idiom lints.
 pub fn check_lint_headers(file: &str, src: &str) -> Vec<Finding> {
@@ -563,6 +645,43 @@ let s = \"std::thread in a string too\";
         assert_eq!(findings[0].line, 3);
         assert_eq!(findings[1].line, 4);
         assert!(findings.iter().all(|f| f.rule == "thread-containment"));
+    }
+
+    #[test]
+    fn scenario_digest_accepts_a_pinned_builtin() {
+        let src = "# a builtin\n[scenario]\nname = \"demo\" # trailing comment\n\
+                   [[phase]]\nname = \"p\"\n\
+                   [golden]\ndigest = \"0x0123456789abcdef\"\n";
+        assert!(check_scenario_file("s.toml", src).is_empty());
+    }
+
+    #[test]
+    fn scenario_digest_flags_missing_and_malformed_pins() {
+        let missing = "[scenario]\nname = \"demo\"\n";
+        let findings = check_scenario_file("s.toml", missing);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("no `[golden]` digest"));
+        assert_eq!(findings[0].rule, "scenario-digest");
+
+        let short = "[golden]\ndigest = \"0x1234\"\n";
+        let findings = check_scenario_file("s.toml", short);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 2);
+        assert!(findings[0].message.contains("16 hex digits"));
+
+        // A digest outside [golden] does not count as a pin.
+        let elsewhere = "[scenario]\ndigest = \"0x0123456789abcdef\"\n";
+        assert_eq!(check_scenario_file("s.toml", elsewhere).len(), 1);
+
+        let junk = "[golden]\nthis is not an entry\ndigest = \"0x0123456789abcdef\"\n";
+        let findings = check_scenario_file("s.toml", junk);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 2);
+        assert!(findings[0].message.contains("not a section header"));
+
+        // `#` inside a string is content, not a comment delimiter.
+        let hash = "[golden]\ndigest = \"0x0123456789abcdef\"\nnote = \"a # b\"\n";
+        assert!(check_scenario_file("s.toml", hash).is_empty());
     }
 
     #[test]

@@ -1,0 +1,434 @@
+//! A zero-dependency TOML-subset parser with line-numbered errors.
+//!
+//! The subset covers exactly what scenario files need and nothing more:
+//!
+//! * `# comment` lines and trailing comments,
+//! * `[section]` tables and `[[section]]` array-of-table headers,
+//! * `key = value` pairs inside a section (bare keys:
+//!   `[A-Za-z0-9_-]+`),
+//! * values: double-quoted strings (`\"` `\\` `\n` `\t` escapes),
+//!   integers, floats, booleans and single-line arrays of scalars.
+//!
+//! Everything is positional: every table and entry remembers its
+//! 1-indexed source line so validation errors point at the offending
+//! line, not just the offending key.
+
+use crate::ScenarioError;
+
+/// A parsed scalar or array value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A double-quoted string, unescaped.
+    Str(String),
+    /// A decimal integer (`i128` so the full `u64` seed range survives
+    /// a serialize → parse round-trip).
+    Int(i128),
+    /// A float (any number containing `.`, `e` or `E`).
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A single-line array of scalar values.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// A short label for error messages ("string", "integer", …).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+        }
+    }
+}
+
+/// One `key = value` entry with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// The bare key.
+    pub key: String,
+    /// The parsed value.
+    pub value: Value,
+    /// 1-indexed source line of the entry.
+    pub line: usize,
+}
+
+/// One `[section]` or `[[section]]` table in file order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// The header name (without brackets).
+    pub name: String,
+    /// Whether the header was the `[[name]]` array-of-tables form.
+    pub is_array: bool,
+    /// 1-indexed source line of the header.
+    pub line: usize,
+    /// The table's entries, in file order.
+    pub entries: Vec<Entry>,
+}
+
+impl Table {
+    /// Looks up an entry by key.
+    pub fn get(&self, key: &str) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+}
+
+/// A parsed document: the file's tables in order of appearance.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Doc {
+    /// All tables, in file order (array-of-table headers repeat).
+    pub tables: Vec<Table>,
+}
+
+impl Doc {
+    /// The first table with this name, if any.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Every table with this name, in file order.
+    pub fn tables_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Table> {
+        self.tables.iter().filter(move |t| t.name == name)
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> ScenarioError {
+    ScenarioError::at(line, message)
+}
+
+fn is_bare_key(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// Strips a trailing comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses one scalar/array value; `rest` must be fully consumed.
+fn parse_value(text: &str, line: usize) -> Result<Value, ScenarioError> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err(err(line, "missing value after '='"));
+    }
+    if let Some(body) = text.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| err(line, "unterminated array (expected ']')"))?;
+        let mut items = Vec::new();
+        for piece in split_array_items(body, line)? {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            let item = parse_value(piece, line)?;
+            if matches!(item, Value::Array(_)) {
+                return Err(err(line, "nested arrays are not supported"));
+            }
+            items.push(item);
+        }
+        return Ok(Value::Array(items));
+    }
+    if text.starts_with('"') {
+        return parse_string(text, line).map(Value::Str);
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let numeric = text
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+' || c == '.');
+    if numeric && text.contains(['.', 'e', 'E']) {
+        return text
+            .parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite())
+            .map(Value::Float)
+            .ok_or_else(|| err(line, format!("bad float '{text}'")));
+    }
+    if numeric {
+        return text
+            .parse::<i128>()
+            .ok()
+            .filter(|v| i64::try_from(*v).is_ok() || u64::try_from(*v).is_ok())
+            .map(Value::Int)
+            .ok_or_else(|| err(line, format!("bad integer '{text}'")));
+    }
+    Err(err(
+        line,
+        format!("bad value '{text}' (expected string, number, boolean or array)"),
+    ))
+}
+
+/// Splits an array body on commas that sit outside string literals.
+fn split_array_items(body: &str, line: usize) -> Result<Vec<&str>, ScenarioError> {
+    let mut items = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                items.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if in_str {
+        return Err(err(line, "unterminated string in array"));
+    }
+    items.push(&body[start..]);
+    Ok(items)
+}
+
+/// Unescapes a double-quoted string literal.
+fn parse_string(text: &str, line: usize) -> Result<String, ScenarioError> {
+    let body = text
+        .strip_prefix('"')
+        .ok_or_else(|| err(line, "expected '\"'"))?;
+    let mut out = String::new();
+    let mut chars = body.chars();
+    loop {
+        match chars.next() {
+            None => return Err(err(line, "unterminated string")),
+            Some('"') => break,
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => {
+                    return Err(err(line, format!("unsupported escape '\\{other}'")));
+                }
+                None => return Err(err(line, "unterminated escape")),
+            },
+            Some(c) => out.push(c),
+        }
+    }
+    let rest: String = chars.collect();
+    if !rest.trim().is_empty() {
+        return Err(err(
+            line,
+            format!("trailing garbage after string: '{}'", rest.trim()),
+        ));
+    }
+    Ok(out)
+}
+
+/// Escapes a string for serialization; the inverse of [`parse_string`].
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parses a whole document. Keys are only legal inside a section; every
+/// error carries the 1-indexed source line.
+pub fn parse(src: &str) -> Result<Doc, ScenarioError> {
+    let mut doc = Doc::default();
+    for (i, raw) in src.lines().enumerate() {
+        let line = i + 1;
+        let text = strip_comment(raw).trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(header) = text.strip_prefix("[[") {
+            let name = header
+                .strip_suffix("]]")
+                .map(str::trim)
+                .ok_or_else(|| err(line, "malformed table header (expected ']]')"))?;
+            if !is_bare_key(name) {
+                return Err(err(line, format!("bad table name '{name}'")));
+            }
+            doc.tables.push(Table {
+                name: name.to_string(),
+                is_array: true,
+                line,
+                entries: Vec::new(),
+            });
+            continue;
+        }
+        if let Some(header) = text.strip_prefix('[') {
+            let name = header
+                .strip_suffix(']')
+                .map(str::trim)
+                .ok_or_else(|| err(line, "malformed table header (expected ']')"))?;
+            if !is_bare_key(name) {
+                return Err(err(line, format!("bad table name '{name}'")));
+            }
+            if doc.tables.iter().any(|t| t.name == name && !t.is_array) {
+                return Err(err(line, format!("duplicate table [{name}]")));
+            }
+            doc.tables.push(Table {
+                name: name.to_string(),
+                is_array: false,
+                line,
+                entries: Vec::new(),
+            });
+            continue;
+        }
+        let (key, value) = text
+            .split_once('=')
+            .ok_or_else(|| err(line, format!("expected 'key = value', got '{text}'")))?;
+        let key = key.trim();
+        if !is_bare_key(key) {
+            return Err(err(line, format!("bad key '{key}'")));
+        }
+        let value = parse_value(value, line)?;
+        let table = doc
+            .tables
+            .last_mut()
+            .ok_or_else(|| err(line, format!("key '{key}' outside of a [section]")))?;
+        if table.entries.iter().any(|e| e.key == key) {
+            return Err(err(line, format!("duplicate key '{key}'")));
+        }
+        table.entries.push(Entry {
+            key: key.to_string(),
+            value,
+            line,
+        });
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_keys_and_scalars() {
+        let doc = parse(
+            "# header comment\n\
+             [scenario]\n\
+             name = \"demo\" # trailing\n\
+             n = 6\n\
+             cc = 0.25\n\
+             flag = true\n\
+             [model]\n\
+             window = [10, 50]\n",
+        )
+        .unwrap();
+        assert_eq!(doc.tables.len(), 2);
+        let s = doc.table("scenario").unwrap();
+        assert_eq!(s.get("name").unwrap().value, Value::Str("demo".into()));
+        assert_eq!(s.get("n").unwrap().value, Value::Int(6));
+        assert_eq!(s.get("cc").unwrap().value, Value::Float(0.25));
+        assert_eq!(s.get("flag").unwrap().value, Value::Bool(true));
+        assert_eq!(s.get("name").unwrap().line, 3);
+        let m = doc.table("model").unwrap();
+        assert_eq!(
+            m.get("window").unwrap().value,
+            Value::Array(vec![Value::Int(10), Value::Int(50)])
+        );
+    }
+
+    #[test]
+    fn integers_cover_the_full_u64_and_i64_ranges() {
+        let doc = parse("[t]\nbig = 18446744073709551615\nneg = -9223372036854775808\n").unwrap();
+        let t = doc.table("t").unwrap();
+        assert_eq!(t.get("big").unwrap().value, Value::Int(u64::MAX as i128));
+        assert_eq!(t.get("neg").unwrap().value, Value::Int(i64::MIN as i128));
+        // One past either end is rejected, as is anything unparseable.
+        assert!(parse("[t]\nx = 18446744073709551616\n").is_err());
+        assert!(parse("[t]\nx = -9223372036854775809\n").is_err());
+    }
+
+    #[test]
+    fn array_of_tables_repeat_in_order() {
+        let doc = parse("[[phase]]\na = 1\n[[phase]]\na = 2\n").unwrap();
+        let phases: Vec<_> = doc.tables_named("phase").collect();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].get("a").unwrap().value, Value::Int(1));
+        assert_eq!(phases[1].get("a").unwrap().value, Value::Int(2));
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "line1\nline2\t\"quoted\" back\\slash";
+        let doc = parse(&format!("[t]\ns = {}\n", escape(original))).unwrap();
+        assert_eq!(
+            doc.table("t").unwrap().get("s").unwrap().value,
+            Value::Str(original.to_string())
+        );
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let doc = parse("[t]\ns = \"a # b\"\n").unwrap();
+        assert_eq!(
+            doc.table("t").unwrap().get("s").unwrap().value,
+            Value::Str("a # b".into())
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("[t]\nx == 1\n", 2, "bad value"),
+            ("x = 1\n", 1, "outside of a [section]"),
+            ("[t\n", 1, "malformed table header"),
+            ("[[t]\n", 1, "malformed table header"),
+            ("[t]\nx = \"abc\n", 2, "unterminated string"),
+            ("[t]\nx = [1, 2\n", 2, "unterminated array"),
+            ("[t]\nx = 1\nx = 2\n", 3, "duplicate key"),
+            ("[t]\n[t]\n", 2, "duplicate table"),
+            ("[t]\nx = zebra\n", 2, "bad value"),
+            ("[t]\nx = 1.x\n", 2, "bad float"),
+            ("[t]\nx = [[1]]\n", 2, "nested arrays"),
+            ("[t]\nx =\n", 2, "missing value"),
+            ("[t]\nx = \"a\\q\"\n", 2, "unsupported escape"),
+            ("[t]\nx = \"a\" junk\n", 2, "trailing garbage"),
+        ];
+        for (src, line, needle) in cases {
+            let e = parse(src).unwrap_err();
+            assert_eq!(e.line, Some(*line), "{src:?}: {e}");
+            assert!(e.to_string().contains(needle), "{src:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn floats_with_exponents_parse() {
+        let doc = parse("[t]\na = 1e3\nb = 2.5E-1\n").unwrap();
+        let t = doc.table("t").unwrap();
+        assert_eq!(t.get("a").unwrap().value, Value::Float(1000.0));
+        assert_eq!(t.get("b").unwrap().value, Value::Float(0.25));
+    }
+}

@@ -1,0 +1,63 @@
+//! The golden-trace conformance wall (tentpole of the scenario-engine
+//! PR): every builtin scenario replays deterministically, satisfies its
+//! own expected-invariant block, and produces an obs snapshot whose
+//! FNV-1a digest matches the `[golden]` value pinned in its file.
+//!
+//! A digest mismatch here means observable protocol behaviour changed.
+//! If the change is intentional, re-pin with
+//! `domactl scenario all --format json` and update the scenario files;
+//! if not, it is a regression this wall exists to catch.
+
+use doma_scenario::{builtin, run};
+
+#[test]
+fn every_builtin_scenario_passes_its_own_expectations() {
+    let mut failures = Vec::new();
+    for name in builtin::names() {
+        let scenario = builtin::load(name).expect("builtin parses");
+        let report = run(&scenario).expect("builtin runs");
+        if !report.passed() {
+            failures.push(format!("{name}: {:?}", report.violations));
+        }
+    }
+    assert!(failures.is_empty(), "scenario wall broke:\n{failures:#?}");
+}
+
+#[test]
+fn every_builtin_digest_matches_the_pinned_golden_value() {
+    for name in builtin::names() {
+        let scenario = builtin::load(name).expect("builtin parses");
+        let golden = scenario.golden.clone().expect("builtin pins a digest");
+        let report = run(&scenario).expect("builtin runs");
+        assert_eq!(
+            report.digest, golden,
+            "digest drift in builtin scenario {name}"
+        );
+    }
+}
+
+#[test]
+fn replays_are_byte_identical() {
+    for name in builtin::names() {
+        let scenario = builtin::load(name).expect("builtin parses");
+        let a = run(&scenario).expect("first run");
+        let b = run(&scenario).expect("second run");
+        assert_eq!(
+            a.snapshot_json, b.snapshot_json,
+            "obs snapshot not byte-stable for {name}"
+        );
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.render_json(), b.render_json());
+    }
+}
+
+#[test]
+fn builtin_sources_round_trip_through_the_serializer() {
+    for name in builtin::names() {
+        let scenario = builtin::load(name).expect("builtin parses");
+        let reparsed = doma_scenario::Scenario::parse(&scenario.to_toml())
+            .unwrap_or_else(|e| panic!("{name} serializer output rejected: {e}"));
+        assert_eq!(scenario, reparsed, "round-trip drift for {name}");
+    }
+}

@@ -25,6 +25,11 @@ pub fn read_trace<R: Read>(reader: R) -> Result<Schedule> {
         }
         let _ = lineno;
     }
+    if tokens.trim().is_empty() {
+        return Err(DomaError::InvalidConfig(
+            "trace contains no requests".into(),
+        ));
+    }
     tokens
         .parse::<Schedule>()
         .map_err(|e| DomaError::InvalidConfig(format!("bad trace: {e}")))
@@ -101,7 +106,29 @@ mod tests {
 
     #[test]
     fn bad_tokens_are_reported() {
-        assert!(read_trace("r1 xyz".as_bytes()).is_err());
+        let err = read_trace("r1 xyz".as_bytes()).unwrap_err().to_string();
+        assert!(err.contains("bad trace"), "{err}");
+        let err = read_trace("q7".as_bytes()).unwrap_err().to_string();
+        assert!(err.contains("bad trace"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_processor_is_reported() {
+        let err = read_trace("r99".as_bytes()).unwrap_err().to_string();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn empty_trace_is_an_error() {
+        let err = read_trace("".as_bytes()).unwrap_err().to_string();
+        assert!(err.contains("no requests"), "{err}");
+    }
+
+    #[test]
+    fn comment_only_trace_is_an_error() {
+        let text = "# only commentary\n\n   # and blanks\n";
+        let err = read_trace(text.as_bytes()).unwrap_err().to_string();
+        assert!(err.contains("no requests"), "{err}");
     }
 
     #[test]

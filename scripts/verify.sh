@@ -117,6 +117,35 @@ for key in '"group": "tournament"' '"algo": "sa"' '"algo": "da"' '"algo": "conve
 done
 
 # ---------------------------------------------------------------------------
+# Scenario wall: every builtin scenario runs end to end through the
+# protocol sim with obs attached; `domactl scenario` exits non-zero if any
+# expected-invariant block (cost vs OPT, t-availability, churn ceilings,
+# obs parity, golden digest) is violated, and the exported JSON — obs
+# snapshot included — must be byte-identical across two invocations: the
+# golden-trace determinism contract, checked end to end through the CLI.
+# ---------------------------------------------------------------------------
+if ! ./target/release/domactl scenario all --format json > "$obs_dir/scen1.json"; then
+    echo "verify: FAILED (a builtin scenario violated its expected-invariant block)" >&2
+    exit 1
+fi
+./target/release/domactl scenario all --format json > "$obs_dir/scen2.json"
+if ! cmp -s "$obs_dir/scen1.json" "$obs_dir/scen2.json"; then
+    echo "verify: FAILED (domactl scenario JSON differs across identical runs)" >&2
+    exit 1
+fi
+for key in '"scenario": "append-only-6-2"' '"scenario": "trace-replay"' \
+    '"scenario": "mobile-handoff"' '"passed": true' '"digest": "0x'; do
+    if ! grep -qF "$key" "$obs_dir/scen1.json"; then
+        echo "verify: FAILED (domactl scenario JSON missing $key)" >&2
+        exit 1
+    fi
+done
+if grep -qF '"passed": false' "$obs_dir/scen1.json"; then
+    echo "verify: FAILED (a builtin scenario reported passed: false)" >&2
+    exit 1
+fi
+
+# ---------------------------------------------------------------------------
 # Exhaustive small-bound model check: every built-in doma-check scenario
 # (3–5 processors, up to 6 requests) must be explored to completion with
 # zero violations. Exit 1 = counterexample (the tool prints the replayable

@@ -18,7 +18,9 @@
 //! * [`workload`] — schedule generators;
 //! * [`analysis`] — competitive-ratio harness, region maps, reports;
 //! * [`fault`] — fault-injection torture harness with invariant checking
-//!   and seed replay.
+//!   and seed replay;
+//! * [`scenario`] — declarative scenario configs, the builtin scenario
+//!   library and the golden-trace conformance runner.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -29,6 +31,7 @@ pub use doma_analysis as analysis;
 pub use doma_core as core;
 pub use doma_fault as fault;
 pub use doma_protocol as protocol;
+pub use doma_scenario as scenario;
 pub use doma_sim as sim;
 pub use doma_storage as storage;
 pub use doma_workload as workload;
