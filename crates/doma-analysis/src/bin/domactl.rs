@@ -16,6 +16,7 @@
 //! domactl tournament [--n 6] [--len 40] [--seed 7] [--out BENCH_tournament.json]
 //!                  [--format table|json]
 //! domactl scenario <name|path|all|list> [--format table|json]
+//! domactl lint     [--root PATH] [--format table|json] [--rule <id>]
 //! ```
 //!
 //! Schedules use the paper's notation: whitespace-separated `r<i>` / `w<i>`
@@ -512,10 +513,33 @@ fn cmd_scenario(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// `domactl lint [--root PATH] [--format table|json] [--rule <id>]` —
+/// the static-analysis wall, runnable outside verify.sh. Exits nonzero
+/// on any finding (after `--rule` filtering), so scripts can gate on it.
+fn cmd_lint(opts: &Opts) -> Result<(), String> {
+    let root = opts.get("root", ".");
+    let ws = doma_lint::load_workspace(std::path::Path::new(&root))?;
+    let mut report = doma_lint::run(&ws)?;
+    if let Some(rule) = opts.flags.get("rule") {
+        report.findings.retain(|f| f.rule == rule);
+    }
+    match opts.get("format", "table").as_str() {
+        "json" => print!("{}", doma_lint::render_json(&report)),
+        "table" => print!("{}", doma_lint::render_table(&report)),
+        other => return Err(format!("--format must be table or json, got '{other}'")),
+    }
+    if report.findings.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} lint finding(s)", report.findings.len()))
+    }
+}
+
 fn usage() -> String {
-    "usage: domactl <cost|stats|simulate|obs|generate|shard|tournament|scenario> [--flags]\n\
+    "usage: domactl <cost|stats|simulate|obs|generate|shard|tournament|scenario|lint> [--flags]\n\
      try: domactl cost --schedule \"r1 r1 r2 w2 r2 r2 r2\" --cc 0.5 --cd 1.0\n\
-     try: domactl scenario list"
+     try: domactl scenario list\n\
+     try: domactl lint --format json"
         .to_string()
 }
 
@@ -534,6 +558,7 @@ fn main() -> ExitCode {
         "shard" => cmd_shard(&opts),
         "tournament" => cmd_tournament(&opts),
         "scenario" => cmd_scenario(&opts),
+        "lint" => cmd_lint(&opts),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     });
     match result {

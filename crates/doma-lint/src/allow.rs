@@ -1,0 +1,166 @@
+//! The checked-in allowlist for sanctioned rule exceptions.
+//!
+//! Format (`lint-allow.list` at the workspace root): one entry per line,
+//! `#` comments and blank lines ignored. An entry is
+//!
+//! ```text
+//! <rule-id> <file-path> [message substring…]
+//! ```
+//!
+//! split on whitespace; everything after the file path is a single
+//! needle matched against the finding's message (empty needle matches
+//! any message). An entry suppresses every finding it matches. An entry
+//! that matches *no* finding is itself an error — a stale suppression
+//! hides a rule that silently stopped firing — surfaced as a
+//! `stale-allowlist` finding at the entry's line.
+
+use crate::Finding;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// 1-indexed line in the allowlist file (for stale reporting).
+    pub line: usize,
+    /// The rule id the entry suppresses.
+    pub rule: String,
+    /// The workspace-relative file the entry applies to.
+    pub file: String,
+    /// Substring the finding's message must contain (empty = any).
+    pub needle: String,
+}
+
+impl AllowEntry {
+    fn matches(&self, f: &Finding) -> bool {
+        f.rule == self.rule && f.file == self.file && f.message.contains(&self.needle)
+    }
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parses the allowlist text. Malformed lines (fewer than two
+    /// fields) are errors: a typo'd suppression must not silently
+    /// suppress nothing.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            let (Some(rule), Some(file)) = (fields.next(), fields.next()) else {
+                return Err(format!(
+                    "lint-allow.list:{}: entry needs `<rule> <file> [needle…]`, got `{line}`",
+                    idx + 1
+                ));
+            };
+            entries.push(AllowEntry {
+                line: idx + 1,
+                rule: rule.to_string(),
+                file: file.to_string(),
+                needle: fields.collect::<Vec<_>>().join(" "),
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Applies the allowlist: returns the findings that survive, with a
+    /// `stale-allowlist` finding appended for every entry that matched
+    /// nothing.
+    pub fn apply(&self, findings: Vec<Finding>, list_file: &str) -> Vec<Finding> {
+        let mut used = vec![false; self.entries.len()];
+        let mut kept = Vec::with_capacity(findings.len());
+        for f in findings {
+            let mut suppressed = false;
+            for (i, e) in self.entries.iter().enumerate() {
+                if e.matches(&f) {
+                    used[i] = true;
+                    suppressed = true;
+                }
+            }
+            if !suppressed {
+                kept.push(f);
+            }
+        }
+        for (e, used) in self.entries.iter().zip(used) {
+            if !used {
+                kept.push(Finding {
+                    file: list_file.to_string(),
+                    line: e.line,
+                    col: 1,
+                    rule: "stale-allowlist",
+                    message: format!(
+                        "entry `{} {}{}{}` matches no finding — the sanctioned \
+                         exception is gone; remove the entry",
+                        e.rule,
+                        e.file,
+                        if e.needle.is_empty() { "" } else { " " },
+                        e.needle
+                    ),
+                });
+            }
+        }
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, msg: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line: 3,
+            col: 7,
+            rule,
+            message: msg.to_string(),
+        }
+    }
+
+    #[test]
+    fn entries_suppress_and_stale_entries_are_findings() {
+        let list = Allowlist::parse(
+            "# comment\n\
+             determinism crates/x/src/a.rs env::var\n\
+             no-panic crates/x/src/b.rs\n",
+        )
+        .expect("parses");
+        let out = list.apply(
+            vec![
+                finding(
+                    "determinism",
+                    "crates/x/src/a.rs",
+                    "[env-branch] `env::var` …",
+                ),
+                finding(
+                    "determinism",
+                    "crates/x/src/a.rs",
+                    "[hash-iteration] `HashMap`",
+                ),
+            ],
+            "lint-allow.list",
+        );
+        // env::var suppressed; HashMap kept; no-panic entry stale.
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().any(|f| f.message.contains("hash-iteration")));
+        let stale = out
+            .iter()
+            .find(|f| f.rule == "stale-allowlist")
+            .expect("stale");
+        assert_eq!(stale.file, "lint-allow.list");
+        assert_eq!(stale.line, 3);
+    }
+
+    #[test]
+    fn malformed_entries_are_rejected() {
+        assert!(Allowlist::parse("just-one-field\n").is_err());
+        assert!(Allowlist::parse("").expect("empty ok").entries.is_empty());
+    }
+}

@@ -1,172 +1,38 @@
-//! Walks the workspace's `crates/` tree and applies the lint wall:
-//!
-//! * `no-panic` over `doma-algorithms`, `doma-protocol` and `doma-sim`
-//!   non-test sources,
-//! * `exhaustive-dispatch` over `doma-protocol`,
-//! * `no-adhoc-print` over the instrumented crates' non-test, non-bin
-//!   sources (CLI binaries under `src/bin` are exempt),
-//! * `lint-headers` over every crate's `lib.rs`,
-//! * `thread-containment` over every crate's `src/`, `benches/` and
-//!   `tests/` — `std::thread` only in the approved fan-out modules,
-//! * `scenario-digest` over `doma-scenario/scenarios/*.toml` — every
-//!   builtin scenario parses as TOML-subset and pins a golden digest.
+//! Thin CLI over the lint engine (see `domactl lint` for the full
+//! front-end with `--format`/`--rule` filters):
 //!
 //! ```text
 //! doma-lint [WORKSPACE_ROOT]
 //! ```
 //!
-//! Exit codes: 0 clean, 1 findings, 2 bad invocation.
+//! Loads the workspace, runs the whole rule catalog (allowlist
+//! applied), prints the table rendering, and exits 0 when clean,
+//! 1 on findings, 2 on bad invocation.
 
-use doma_lint::{
-    check_dispatch_exhaustive, check_lint_headers, check_no_adhoc_prints, check_no_panics,
-    check_scenario_file, check_thread_containment, mask_cfg_test, mask_source,
-};
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
-
-/// Crates whose non-test code must never panic. `doma-algorithms` joined
-/// when its baselines were promoted to first-class tournament entrants:
-/// every allocator on the roster now runs inside the protocol sim as a
-/// plan oracle, so a panic there takes the whole cluster down.
-const NO_PANIC_CRATES: &[&str] = &["doma-algorithms", "doma-protocol", "doma-sim"];
-/// Crates whose message dispatch must name every variant.
-const DISPATCH_CRATES: &[&str] = &["doma-protocol"];
-/// Instrumented crates whose library code must not print ad hoc: output
-/// flows through the `doma-obs` event log / metric registry (or the
-/// sanctioned `console::debug_line` choke point).
-const NO_PRINT_CRATES: &[&str] = &[
-    "doma-obs",
-    "doma-sim",
-    "doma-protocol",
-    "doma-fault",
-    "doma-check",
-];
-/// The only modules allowed to touch `std::thread`: the audited fan-out
-/// points. Everything else — every crate, benches and tests included —
-/// must stay single-threaded or route through `doma_sim::shard`.
-const THREAD_MODULES: &[&str] = &[
-    "doma-analysis/src/sweep.rs",
-    "doma-sim/src/shard.rs",
-    "doma-fault/src/torture.rs",
-];
-
-fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    let mut paths: Vec<_> = entries.flatten().map(|e| e.path()).collect();
-    paths.sort();
-    for path in paths {
-        if path.is_dir() {
-            rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-fn rel(root: &Path, path: &Path) -> String {
-    path.strip_prefix(root)
-        .unwrap_or(path)
-        .display()
-        .to_string()
-}
 
 fn main() -> ExitCode {
     let root = std::env::args()
         .nth(1)
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."));
-    let crates = root.join("crates");
-    let Ok(entries) = std::fs::read_dir(&crates) else {
-        eprintln!("doma-lint: no crates/ under {}", root.display());
-        return ExitCode::from(2);
+    let ws = match doma_lint::load_workspace(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("doma-lint: {e}");
+            return ExitCode::from(2);
+        }
     };
-    let mut crate_dirs: Vec<_> = entries
-        .flatten()
-        .map(|e| e.path())
-        .filter(|p| p.is_dir())
-        .collect();
-    crate_dirs.sort();
-
-    let mut findings = Vec::new();
-    let mut files_checked = 0usize;
-    for dir in &crate_dirs {
-        let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or("");
-        let lib = dir.join("src").join("lib.rs");
-        if let Ok(src) = std::fs::read_to_string(&lib) {
-            files_checked += 1;
-            findings.extend(check_lint_headers(&rel(&root, &lib), &src));
+    let report = match doma_lint::run(&ws) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("doma-lint: {e}");
+            return ExitCode::from(2);
         }
-        let no_panic = NO_PANIC_CRATES.contains(&name);
-        let dispatch = DISPATCH_CRATES.contains(&name);
-        let no_print = NO_PRINT_CRATES.contains(&name);
-        let mut files = Vec::new();
-        for sub in ["src", "benches", "tests"] {
-            rs_files(&dir.join(sub), &mut files);
-        }
-        for file in &files {
-            let Ok(src) = std::fs::read_to_string(file) else {
-                continue;
-            };
-            files_checked += 1;
-            let label = rel(&root, file);
-            let in_src = file.starts_with(dir.join("src"));
-            let masked_raw = mask_source(&src);
-            if !THREAD_MODULES.iter().any(|m| label.ends_with(m)) {
-                findings.extend(check_thread_containment(&label, &masked_raw));
-            }
-            if !in_src {
-                continue;
-            }
-            let masked = mask_cfg_test(&masked_raw);
-            if no_panic {
-                findings.extend(check_no_panics(&label, &masked));
-            }
-            if dispatch {
-                findings.extend(check_dispatch_exhaustive(&label, &masked));
-            }
-            let in_bin = file
-                .components()
-                .any(|c| c.as_os_str() == "bin" || c.as_os_str() == "tests");
-            if no_print && !in_bin {
-                findings.extend(check_no_adhoc_prints(&label, &masked));
-            }
-        }
-        if name == "doma-scenario" {
-            let mut scenario_files: Vec<_> = std::fs::read_dir(dir.join("scenarios"))
-                .map(|entries| {
-                    entries
-                        .flatten()
-                        .map(|e| e.path())
-                        .filter(|p| p.extension().is_some_and(|e| e == "toml"))
-                        .collect()
-                })
-                .unwrap_or_default();
-            scenario_files.sort();
-            if scenario_files.is_empty() {
-                eprintln!("doma-lint: no builtin scenarios under {}", dir.display());
-                return ExitCode::from(2);
-            }
-            for file in &scenario_files {
-                let Ok(src) = std::fs::read_to_string(file) else {
-                    continue;
-                };
-                files_checked += 1;
-                findings.extend(check_scenario_file(&rel(&root, file), &src));
-            }
-        }
-    }
-
-    for finding in &findings {
-        println!("{finding}");
-    }
-    println!(
-        "doma-lint: {} crates, {files_checked} files checked, {} finding(s)",
-        crate_dirs.len(),
-        findings.len()
-    );
-    if findings.is_empty() {
+    };
+    print!("{}", doma_lint::render_table(&report));
+    if report.findings.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)

@@ -1,0 +1,500 @@
+//! A hand-written, zero-dependency Rust lexer with exact spans.
+//!
+//! Produces a flat token stream in which comments and whitespace are
+//! *skipped* (so rules never match text inside them) but every token
+//! remembers its byte offset, 1-indexed line and column, and its exact
+//! source slice — findings point at real `file:line:col` positions and
+//! the span invariant `&src[tok.start..tok.start + tok.text.len()] ==
+//! tok.text` holds for every token (pinned by a property test).
+//!
+//! The lexer understands the Rust surface the lint wall needs to get
+//! right at the *token* level rather than by character masking:
+//!
+//! * line comments, nested block comments, doc comments (all skipped);
+//! * string literals with escapes, byte strings, raw strings
+//!   `r"…"`/`r#"…"#` (any hash depth), raw byte strings `br#"…"#`;
+//! * char literals vs lifetimes (`'a'` vs `&'a str`);
+//! * raw identifiers `r#match`;
+//! * numeric literals including floats and exponents (without
+//!   swallowing `..` range punctuation);
+//! * single-character punctuation and the three delimiter pairs.
+//!
+//! Multi-character operators (`::`, `=>`, `..`) are left as adjacent
+//! single-character [`TokKind::Punct`] tokens; consumers that care test
+//! adjacency via byte offsets (see [`Token::glued_to`]).
+
+/// The three bracket delimiters that build token trees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    /// `( … )`
+    Paren,
+    /// `[ … ]`
+    Bracket,
+    /// `{ … }`
+    Brace,
+}
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers `r#foo`).
+    Ident,
+    /// A lifetime such as `'a` (quote included in the text).
+    Lifetime,
+    /// Any string-like literal: `"…"`, `b"…"`, `r"…"`, `r#"…"#`, `br"…"`.
+    Str,
+    /// A char or byte literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// A numeric literal (integer or float, any base).
+    Num,
+    /// A single punctuation character that is not a delimiter.
+    Punct,
+    /// An opening delimiter.
+    Open(Delim),
+    /// A closing delimiter.
+    Close(Delim),
+}
+
+/// One lexed token with its exact span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// What the token is.
+    pub kind: TokKind,
+    /// The exact source slice.
+    pub text: &'a str,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// 1-indexed source line.
+    pub line: u32,
+    /// 1-indexed column (in characters, not bytes).
+    pub col: u32,
+}
+
+impl<'a> Token<'a> {
+    /// Whether `next` begins at the byte immediately after this token —
+    /// i.e. the two form one glued operator like `::`, `=>` or `..`.
+    pub fn glued_to(&self, next: &Token<'a>) -> bool {
+        self.start + self.text.len() == next.start
+    }
+
+    /// Whether this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    chars: Vec<(usize, char)>,
+    /// Index into `chars`.
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src,
+            chars: src.char_indices().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn offset(&self) -> usize {
+        self.chars
+            .get(self.pos)
+            .map(|&(o, _)| o)
+            .unwrap_or(self.src.len())
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let &(_, c) = self.chars.get(self.pos)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+}
+
+/// Lexes `src` into a flat token stream; comments and whitespace are
+/// skipped. The lexer never fails: unterminated literals run to end of
+/// input and any unrecognized character becomes a [`TokKind::Punct`].
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        // Whitespace.
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments (line, and nested block).
+        if c == '/' && cur.peek(1) == Some('/') {
+            while let Some(c) = cur.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            let mut depth = 0usize;
+            while cur.peek(0).is_some() {
+                if cur.peek(0) == Some('/') && cur.peek(1) == Some('*') {
+                    depth += 1;
+                    cur.bump_n(2);
+                } else if cur.peek(0) == Some('*') && cur.peek(1) == Some('/') {
+                    depth -= 1;
+                    cur.bump_n(2);
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    cur.bump();
+                }
+            }
+            continue;
+        }
+        let (start, line, col) = (cur.offset(), cur.line, cur.col);
+        fn emit<'a>(
+            src: &'a str,
+            (start, line, col): (usize, u32, u32),
+            end: usize,
+            kind: TokKind,
+            out: &mut Vec<Token<'a>>,
+        ) {
+            out.push(Token {
+                kind,
+                text: &src[start..end],
+                start,
+                line,
+                col,
+            });
+        }
+        // Raw strings and raw identifiers: r"…", r#"…"#, r#ident; byte
+        // variants b"…", br#"…"#, b'…'.
+        let raw_hashes = |cur: &Cursor<'_>, from: usize| -> Option<usize> {
+            let mut n = 0;
+            while cur.peek(from + n) == Some('#') {
+                n += 1;
+            }
+            (cur.peek(from + n) == Some('"')).then_some(n)
+        };
+        if c == 'r' || c == 'b' {
+            let (is_b, body) = if c == 'b' && cur.peek(1) == Some('r') {
+                (true, 2)
+            } else {
+                (c == 'b', 1)
+            };
+            let rawish = c == 'r' || (is_b && body == 2);
+            if rawish && raw_hashes(&cur, body).is_some() {
+                let hashes = raw_hashes(&cur, body).unwrap_or(0);
+                cur.bump_n(body + hashes + 1); // prefix + hashes + opening quote
+                loop {
+                    match cur.peek(0) {
+                        None => break,
+                        Some('"') => {
+                            let mut all = true;
+                            for k in 0..hashes {
+                                if cur.peek(1 + k) != Some('#') {
+                                    all = false;
+                                    break;
+                                }
+                            }
+                            if all {
+                                cur.bump_n(1 + hashes);
+                                break;
+                            }
+                            cur.bump();
+                        }
+                        Some(_) => {
+                            cur.bump();
+                        }
+                    }
+                }
+                emit(
+                    src,
+                    (start, line, col),
+                    cur.offset(),
+                    TokKind::Str,
+                    &mut out,
+                );
+                continue;
+            }
+            if c == 'r' && cur.peek(1) == Some('#') && cur.peek(2).is_some_and(is_ident_start) {
+                cur.bump_n(2);
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                emit(
+                    src,
+                    (start, line, col),
+                    cur.offset(),
+                    TokKind::Ident,
+                    &mut out,
+                );
+                continue;
+            }
+            if is_b && body == 1 && cur.peek(1) == Some('"') {
+                cur.bump(); // the b prefix; fall through to string below
+            } else if is_b && body == 1 && cur.peek(1) == Some('\'') {
+                // Byte char literal b'x'.
+                cur.bump_n(2);
+                if cur.peek(0) == Some('\\') {
+                    cur.bump_n(2);
+                }
+                while let Some(c) = cur.peek(0) {
+                    cur.bump();
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                emit(
+                    src,
+                    (start, line, col),
+                    cur.offset(),
+                    TokKind::Char,
+                    &mut out,
+                );
+                continue;
+            }
+        }
+        let c = cur.peek(0).unwrap_or(' ');
+        // String literal.
+        if c == '"' {
+            cur.bump();
+            while let Some(c) = cur.peek(0) {
+                if c == '\\' {
+                    cur.bump_n(2);
+                } else if c == '"' {
+                    cur.bump();
+                    break;
+                } else {
+                    cur.bump();
+                }
+            }
+            emit(
+                src,
+                (start, line, col),
+                cur.offset(),
+                TokKind::Str,
+                &mut out,
+            );
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let is_char = match (cur.peek(1), cur.peek(2)) {
+                (Some('\\'), _) => true,
+                (Some(n), Some('\'')) if n != '\'' => true,
+                (Some(n), _) if !is_ident_start(n) && n != '\'' => true,
+                _ => false,
+            };
+            if is_char {
+                cur.bump();
+                if cur.peek(0) == Some('\\') {
+                    cur.bump_n(2);
+                }
+                while let Some(c) = cur.peek(0) {
+                    cur.bump();
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                emit(
+                    src,
+                    (start, line, col),
+                    cur.offset(),
+                    TokKind::Char,
+                    &mut out,
+                );
+            } else {
+                cur.bump();
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                emit(
+                    src,
+                    (start, line, col),
+                    cur.offset(),
+                    TokKind::Lifetime,
+                    &mut out,
+                );
+            }
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            emit(
+                src,
+                (start, line, col),
+                cur.offset(),
+                TokKind::Ident,
+                &mut out,
+            );
+            continue;
+        }
+        // Number: digits (any base via letters), `_` separators, one
+        // fractional `.` when followed by a digit (so `0..n` stays two
+        // range dots), exponents with an optional sign.
+        if c.is_ascii_digit() {
+            cur.bump();
+            loop {
+                match cur.peek(0) {
+                    Some(d) if d.is_ascii_alphanumeric() || d == '_' => {
+                        let exp = (d == 'e' || d == 'E')
+                            && matches!(cur.peek(1), Some('+') | Some('-'))
+                            && cur.peek(2).is_some_and(|c| c.is_ascii_digit());
+                        cur.bump();
+                        if exp {
+                            cur.bump(); // the sign
+                        }
+                    }
+                    Some('.')
+                        if cur.peek(1).is_some_and(|c| c.is_ascii_digit())
+                            && !src[start..cur.offset()].contains('.') =>
+                    {
+                        cur.bump();
+                    }
+                    _ => break,
+                }
+            }
+            emit(
+                src,
+                (start, line, col),
+                cur.offset(),
+                TokKind::Num,
+                &mut out,
+            );
+            continue;
+        }
+        // Delimiters and punctuation.
+        let kind = match c {
+            '(' => TokKind::Open(Delim::Paren),
+            '[' => TokKind::Open(Delim::Bracket),
+            '{' => TokKind::Open(Delim::Brace),
+            ')' => TokKind::Close(Delim::Paren),
+            ']' => TokKind::Close(Delim::Bracket),
+            '}' => TokKind::Close(Delim::Brace),
+            _ => TokKind::Punct,
+        };
+        cur.bump();
+        emit(src, (start, line, col), cur.offset(), kind, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_disappear_as_tokens() {
+        let toks = kinds(
+            "let a = \"panic! .unwrap()\"; // .unwrap()\n/* nested /* block */ .expect( */ real",
+        );
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "let"),
+                (TokKind::Ident, "a"),
+                (TokKind::Punct, "="),
+                (TokKind::Str, "\"panic! .unwrap()\""),
+                (TokKind::Punct, ";"),
+                (TokKind::Ident, "real"),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = kinds("r#\"raw \" quote\"# r\"x\" br#\"y\"# b\"z\" r#match");
+        assert_eq!(toks[0], (TokKind::Str, "r#\"raw \" quote\"#"));
+        assert_eq!(toks[1], (TokKind::Str, "r\"x\""));
+        assert_eq!(toks[2], (TokKind::Str, "br#\"y\"#"));
+        assert_eq!(toks[3], (TokKind::Str, "b\"z\""));
+        assert_eq!(toks[4], (TokKind::Ident, "r#match"));
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let toks = kinds("'\\'' 'a' &'static str ' ' b'q'");
+        assert_eq!(toks[0], (TokKind::Char, "'\\''"));
+        assert_eq!(toks[1], (TokKind::Char, "'a'"));
+        assert_eq!(toks[2], (TokKind::Punct, "&"));
+        assert_eq!(toks[3], (TokKind::Lifetime, "'static"));
+        assert_eq!(toks[4], (TokKind::Ident, "str"));
+        assert_eq!(toks[5], (TokKind::Char, "' '"));
+        assert_eq!(toks[6], (TokKind::Char, "b'q'"));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let toks = kinds("0..n 1.5e-3 0xff_u8 2.");
+        assert_eq!(toks[0], (TokKind::Num, "0"));
+        assert_eq!(toks[1], (TokKind::Punct, "."));
+        assert_eq!(toks[2], (TokKind::Punct, "."));
+        assert_eq!(toks[3], (TokKind::Ident, "n"));
+        assert_eq!(toks[4], (TokKind::Num, "1.5e-3"));
+        assert_eq!(toks[5], (TokKind::Num, "0xff_u8"));
+        assert_eq!(toks[6], (TokKind::Num, "2"));
+        assert_eq!(toks[7], (TokKind::Punct, "."));
+    }
+
+    #[test]
+    fn spans_are_exact_and_lines_advance() {
+        let src = "fn f() {\n    x.unwrap();\n}\n";
+        for t in lex(src) {
+            assert_eq!(&src[t.start..t.start + t.text.len()], t.text);
+        }
+        let unwrap = lex(src).into_iter().find(|t| t.is_ident("unwrap"));
+        let unwrap = unwrap.expect("unwrap token");
+        assert_eq!((unwrap.line, unwrap.col), (2, 7));
+    }
+
+    #[test]
+    fn glued_detects_multichar_operators() {
+        let toks = lex("a::b => c : : d");
+        assert!(toks[1].glued_to(&toks[2]), ":: is glued");
+        assert!(toks[4].glued_to(&toks[5]), "=> is glued");
+        assert!(!toks[7].glued_to(&toks[8]), "spaced colons are not");
+    }
+}

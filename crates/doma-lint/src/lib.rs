@@ -1,14 +1,25 @@
-//! `doma-lint`: the workspace's protocol lint wall.
+//! `doma-lint`: the workspace's semantic lint wall.
 //!
-//! A zero-dependency, text-level (AST-lite) linter enforcing the
-//! conventions that keep the protocol crates checkable:
+//! A zero-dependency static analysis engine built on a hand-written
+//! Rust lexer ([`lex`]) and a nested token-tree parser ([`tree`]).
+//! Every rule operates on token trees with exact `file:line:col` spans
+//! — comments and string literals are invisible, `#[cfg(test)]`-gated
+//! items are stripped at the tree level, and sibling sequences at each
+//! nesting depth let rules tell patterns from expressions and method
+//! calls from definitions, distinctions the old character-masking
+//! scanner could not make.
+//!
+//! # Rule catalog
+//!
+//! Per-file rules:
 //!
 //! * **no-panic** — no `.unwrap()`, `.expect(…)` or `panic!` in
-//!   non-test code of `doma-protocol` and `doma-sim`. The simulation
-//!   engine and the protocol actors are driven by the fault injector and
-//!   the model checker through adversarial schedules; every failure mode
-//!   must surface as a [`DomaError`](https://docs.rs) value the
-//!   invariant checker can audit, never as a process abort.
+//!   non-test code of `doma-algorithms`, `doma-protocol` and
+//!   `doma-sim`. The simulation engine and the protocol actors are
+//!   driven by the fault injector and the model checker through
+//!   adversarial schedules; every failure mode must surface as a
+//!   `DomaError` value the invariant checker can audit, never as a
+//!   process abort.
 //! * **exhaustive-dispatch** — no `_ =>` arms at the top level of a
 //!   `match msg` message dispatch in `doma-protocol`. Adding a message
 //!   variant must break the build until every actor decides how to
@@ -19,25 +30,69 @@
 //!   and metric registry are deterministic and capturable; a stray
 //!   print is neither. The single sanctioned terminal escape is
 //!   `doma_obs::console::debug_line`.
+//! * **thread-containment** — `std::thread` only in the three audited
+//!   fan-out modules (`doma-sim::shard`, the sweep runner, the torture
+//!   harness); `available_parallelism` is allowed anywhere.
+//! * **determinism** — in the deterministic crates (`doma-sim`,
+//!   `doma-protocol`, `doma-obs`, `doma-scenario`) non-test code must
+//!   be a pure function of the seed: no `HashMap`/`HashSet` (random
+//!   iteration order), no `Instant`/`SystemTime` (wall clock), no
+//!   `env::var` (environment branching), no `.partial_cmp(…)` (NaN-
+//!   partial float ordering). This is the invariant behind every golden
+//!   obs digest and bit-identical sharded merge.
 //! * **lint-headers** — every crate's `lib.rs` carries
 //!   `#![warn(missing_docs)]` and `#![warn(rust_2018_idioms)]`.
+//! * **scenario-digest** — every builtin scenario parses as the
+//!   TOML-subset and pins a `[golden]` digest.
 //!
-//! The scanner masks comments, string/char literals and
-//! `#[cfg(test)]`-gated items before matching, so doc examples and unit
-//! tests may use `unwrap` freely.
+//! Cross-file rules (facts that only exist across the file set):
+//!
+//! * **lock-order** — the static lock-acquisition graph over
+//!   `Mutex`/`RwLock` guards in `doma-sim`: re-entrant acquisition in
+//!   one scope and any cycle in the acquire-while-holding graph are
+//!   rejected — the static shape of a deadlock.
+//! * **message-flow** — every `DomMsg` variant must be both constructed
+//!   and dispatched somewhere in `doma-protocol`; dead or unsendable
+//!   protocol messages are lint errors.
+//! * **obs-catalog** — every metric registered with literal
+//!   `(component, name)` arguments must appear in the DESIGN §8
+//!   catalog, and literal label keys must be sorted; name drift breaks
+//!   obs JSON diffing silently.
+//! * **stale-allowlist** — every `lint-allow.list` entry must still
+//!   match a real finding (see [`allow`]).
+//!
+//! The engine ([`engine`]) loads a workspace (or accepts a synthetic
+//! in-memory one — the mutation self-tests use that), runs the catalog,
+//! applies the allowlist, and renders a table or byte-stable JSON. Two
+//! runs over the same tree are byte-identical; verify.sh gates on it.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod allow;
+pub mod engine;
+pub mod lex;
+pub mod rules;
+pub mod tree;
+
+pub use engine::{load_workspace, render_json, render_table, run, LintReport, Workspace};
+pub use rules::{
+    check_determinism, check_dispatch_exhaustive, check_lint_headers, check_lock_order,
+    check_message_flow, check_no_adhoc_prints, check_no_panics, check_obs_catalog,
+    check_scenario_file, check_thread_containment, design_metric_catalog,
+};
+
 /// A single lint violation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Finding {
     /// Workspace-relative path of the offending file.
     pub file: String,
     /// 1-indexed line number.
     pub line: usize,
-    /// Short rule identifier (`no-panic`, `exhaustive-dispatch`,
-    /// `lint-headers`).
+    /// 1-indexed column (in characters) of the finding's anchor token.
+    pub col: usize,
+    /// Short rule identifier (`no-panic`, `determinism`, `lock-order`,
+    /// …).
     pub rule: &'static str,
     /// Human-readable description.
     pub message: String,
@@ -47,650 +102,8 @@ impl std::fmt::Display for Finding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.message
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
         )
-    }
-}
-
-fn is_ident(c: char) -> bool {
-    c.is_ascii_alphanumeric() || c == '_'
-}
-
-/// Replaces every comment, string literal and char literal with spaces,
-/// preserving newlines (so line numbers survive) and all other code
-/// verbatim. Handles nested block comments, escapes, raw strings
-/// (`r"…"`, `r#"…"#`) and distinguishes char literals from lifetimes.
-pub fn mask_source(src: &str) -> String {
-    let b: Vec<char> = src.chars().collect();
-    let mut out = String::with_capacity(src.len());
-    let blank = |out: &mut String, c: char| out.push(if c == '\n' { '\n' } else { ' ' });
-    let mut i = 0;
-    while i < b.len() {
-        let c = b[i];
-        let next = b.get(i + 1).copied();
-        // Line comment.
-        if c == '/' && next == Some('/') {
-            while i < b.len() && b[i] != '\n' {
-                out.push(' ');
-                i += 1;
-            }
-            continue;
-        }
-        // Block comment (nesting, as in Rust).
-        if c == '/' && next == Some('*') {
-            let mut depth = 0usize;
-            while i < b.len() {
-                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
-                    depth += 1;
-                    out.push_str("  ");
-                    i += 2;
-                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
-                    depth -= 1;
-                    out.push_str("  ");
-                    i += 2;
-                    if depth == 0 {
-                        break;
-                    }
-                } else {
-                    blank(&mut out, b[i]);
-                    i += 1;
-                }
-            }
-            continue;
-        }
-        // Raw string: r"…" / r#"…"# (not part of an identifier).
-        if c == 'r' && matches!(next, Some('"') | Some('#')) && (i == 0 || !is_ident(b[i - 1])) {
-            let mut j = i + 1;
-            let mut hashes = 0usize;
-            while b.get(j) == Some(&'#') {
-                hashes += 1;
-                j += 1;
-            }
-            if b.get(j) == Some(&'"') {
-                for _ in i..=j {
-                    out.push(' ');
-                }
-                i = j + 1;
-                loop {
-                    if i >= b.len() {
-                        break;
-                    }
-                    if b[i] == '"'
-                        && b[i + 1..]
-                            .iter()
-                            .take(hashes)
-                            .filter(|&&h| h == '#')
-                            .count()
-                            == hashes
-                    {
-                        for _ in 0..=hashes {
-                            out.push(' ');
-                        }
-                        i += 1 + hashes;
-                        break;
-                    }
-                    blank(&mut out, b[i]);
-                    i += 1;
-                }
-                continue;
-            }
-        }
-        // Ordinary string literal (covers b"…" too: the `b` stays code).
-        if c == '"' {
-            out.push(' ');
-            i += 1;
-            while i < b.len() {
-                if b[i] == '\\' {
-                    out.push_str("  ");
-                    i += 2;
-                } else if b[i] == '"' {
-                    out.push(' ');
-                    i += 1;
-                    break;
-                } else {
-                    blank(&mut out, b[i]);
-                    i += 1;
-                }
-            }
-            continue;
-        }
-        // Char literal vs lifetime: '\…' or 'x' is a literal, 'a as in
-        // `&'a str` (no closing quote right after) is a lifetime.
-        if c == '\'' {
-            let is_char = next == Some('\\') || b.get(i + 2) == Some(&'\'');
-            if is_char {
-                out.push(' ');
-                i += 1;
-                if b.get(i) == Some(&'\\') {
-                    out.push_str("  ");
-                    i += 2; // backslash + first escape char
-                }
-                while i < b.len() && b[i] != '\'' {
-                    out.push(' ');
-                    i += 1;
-                }
-                out.push(' ');
-                i += 1; // closing quote
-                continue;
-            }
-        }
-        out.push(c);
-        i += 1;
-    }
-    out
-}
-
-/// Blanks every `#[cfg(test)]`-gated item (module, function or `use`) in
-/// an already [`mask_source`]d text, again preserving newlines. Brace
-/// matching is exact because strings and comments are gone.
-pub fn mask_cfg_test(masked: &str) -> String {
-    let chars: Vec<char> = masked.chars().collect();
-    let mut out = chars.clone();
-    let pat: Vec<char> = "#[cfg(test)]".chars().collect();
-    let mut i = 0;
-    while i + pat.len() <= chars.len() {
-        if chars[i..i + pat.len()] != pat[..] {
-            i += 1;
-            continue;
-        }
-        // Blank through the gated item: up to the matching `}` of its
-        // first block, or the `;` of a braceless item.
-        let mut j = i + pat.len();
-        let mut end = chars.len();
-        while j < chars.len() {
-            match chars[j] {
-                ';' => {
-                    end = j + 1;
-                    break;
-                }
-                '{' => {
-                    let mut depth = 1usize;
-                    let mut k = j + 1;
-                    while k < chars.len() && depth > 0 {
-                        match chars[k] {
-                            '{' => depth += 1,
-                            '}' => depth -= 1,
-                            _ => {}
-                        }
-                        k += 1;
-                    }
-                    end = k;
-                    break;
-                }
-                _ => j += 1,
-            }
-        }
-        for slot in out.iter_mut().take(end).skip(i) {
-            if *slot != '\n' {
-                *slot = ' ';
-            }
-        }
-        i = end;
-    }
-    out.into_iter().collect()
-}
-
-/// The `no-panic` rule: flags `.unwrap()`, `.expect(` and `panic!` in a
-/// masked, test-stripped source. `debug_assert!` is deliberately allowed
-/// (compiled out of release protocol builds).
-pub fn check_no_panics(file: &str, masked_no_test: &str) -> Vec<Finding> {
-    const FORBIDDEN: &[&str] = &[".unwrap()", ".expect(", "panic!"];
-    let mut out = Vec::new();
-    for (idx, line) in masked_no_test.lines().enumerate() {
-        for pat in FORBIDDEN {
-            let mut from = 0;
-            while let Some(off) = line[from..].find(pat) {
-                let col = from + off;
-                // Patterns starting with `.` are self-delimiting; for
-                // `panic!` reject identifier tails like `foo_panic!`.
-                let boundary = pat.starts_with('.')
-                    || col == 0
-                    || !is_ident(line[..col].chars().next_back().unwrap_or(' '));
-                if boundary {
-                    out.push(Finding {
-                        file: file.to_string(),
-                        line: idx + 1,
-                        rule: "no-panic",
-                        message: format!("`{pat}` in protocol code"),
-                    });
-                    break;
-                }
-                from = col + pat.len();
-            }
-        }
-    }
-    out
-}
-
-/// The `exhaustive-dispatch` rule: flags a wildcard `_` arm at the top
-/// level of a `match msg { … }` block. Nested matches inside an arm's
-/// body (brace depth ≥ 2) and `_` inside tuple/struct patterns
-/// (paren/bracket depth > 0, or a `..` rest pattern) are not dispatch
-/// wildcards and are left alone.
-pub fn check_dispatch_exhaustive(file: &str, masked: &str) -> Vec<Finding> {
-    let chars: Vec<char> = masked.chars().collect();
-    let line_of = |pos: usize| 1 + chars[..pos].iter().filter(|&&c| c == '\n').count();
-    let pat: Vec<char> = "match msg".chars().collect();
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i + pat.len() <= chars.len() {
-        if chars[i..i + pat.len()] != pat[..]
-            || (i > 0 && is_ident(chars[i - 1]))
-            || chars.get(i + pat.len()).copied().map(is_ident) == Some(true)
-        {
-            i += 1;
-            continue;
-        }
-        // Enter the match block.
-        let mut j = i + pat.len();
-        while j < chars.len() && chars[j] != '{' {
-            j += 1;
-        }
-        let mut brace = 1usize;
-        let mut paren = 0usize;
-        j += 1;
-        while j < chars.len() && brace > 0 {
-            match chars[j] {
-                '{' => brace += 1,
-                '}' => brace -= 1,
-                '(' | '[' => paren += 1,
-                ')' | ']' => paren = paren.saturating_sub(1),
-                '_' if brace == 1
-                    && paren == 0
-                    && !is_ident(chars[j.wrapping_sub(1)])
-                    && chars.get(j + 1).copied().map(is_ident) != Some(true) =>
-                {
-                    // A standalone `_` token at arm level: a wildcard
-                    // pattern (with or without a guard).
-                    let mut k = j + 1;
-                    while k < chars.len() && chars[k].is_whitespace() {
-                        k += 1;
-                    }
-                    let arm = chars.get(k) == Some(&'=') && chars.get(k + 1) == Some(&'>');
-                    let guarded = chars.get(k) == Some(&'i') && chars.get(k + 1) == Some(&'f');
-                    if arm || guarded {
-                        out.push(Finding {
-                            file: file.to_string(),
-                            line: line_of(j),
-                            rule: "exhaustive-dispatch",
-                            message: "wildcard `_` arm in message dispatch — name every \
-                                      message variant"
-                                .to_string(),
-                        });
-                    }
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-        i = j;
-    }
-    out
-}
-
-/// The `no-adhoc-print` rule: flags `println!`, `eprintln!`, `print!`
-/// and `eprint!` in a masked, test-stripped source. Library code of the
-/// instrumented crates must report through `doma-obs` (metrics, the
-/// event log, or `doma_obs::console::debug_line` for environment-gated
-/// debug streams); ad-hoc prints bypass the event log and make output
-/// nondeterministic to capture. CLI binaries (`src/bin`) are exempt —
-/// printing is their job.
-pub fn check_no_adhoc_prints(file: &str, masked_no_test: &str) -> Vec<Finding> {
-    const FORBIDDEN: &[&str] = &["println!", "eprintln!", "print!", "eprint!"];
-    let mut out = Vec::new();
-    for (idx, line) in masked_no_test.lines().enumerate() {
-        for pat in FORBIDDEN {
-            let mut from = 0;
-            while let Some(off) = line[from..].find(pat) {
-                let col = from + off;
-                // Boundary check: `print!` must not fire inside
-                // `eprint!`, nor any pattern inside a longer identifier.
-                let boundary =
-                    col == 0 || !is_ident(line[..col].chars().next_back().unwrap_or(' '));
-                if boundary {
-                    out.push(Finding {
-                        file: file.to_string(),
-                        line: idx + 1,
-                        rule: "no-adhoc-print",
-                        message: format!(
-                            "`{pat}` in instrumented library code — use doma-obs \
-                             (events/metrics or console::debug_line)"
-                        ),
-                    });
-                    break;
-                }
-                from = col + pat.len();
-            }
-        }
-    }
-    out
-}
-
-/// The `thread-containment` rule: flags `std::thread` in a masked source.
-/// Determinism is the workspace's backbone — every simulator engine is
-/// single-threaded and every parallel construct must route through the
-/// audited fan-out points (the sweep runner, the shard worker, the
-/// torture harness), which the caller exempts by path. The one allowed
-/// free-standing use is `std::thread::available_parallelism`: core-count
-/// introspection spawns nothing.
-pub fn check_thread_containment(file: &str, masked: &str) -> Vec<Finding> {
-    const PAT: &str = "std::thread";
-    const ALLOWED_TAIL: &str = "::available_parallelism";
-    let mut out = Vec::new();
-    for (idx, line) in masked.lines().enumerate() {
-        let mut from = 0;
-        while let Some(off) = line[from..].find(PAT) {
-            let col = from + off;
-            from = col + PAT.len();
-            let boundary = (col == 0 || !is_ident(line[..col].chars().next_back().unwrap_or(' ')))
-                && !line[from..].chars().next().is_some_and(is_ident);
-            if boundary && !line[from..].starts_with(ALLOWED_TAIL) {
-                out.push(Finding {
-                    file: file.to_string(),
-                    line: idx + 1,
-                    rule: "thread-containment",
-                    message: "`std::thread` outside the approved fan-out modules — \
-                              route parallelism through doma_sim::shard::run_shards \
-                              (or the sweep/torture harnesses)"
-                        .to_string(),
-                });
-                break;
-            }
-        }
-    }
-    out
-}
-
-/// The `scenario-digest` rule: every builtin scenario file must be
-/// syntactically well-formed TOML-subset (each non-blank line a
-/// `[section]` / `[[section]]` header or a `key = value` entry) and must
-/// pin a golden obs digest — a `[golden]` section whose `digest` entry is
-/// `"0x"` + 16 hex digits. A builtin without a pin is a hole in the
-/// golden-trace conformance wall: `cargo test` would replay it without
-/// anything to compare against. (This check is deliberately text-level —
-/// `doma-lint` stays dependency-free; the real parser and digest replay
-/// run in `doma-scenario`'s own tests and the verify gate.)
-pub fn check_scenario_file(file: &str, src: &str) -> Vec<Finding> {
-    let mut out = Vec::new();
-    let mut in_golden = false;
-    let mut digest_line: Option<(usize, String)> = None;
-    for (idx, raw) in src.lines().enumerate() {
-        // Strip a `#` comment, ignoring `#` inside double quotes.
-        let mut in_str = false;
-        let mut escaped = false;
-        let mut body = raw;
-        for (pos, c) in raw.char_indices() {
-            match c {
-                _ if escaped => escaped = false,
-                '\\' if in_str => escaped = true,
-                '"' => in_str = !in_str,
-                '#' if !in_str => {
-                    body = &raw[..pos];
-                    break;
-                }
-                _ => {}
-            }
-        }
-        let line = body.trim();
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(section) = line
-            .strip_prefix("[[")
-            .and_then(|r| r.strip_suffix("]]"))
-            .or_else(|| line.strip_prefix('[').and_then(|r| r.strip_suffix(']')))
-        {
-            in_golden = section.trim() == "golden";
-            continue;
-        }
-        let Some((key, value)) = line.split_once('=') else {
-            out.push(Finding {
-                file: file.to_string(),
-                line: idx + 1,
-                rule: "scenario-digest",
-                message: format!("not a section header or `key = value` entry: `{line}`"),
-            });
-            continue;
-        };
-        if in_golden && key.trim() == "digest" {
-            digest_line = Some((idx + 1, value.trim().to_string()));
-        }
-    }
-    match digest_line {
-        None => out.push(Finding {
-            file: file.to_string(),
-            line: 1,
-            rule: "scenario-digest",
-            message: "no `[golden]` digest pinned — every builtin scenario must name its \
-                      golden obs digest"
-                .to_string(),
-        }),
-        Some((line, value)) => {
-            let hex = value
-                .strip_prefix("\"0x")
-                .and_then(|r| r.strip_suffix('"'))
-                .unwrap_or("");
-            if hex.len() != 16 || !hex.chars().all(|c| c.is_ascii_hexdigit()) {
-                out.push(Finding {
-                    file: file.to_string(),
-                    line,
-                    rule: "scenario-digest",
-                    message: format!("golden digest must be \"0x\" + 16 hex digits, got {value}"),
-                });
-            }
-        }
-    }
-    out
-}
-
-/// The `lint-headers` rule: every crate root must opt into the
-/// workspace's documentation and idiom lints.
-pub fn check_lint_headers(file: &str, src: &str) -> Vec<Finding> {
-    ["#![warn(missing_docs)]", "#![warn(rust_2018_idioms)]"]
-        .iter()
-        .filter(|pragma| !src.contains(*pragma))
-        .map(|pragma| Finding {
-            file: file.to_string(),
-            line: 1,
-            rule: "lint-headers",
-            message: format!("crate root missing `{pragma}`"),
-        })
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn masking_strips_comments_strings_and_chars() {
-        let src = r##"
-let a = "panic! in a string .unwrap()"; // .unwrap() in a comment
-/* block .expect( comment /* nested */ still */
-let b = r#"raw .unwrap() string"#;
-let c = '\''; let d: &'static str = "x";
-real.unwrap();
-"##;
-        let masked = mask_source(src);
-        assert_eq!(masked.lines().count(), src.lines().count());
-        assert_eq!(masked.matches(".unwrap()").count(), 1);
-        assert!(!masked.contains("panic!"));
-        assert!(!masked.contains(".expect("));
-        assert!(masked.contains("&'static str"), "lifetimes survive");
-    }
-
-    #[test]
-    fn cfg_test_items_are_blanked() {
-        let src = "
-fn live() { x.unwrap(); }
-#[cfg(test)]
-mod tests {
-    fn t() { y.unwrap(); panic!(); }
-}
-#[cfg(test)]
-use std::collections::HashMap;
-fn also_live() {}
-";
-        let masked = mask_cfg_test(&mask_source(src));
-        assert_eq!(masked.matches("unwrap").count(), 1);
-        assert!(!masked.contains("panic!"));
-        assert!(!masked.contains("HashMap"));
-        assert!(masked.contains("also_live"));
-    }
-
-    #[test]
-    fn no_panic_flags_each_forbidden_call() {
-        let src = "
-fn f() {
-    a.unwrap();
-    b.expect(\"boom\");
-    panic!(\"no\");
-    c.unwrap_or(0);
-    debug_assert!(ok);
-}
-";
-        let findings = check_no_panics("f.rs", &mask_cfg_test(&mask_source(src)));
-        assert_eq!(findings.len(), 3, "{findings:?}");
-        assert_eq!(findings[0].line, 3);
-        assert!(findings.iter().all(|f| f.rule == "no-panic"));
-    }
-
-    #[test]
-    fn dispatch_wildcard_is_flagged_only_at_arm_level() {
-        let src = "
-fn on_message(&mut self, msg: Msg) {
-    match msg {
-        Msg::A { x } => {
-            match x {
-                Some(_) => {}
-                _ => {}
-            }
-        }
-        Msg::B(other) => {
-            let (_, keep) = other;
-        }
-        _ => {}
-    }
-}
-";
-        let findings = check_dispatch_exhaustive("f.rs", &mask_source(src));
-        assert_eq!(findings.len(), 1, "{findings:?}");
-        assert_eq!(findings[0].line, 13);
-    }
-
-    #[test]
-    fn dispatch_wildcard_with_guard_is_flagged() {
-        let src = "match msg { Msg::A => {} _ if late => {} }";
-        let findings = check_dispatch_exhaustive("f.rs", &mask_source(src));
-        assert_eq!(findings.len(), 1);
-    }
-
-    #[test]
-    fn exhaustive_dispatch_passes_clean_match() {
-        let src = "match msg { Msg::A => {} Msg::B { any: _ } => {} }";
-        // `_` as a field binding sits inside the pattern's braces
-        // (depth 2), not at arm level.
-        assert!(check_dispatch_exhaustive("f.rs", &mask_source(src)).is_empty());
-    }
-
-    #[test]
-    fn adhoc_prints_are_flagged_with_exact_boundaries() {
-        let src = "
-fn f() {
-    println!(\"x\");
-    eprintln!(\"y\");
-    print!(\"z\");
-    eprint!(\"w\");
-    my_println!(\"not the macro\");
-    writeln!(out, \"fine\").ok();
-}
-";
-        let findings = check_no_adhoc_prints("f.rs", &mask_cfg_test(&mask_source(src)));
-        assert_eq!(findings.len(), 4, "{findings:?}");
-        assert!(findings.iter().all(|f| f.rule == "no-adhoc-print"));
-        // `eprintln!` must yield one finding for itself, not a second
-        // one for the embedded `println!` text.
-        assert_eq!(findings[1].line, 4);
-        assert!(findings[1].message.contains("`eprintln!`"));
-    }
-
-    #[test]
-    fn adhoc_prints_in_tests_and_strings_are_fine() {
-        let src = "
-fn f() { let s = \"println! in a string\"; } // println! in a comment
-#[cfg(test)]
-mod tests {
-    fn t() { println!(\"debug\"); }
-}
-";
-        let findings = check_no_adhoc_prints("f.rs", &mask_cfg_test(&mask_source(src)));
-        assert!(findings.is_empty(), "{findings:?}");
-    }
-
-    #[test]
-    fn thread_containment_flags_spawns_but_not_core_counts() {
-        let src = "
-fn f() {
-    std::thread::scope(|s| s.spawn(|| {}));
-    std::thread::spawn(|| {});
-    let cores = std::thread::available_parallelism();
-    my_std::thread_pool(); // not the module
-}
-// std::thread in a comment is fine
-let s = \"std::thread in a string too\";
-";
-        let findings = check_thread_containment("f.rs", &mask_source(src));
-        assert_eq!(findings.len(), 2, "{findings:?}");
-        assert_eq!(findings[0].line, 3);
-        assert_eq!(findings[1].line, 4);
-        assert!(findings.iter().all(|f| f.rule == "thread-containment"));
-    }
-
-    #[test]
-    fn scenario_digest_accepts_a_pinned_builtin() {
-        let src = "# a builtin\n[scenario]\nname = \"demo\" # trailing comment\n\
-                   [[phase]]\nname = \"p\"\n\
-                   [golden]\ndigest = \"0x0123456789abcdef\"\n";
-        assert!(check_scenario_file("s.toml", src).is_empty());
-    }
-
-    #[test]
-    fn scenario_digest_flags_missing_and_malformed_pins() {
-        let missing = "[scenario]\nname = \"demo\"\n";
-        let findings = check_scenario_file("s.toml", missing);
-        assert_eq!(findings.len(), 1);
-        assert!(findings[0].message.contains("no `[golden]` digest"));
-        assert_eq!(findings[0].rule, "scenario-digest");
-
-        let short = "[golden]\ndigest = \"0x1234\"\n";
-        let findings = check_scenario_file("s.toml", short);
-        assert_eq!(findings.len(), 1, "{findings:?}");
-        assert_eq!(findings[0].line, 2);
-        assert!(findings[0].message.contains("16 hex digits"));
-
-        // A digest outside [golden] does not count as a pin.
-        let elsewhere = "[scenario]\ndigest = \"0x0123456789abcdef\"\n";
-        assert_eq!(check_scenario_file("s.toml", elsewhere).len(), 1);
-
-        let junk = "[golden]\nthis is not an entry\ndigest = \"0x0123456789abcdef\"\n";
-        let findings = check_scenario_file("s.toml", junk);
-        assert_eq!(findings.len(), 1, "{findings:?}");
-        assert_eq!(findings[0].line, 2);
-        assert!(findings[0].message.contains("not a section header"));
-
-        // `#` inside a string is content, not a comment delimiter.
-        let hash = "[golden]\ndigest = \"0x0123456789abcdef\"\nnote = \"a # b\"\n";
-        assert!(check_scenario_file("s.toml", hash).is_empty());
-    }
-
-    #[test]
-    fn lint_headers_requires_both_pragmas() {
-        let both = "#![warn(missing_docs)]\n#![warn(rust_2018_idioms)]\n";
-        assert!(check_lint_headers("lib.rs", both).is_empty());
-        let one = "#![warn(missing_docs)]\n";
-        let findings = check_lint_headers("lib.rs", one);
-        assert_eq!(findings.len(), 1);
-        assert!(findings[0].message.contains("rust_2018_idioms"));
     }
 }

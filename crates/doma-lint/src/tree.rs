@@ -1,0 +1,271 @@
+//! Nested token trees and `#[cfg(test)]` masking at the token level.
+//!
+//! The flat stream from [`crate::lex`] is folded into a tree: every
+//! `(…)`, `[…]`, `{…}` becomes a [`Group`] whose children are again
+//! trees. Rules walk sibling sequences at each nesting level, which is
+//! what lets them tell a `match` arm pattern from an expression, an
+//! attribute from code, or a method call from a trait-method definition
+//! — distinctions the old character-masking scanner could not make.
+//!
+//! The builder never fails: a stray closing delimiter becomes a plain
+//! leaf and groups still open at end of input close there (tolerant
+//! parsing keeps the linter usable on mid-edit code).
+
+use crate::lex::{lex, Delim, TokKind, Token};
+
+/// A token tree: a single token, or a delimited group of trees.
+#[derive(Debug, Clone)]
+pub enum Tree<'a> {
+    /// A non-delimiter token.
+    Leaf(Token<'a>),
+    /// A delimited `(…)` / `[…]` / `{…}` group.
+    Group(Group<'a>),
+}
+
+/// A delimited group and its children.
+#[derive(Debug, Clone)]
+pub struct Group<'a> {
+    /// Which delimiter pair encloses the group.
+    pub delim: Delim,
+    /// The opening delimiter token (the group's span anchor).
+    pub open: Token<'a>,
+    /// The trees between the delimiters.
+    pub children: Vec<Tree<'a>>,
+}
+
+impl<'a> Tree<'a> {
+    /// The leaf token, if this tree is a leaf.
+    pub fn leaf(&self) -> Option<&Token<'a>> {
+        match self {
+            Tree::Leaf(t) => Some(t),
+            Tree::Group(_) => None,
+        }
+    }
+
+    /// The group, if this tree is a group.
+    pub fn group(&self) -> Option<&Group<'a>> {
+        match self {
+            Tree::Leaf(_) => None,
+            Tree::Group(g) => Some(g),
+        }
+    }
+
+    /// The group, if this tree is a group with delimiter `d`.
+    pub fn group_with(&self, d: Delim) -> Option<&Group<'a>> {
+        self.group().filter(|g| g.delim == d)
+    }
+
+    /// Whether this tree is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.leaf().is_some_and(|t| t.is_ident(word))
+    }
+
+    /// Whether this tree is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.leaf().is_some_and(|t| t.is_punct(c))
+    }
+
+    /// The span anchor: the leaf token, or the group's opening delimiter.
+    pub fn anchor(&self) -> &Token<'a> {
+        match self {
+            Tree::Leaf(t) => t,
+            Tree::Group(g) => &g.open,
+        }
+    }
+}
+
+/// Lexes and folds `src` into a top-level tree sequence.
+pub fn parse(src: &str) -> Vec<Tree<'_>> {
+    let tokens = lex(src);
+    let mut stack: Vec<(Group<'_>, Delim)> = Vec::new();
+    let mut top: Vec<Tree<'_>> = Vec::new();
+    fn push<'a>(stack: &mut Vec<(Group<'a>, Delim)>, top: &mut Vec<Tree<'a>>, tree: Tree<'a>) {
+        match stack.last_mut() {
+            Some((g, _)) => g.children.push(tree),
+            None => top.push(tree),
+        }
+    }
+    for tok in tokens {
+        match tok.kind {
+            TokKind::Open(d) => stack.push((
+                Group {
+                    delim: d,
+                    open: tok,
+                    children: Vec::new(),
+                },
+                d,
+            )),
+            TokKind::Close(d) => {
+                if stack.last().is_some_and(|&(_, open)| open == d) {
+                    let (group, _) = match stack.pop() {
+                        Some(g) => g,
+                        None => continue,
+                    };
+                    push(&mut stack, &mut top, Tree::Group(group));
+                } else {
+                    // Stray or mismatched close: keep it as a leaf so
+                    // spans survive and parsing continues.
+                    push(&mut stack, &mut top, Tree::Leaf(tok));
+                }
+            }
+            _ => push(&mut stack, &mut top, Tree::Leaf(tok)),
+        }
+    }
+    // Close any unterminated groups at end of input.
+    while let Some((group, _)) = stack.pop() {
+        push(&mut stack, &mut top, Tree::Group(group));
+    }
+    top
+}
+
+/// Whether `trees[i..]` starts an exact `#[cfg(test)]` attribute, i.e.
+/// `#` `[cfg(test)]`. Returns the number of trees it spans (2).
+fn cfg_test_at(trees: &[Tree<'_>], i: usize) -> Option<usize> {
+    if !trees.get(i)?.is_punct('#') {
+        return None;
+    }
+    let attr = trees.get(i + 1)?.group_with(Delim::Bracket)?;
+    let [first, second] = attr.children.as_slice() else {
+        return None;
+    };
+    if !first.is_ident("cfg") {
+        return None;
+    }
+    let args = second.group_with(Delim::Paren)?;
+    let [only] = args.children.as_slice() else {
+        return None;
+    };
+    only.is_ident("test").then_some(2)
+}
+
+/// Whether `trees[i..]` starts any attribute `#[…]` (returns its width).
+fn attr_at(trees: &[Tree<'_>], i: usize) -> Option<usize> {
+    if trees.get(i)?.is_punct('#') && trees.get(i + 1)?.group_with(Delim::Bracket).is_some() {
+        Some(2)
+    } else {
+        None
+    }
+}
+
+/// Removes every `#[cfg(test)]`-gated item, recursively: the attribute,
+/// any further attributes on the same item, and the item itself through
+/// its first brace-delimited body or its terminating `;` — whichever
+/// comes first. Groups that survive are stripped recursively, so nested
+/// test modules inside live code disappear too.
+pub fn strip_cfg_test<'a>(trees: Vec<Tree<'a>>) -> Vec<Tree<'a>> {
+    let mut out = Vec::with_capacity(trees.len());
+    let mut i = 0;
+    while i < trees.len() {
+        if let Some(w) = cfg_test_at(&trees, i) {
+            i += w;
+            // Further attributes on the gated item.
+            while let Some(w) = attr_at(&trees, i) {
+                i += w;
+            }
+            // Skip the item: through its first `{…}` body, or its `;`.
+            while i < trees.len() {
+                match &trees[i] {
+                    Tree::Group(g) if g.delim == Delim::Brace => {
+                        i += 1;
+                        break;
+                    }
+                    Tree::Leaf(t) if t.is_punct(';') => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            continue;
+        }
+        match &trees[i] {
+            Tree::Group(g) => out.push(Tree::Group(Group {
+                delim: g.delim,
+                open: g.open,
+                children: strip_cfg_test(g.children.clone()),
+            })),
+            leaf => out.push(leaf.clone()),
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Calls `f` on every group's child slice, starting with the top level,
+/// recursing into groups (pre-order).
+pub fn walk_levels<'a>(trees: &[Tree<'a>], f: &mut impl FnMut(&[Tree<'a>])) {
+    f(trees);
+    for tree in trees {
+        if let Tree::Group(g) = tree {
+            walk_levels(&g.children, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_nest_and_tolerate_imbalance() {
+        let trees = parse("fn f(a: u8) { g([1, 2]); }");
+        assert_eq!(trees.len(), 4, "fn, f, (…), {{…}}");
+        let body = trees[3].group_with(Delim::Brace).expect("body");
+        assert!(body.children[1].group_with(Delim::Paren).is_some());
+
+        // Stray close and unterminated open both survive.
+        let trees = parse(") fn f( {");
+        assert!(trees[0].leaf().is_some());
+        assert!(trees.iter().any(|t| t.group().is_some()));
+    }
+
+    #[test]
+    fn cfg_test_items_are_stripped_recursively() {
+        let src = "
+fn live() { x.unwrap(); }
+#[cfg(test)]
+mod tests { fn t() { y.unwrap(); } }
+#[cfg(test)]
+use std::collections::HashMap;
+mod keep {
+    #[cfg(test)]
+    #[allow(dead_code)]
+    fn gone() {}
+    fn stays() {}
+}
+";
+        let stripped = strip_cfg_test(parse(src));
+        let mut idents = Vec::new();
+        walk_levels(&stripped, &mut |level| {
+            for t in level {
+                if let Some(l) = t.leaf() {
+                    if l.kind == crate::lex::TokKind::Ident {
+                        idents.push(l.text.to_string());
+                    }
+                }
+            }
+        });
+        assert!(idents.iter().any(|i| i == "live"));
+        assert!(idents.iter().any(|i| i == "stays"));
+        assert!(!idents.iter().any(|i| i == "tests"));
+        assert!(!idents.iter().any(|i| i == "HashMap"));
+        assert!(!idents.iter().any(|i| i == "gone"));
+        // Exactly one unwrap survives (the live one).
+        assert_eq!(idents.iter().filter(|i| *i == "unwrap").count(), 1);
+    }
+
+    #[test]
+    fn cfg_not_test_attributes_are_kept() {
+        let src = "#[cfg(feature = \"x\")] fn f() { a.unwrap(); }";
+        let stripped = strip_cfg_test(parse(src));
+        let mut found = false;
+        walk_levels(&stripped, &mut |level| {
+            for t in level {
+                if t.is_ident("unwrap") {
+                    found = true;
+                }
+            }
+        });
+        assert!(found, "non-test cfg survives");
+    }
+}

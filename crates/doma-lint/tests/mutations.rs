@@ -1,0 +1,445 @@
+//! The mutation self-test wall: every rule must prove itself by
+//! catching a seeded violation at the exact `(file, line, rule)` —
+//! the same differential discipline as the PR 2 dropped-Invalidate
+//! mutation test, applied to the linter itself. A rule that cannot
+//! catch its own fixture is a hole in the wall, not a lint.
+//!
+//! Fixtures are synthetic in-memory workspaces fed straight to
+//! [`doma_lint::run`]; nothing touches the disk, and violation snippets
+//! live in string literals the token-level rules cannot see when this
+//! file itself is linted.
+
+use doma_lint::engine::{SourceFile, Workspace};
+use doma_lint::{run, Finding};
+
+fn sf(path: &str, text: &str) -> SourceFile {
+    let crate_name = path
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("")
+        .to_string();
+    SourceFile {
+        path: path.to_string(),
+        crate_name,
+        in_src: path.contains("/src/"),
+        text: text.to_string(),
+    }
+}
+
+fn ws(files: Vec<SourceFile>) -> Workspace {
+    Workspace {
+        files,
+        ..Workspace::default()
+    }
+}
+
+/// Asserts the report contains a finding with exactly this
+/// `(file, line, rule)` triple.
+fn assert_finding(findings: &[Finding], file: &str, line: usize, rule: &str) {
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.file == file && f.line == line && f.rule == rule),
+        "expected ({file}, {line}, {rule}) in {findings:?}"
+    );
+}
+
+fn assert_clean(findings: &[Finding]) {
+    assert!(findings.is_empty(), "expected clean, got {findings:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Legacy rules on the token engine
+// ---------------------------------------------------------------------------
+
+#[test]
+fn no_panic_catches_unwrap_expect_and_panic() {
+    let src = "fn f(o: Option<u8>) -> u8 {\n\
+               \x20   let x = o.unwrap();\n\
+               \x20   let y = o.expect(\"gone\");\n\
+               \x20   panic!(\"boom\");\n\
+               }\n";
+    let report = run(&ws(vec![sf("crates/doma-sim/src/a.rs", src)])).unwrap();
+    assert_finding(&report.findings, "crates/doma-sim/src/a.rs", 2, "no-panic");
+    assert_finding(&report.findings, "crates/doma-sim/src/a.rs", 3, "no-panic");
+    assert_finding(&report.findings, "crates/doma-sim/src/a.rs", 4, "no-panic");
+    assert_eq!(report.findings.len(), 3);
+}
+
+#[test]
+fn no_panic_ignores_tests_strings_comments_and_lookalikes() {
+    let src = "fn f(o: Option<u8>) -> u8 {\n\
+               \x20   // o.unwrap() in a comment\n\
+               \x20   let s = \"o.unwrap() in a string\";\n\
+               \x20   let _ = s;\n\
+               \x20   o.unwrap_or(0)\n\
+               }\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+               \x20   fn t(o: Option<u8>) { o.unwrap(); panic!(); }\n\
+               }\n";
+    let report = run(&ws(vec![sf("crates/doma-sim/src/a.rs", src)])).unwrap();
+    assert_clean(&report.findings);
+}
+
+#[test]
+fn exhaustive_dispatch_catches_wildcard_arms() {
+    let src = "fn handle(msg: DomMsg) {\n\
+               \x20   match msg {\n\
+               \x20       DomMsg::Invalidate { .. } => {}\n\
+               \x20       _ => {}\n\
+               \x20   }\n\
+               \x20   match other { _ => {} }\n\
+               }\n";
+    let report = run(&ws(vec![sf("crates/doma-protocol/src/a.rs", src)])).unwrap();
+    assert_finding(
+        &report.findings,
+        "crates/doma-protocol/src/a.rs",
+        4,
+        "exhaustive-dispatch",
+    );
+    // `match other` may use wildcards; `_` field binds inside patterns too.
+    assert_eq!(
+        report
+            .findings
+            .iter()
+            .filter(|f| f.rule == "exhaustive-dispatch")
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn no_adhoc_print_catches_println_in_library_code() {
+    let src = "fn f() {\n\
+               \x20   println!(\"dbg\");\n\
+               }\n";
+    let report = run(&ws(vec![sf("crates/doma-obs/src/a.rs", src)])).unwrap();
+    assert_finding(
+        &report.findings,
+        "crates/doma-obs/src/a.rs",
+        2,
+        "no-adhoc-print",
+    );
+    // The same text under src/bin is exempt (CLI front-ends print).
+    let report = run(&ws(vec![sf("crates/doma-obs/src/bin/a.rs", src)])).unwrap();
+    assert_clean(&report.findings);
+}
+
+#[test]
+fn thread_containment_catches_spawn_outside_fanout_modules() {
+    let src = "fn f() {\n\
+               \x20   std::thread::spawn(|| {});\n\
+               \x20   let n = std::thread::available_parallelism();\n\
+               }\n";
+    let report = run(&ws(vec![sf("crates/doma-core/src/a.rs", src)])).unwrap();
+    assert_finding(
+        &report.findings,
+        "crates/doma-core/src/a.rs",
+        2,
+        "thread-containment",
+    );
+    assert_eq!(report.findings.len(), 1, "available_parallelism is allowed");
+    // The sanctioned fan-out module is exempt.
+    let report = run(&ws(vec![sf("crates/doma-sim/src/shard.rs", src)])).unwrap();
+    assert_clean(&report.findings);
+}
+
+#[test]
+fn lint_headers_catch_missing_pragmas() {
+    let report = run(&ws(vec![sf(
+        "crates/doma-core/src/lib.rs",
+        "//! Docs.\npub fn f() {}\n",
+    )]))
+    .unwrap();
+    assert_finding(
+        &report.findings,
+        "crates/doma-core/src/lib.rs",
+        1,
+        "lint-headers",
+    );
+    assert_eq!(report.findings.len(), 2, "both pragmas missing");
+}
+
+#[test]
+fn scenario_digest_catches_missing_and_malformed_pins() {
+    let mut w = ws(vec![]);
+    w.scenarios.push((
+        "crates/doma-scenario/scenarios/x.toml".to_string(),
+        "[scenario]\nname = \"x\"\n".to_string(),
+    ));
+    let report = run(&w).unwrap();
+    assert_finding(
+        &report.findings,
+        "crates/doma-scenario/scenarios/x.toml",
+        1,
+        "scenario-digest",
+    );
+
+    let mut w = ws(vec![]);
+    w.scenarios.push((
+        "crates/doma-scenario/scenarios/y.toml".to_string(),
+        "[scenario]\nname = \"y\"\n[golden]\ndigest = \"0x123\"\n".to_string(),
+    ));
+    let report = run(&w).unwrap();
+    assert_finding(
+        &report.findings,
+        "crates/doma-scenario/scenarios/y.toml",
+        4,
+        "scenario-digest",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// determinism
+// ---------------------------------------------------------------------------
+
+#[test]
+fn determinism_catches_all_four_hazard_classes() {
+    let src = "use std::collections::HashMap;\n\
+               fn f() {\n\
+               \x20   let t = std::time::Instant::now();\n\
+               \x20   let v = std::env::var(\"DOMA_X\");\n\
+               \x20   let c = 1.0f64.partial_cmp(&2.0);\n\
+               }\n";
+    let report = run(&ws(vec![sf("crates/doma-sim/src/a.rs", src)])).unwrap();
+    let f = "crates/doma-sim/src/a.rs";
+    assert_finding(&report.findings, f, 1, "determinism"); // HashMap
+    assert_finding(&report.findings, f, 3, "determinism"); // Instant
+    assert_finding(&report.findings, f, 4, "determinism"); // env::var
+    assert_finding(&report.findings, f, 5, "determinism"); // partial_cmp
+    assert_eq!(report.findings.len(), 4);
+}
+
+#[test]
+fn determinism_spares_trait_impls_and_nondeterministic_crates() {
+    // Defining `partial_cmp` (a trait impl) is not calling it.
+    let impl_src = "impl PartialOrd for K {\n\
+                    \x20   fn partial_cmp(&self, o: &K) -> Option<Ordering> { None }\n\
+                    }\n";
+    let report = run(&ws(vec![sf("crates/doma-sim/src/k.rs", impl_src)])).unwrap();
+    assert_clean(&report.findings);
+    // The analysis crate may use wall clocks (it times real runs).
+    let src = "fn f() { let t = std::time::Instant::now(); }\n";
+    let report = run(&ws(vec![sf("crates/doma-analysis/src/t.rs", src)])).unwrap();
+    assert_clean(&report.findings);
+}
+
+// ---------------------------------------------------------------------------
+// lock-order
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lock_order_catches_reentrant_acquisition() {
+    let src = "impl Shard {\n\
+               \x20   fn tick(&self) {\n\
+               \x20       let a = self.queue.lock();\n\
+               \x20       let b = self.queue.lock();\n\
+               \x20   }\n\
+               }\n";
+    let report = run(&ws(vec![sf("crates/doma-sim/src/net.rs", src)])).unwrap();
+    assert_finding(
+        &report.findings,
+        "crates/doma-sim/src/net.rs",
+        4,
+        "lock-order",
+    );
+}
+
+#[test]
+fn lock_order_catches_acquisition_cycles_across_functions() {
+    let src = "impl Shard {\n\
+               \x20   fn ab(&self) {\n\
+               \x20       let a = self.m1.lock();\n\
+               \x20       let b = self.m2.lock();\n\
+               \x20   }\n\
+               \x20   fn ba(&self) {\n\
+               \x20       let b = self.m2.lock();\n\
+               \x20       let a = self.m1.lock();\n\
+               \x20   }\n\
+               }\n";
+    let report = run(&ws(vec![sf("crates/doma-sim/src/net.rs", src)])).unwrap();
+    let cyc: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "lock-order")
+        .collect();
+    assert_eq!(cyc.len(), 1, "{report:?}");
+    assert_eq!(cyc[0].line, 4, "first edge site anchors the cycle");
+    assert!(cyc[0].message.contains("cycle"));
+}
+
+#[test]
+fn lock_order_respects_drop_and_scope_ends() {
+    let src = "impl Shard {\n\
+               \x20   fn ok(&self) {\n\
+               \x20       let a = self.m1.lock();\n\
+               \x20       drop(a);\n\
+               \x20       let b = self.m2.lock();\n\
+               \x20   }\n\
+               \x20   fn scoped(&self) {\n\
+               \x20       { let b = self.m2.lock(); }\n\
+               \x20       let a = self.m1.lock();\n\
+               \x20   }\n\
+               }\n";
+    // Neither function holds two guards at once, so no edges and no
+    // cycle — even though the orders would conflict if held.
+    let report = run(&ws(vec![sf("crates/doma-sim/src/net.rs", src)])).unwrap();
+    assert_clean(&report.findings);
+}
+
+// ---------------------------------------------------------------------------
+// message-flow
+// ---------------------------------------------------------------------------
+
+#[test]
+fn message_flow_catches_unsendable_and_dead_variants() {
+    let def = "pub enum DomMsg {\n\
+               \x20   Used { x: u8 },\n\
+               \x20   NeverBuilt,\n\
+               \x20   NeverMatched(u8),\n\
+               }\n";
+    let uses = "fn f(msg: DomMsg) -> DomMsg {\n\
+                \x20   match msg {\n\
+                \x20       DomMsg::Used { .. } => {}\n\
+                \x20       DomMsg::NeverBuilt => {}\n\
+                \x20       DomMsg::NeverMatched(_) => {}\n\
+                \x20   }\n\
+                \x20   let m = DomMsg::Used { x: 1 };\n\
+                \x20   if matches!(m, DomMsg::Used { .. }) {\n\
+                \x20       return DomMsg::NeverMatched(2);\n\
+                \x20   }\n\
+                \x20   m\n\
+                }\n";
+    // Every variant is matched by the dispatch, and Used/NeverMatched
+    // are constructed — NeverBuilt's missing construction is the one
+    // seeded violation (the dead-variant case is the next test).
+    let report = run(&ws(vec![
+        sf("crates/doma-protocol/src/msg.rs", def),
+        sf("crates/doma-protocol/src/node.rs", uses),
+    ]))
+    .unwrap();
+    let mf: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "message-flow")
+        .collect();
+    assert_eq!(mf.len(), 1, "{report:?}");
+    assert_eq!(
+        (mf[0].file.as_str(), mf[0].line),
+        ("crates/doma-protocol/src/msg.rs", 3),
+        "NeverBuilt is never constructed"
+    );
+    assert!(mf[0].message.contains("never constructed"));
+}
+
+#[test]
+fn message_flow_catches_dead_variants() {
+    let def = "pub enum DomMsg {\n\
+               \x20   Used,\n\
+               \x20   Dead,\n\
+               }\n";
+    let uses = "fn f(msg: DomMsg) -> bool {\n\
+                \x20   let _ = DomMsg::Dead;\n\
+                \x20   let _ = DomMsg::Used;\n\
+                \x20   matches!(msg, DomMsg::Used)\n\
+                }\n";
+    let report = run(&ws(vec![
+        sf("crates/doma-protocol/src/msg.rs", def),
+        sf("crates/doma-protocol/src/node.rs", uses),
+    ]))
+    .unwrap();
+    let mf: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "message-flow")
+        .collect();
+    assert_eq!(mf.len(), 1, "{report:?}");
+    assert_eq!(
+        (mf[0].file.as_str(), mf[0].line),
+        ("crates/doma-protocol/src/msg.rs", 3),
+        "Dead is never dispatched"
+    );
+    assert!(mf[0].message.contains("never matched"));
+}
+
+// ---------------------------------------------------------------------------
+// obs-catalog
+// ---------------------------------------------------------------------------
+
+const DESIGN_STUB: &str = "## 7. Other\n\
+                           `not.a_metric_section`\n\
+                           ## 8. Observability\n\
+                           | `proto.good` | a metric |\n\
+                           ## 9. After\n";
+
+#[test]
+fn obs_catalog_catches_uncataloged_metrics_and_unsorted_labels() {
+    let src = "fn f(reg: &Registry) {\n\
+               \x20   reg.counter(\"proto\", \"good\", &[]).add2(1);\n\
+               \x20   reg.counter(\"proto\", \"bogus\", &[]).add2(1);\n\
+               \x20   reg.add(\"proto\", \"good\", &[(\"node\", n), (\"algo\", a)], 1);\n\
+               }\n";
+    let mut w = ws(vec![sf("crates/doma-protocol/src/o.rs", src)]);
+    w.design = DESIGN_STUB.to_string();
+    let report = run(&w).unwrap();
+    let oc: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "obs-catalog")
+        .collect();
+    assert_eq!(oc.len(), 2, "{report:?}");
+    assert_eq!(oc[0].line, 3, "bogus metric name");
+    assert!(oc[0].message.contains("proto.bogus"));
+    assert_eq!(oc[1].line, 4, "algo after node");
+    assert!(oc[1].message.contains("not sorted"));
+}
+
+#[test]
+fn obs_catalog_only_reads_section_eight() {
+    // `not.a_metric_section` appears under §7 — it is not catalog.
+    let src = "fn f(reg: &Registry) { reg.counter(\"not\", \"a_metric_section\", &[]); }\n";
+    let mut w = ws(vec![sf("crates/doma-protocol/src/o.rs", src)]);
+    w.design = DESIGN_STUB.to_string();
+    let report = run(&w).unwrap();
+    assert_finding(
+        &report.findings,
+        "crates/doma-protocol/src/o.rs",
+        1,
+        "obs-catalog",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// stale-allowlist
+// ---------------------------------------------------------------------------
+
+#[test]
+fn stale_allowlist_entries_become_findings() {
+    let mut w = ws(vec![sf("crates/doma-sim/src/a.rs", "fn f() {}\n")]);
+    w.allowlist = Some(
+        "# header comment\n\
+         determinism crates/doma-sim/src/a.rs env::var\n"
+            .to_string(),
+    );
+    let report = run(&w).unwrap();
+    assert_finding(&report.findings, "lint-allow.list", 2, "stale-allowlist");
+    assert_eq!(report.findings.len(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// The real tree
+// ---------------------------------------------------------------------------
+
+#[test]
+fn the_real_tree_is_findings_free() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = doma_lint::load_workspace(&root).expect("workspace loads");
+    let report = run(&ws).expect("lint runs");
+    assert!(
+        report.findings.is_empty(),
+        "the checked-in tree must lint clean: {:#?}",
+        report.findings
+    );
+    assert!(report.files_checked > 100, "walker saw the whole tree");
+}

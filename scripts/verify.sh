@@ -69,8 +69,27 @@ fi
 # ---------------------------------------------------------------------------
 cargo build --release --offline
 
-if ! cargo run -q --release --offline -p doma-lint --bin doma-lint -- .; then
-    echo "verify: FAILED (doma-lint wall)" >&2
+# ---------------------------------------------------------------------------
+# Semantic lint wall: the token-tree engine (determinism, lock-order,
+# message-flow, obs-catalog + the legacy rules) must be findings-free, its
+# JSON report must be byte-identical across two invocations (the same
+# determinism bar the obs/scenario walls hold), and stale lint-allow.list
+# entries fail the run (the engine reports them as findings).
+# ---------------------------------------------------------------------------
+lint_dir=$(mktemp -d)
+trap 'rm -rf "$lint_dir"' EXIT
+if ! ./target/release/domactl lint --format json > "$lint_dir/lint1.json"; then
+    cat "$lint_dir/lint1.json" >&2
+    echo "verify: FAILED (doma-lint wall: findings or stale allowlist entries above)" >&2
+    exit 1
+fi
+./target/release/domactl lint --format json > "$lint_dir/lint2.json"
+if ! cmp -s "$lint_dir/lint1.json" "$lint_dir/lint2.json"; then
+    echo "verify: FAILED (domactl lint JSON differs across identical runs)" >&2
+    exit 1
+fi
+if ! grep -qF '"findings": 0' "$lint_dir/lint1.json"; then
+    echo "verify: FAILED (domactl lint reported findings)" >&2
     exit 1
 fi
 
@@ -82,7 +101,7 @@ cargo test -q --offline --workspace
 # doma-obs determinism contract, checked end to end through the CLI.
 # ---------------------------------------------------------------------------
 obs_dir=$(mktemp -d)
-trap 'rm -rf "$obs_dir"' EXIT
+trap 'rm -rf "$obs_dir" "$lint_dir"' EXIT
 ./target/release/domactl obs --schedule "r2 w3 r2 r1 w0 r3 w2 r0" --algo da > "$obs_dir/obs1.json"
 ./target/release/domactl obs --schedule "r2 w3 r2 r1 w0 r3 w2 r0" --algo da > "$obs_dir/obs2.json"
 if ! cmp -s "$obs_dir/obs1.json" "$obs_dir/obs2.json"; then
