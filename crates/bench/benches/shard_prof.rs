@@ -1,0 +1,223 @@
+//! Deterministic phase profiler for the sharded driver (ISSUE 9): where
+//! does the `sharded/1` − `sequential` wall-clock delta go?
+//!
+//! The sampled group measures the two endpoints the perf-regression
+//! gate (`domactl perf` in verify.sh) watches: the sequential driver
+//! and the K=1 sharded driver on the shard-scaling workload shape
+//! (64 objects, 5k requests, 8 nodes). The second half decomposes one
+//! K=1 sharded run into the driver's named phases using the
+//! [`ShardedSim`] phase API — `partition`, `project`, thread `spawn`,
+//! per-shard engine `setup` ([`ProtocolSim::new_catalog`]), `execute`,
+//! and the report/obs `merge` ([`ShardedSim::merge_outcomes`]) — timing
+//! each phase over repeated runs and attaching the medians plus the
+//! fraction of the sharded-minus-sequential delta they explain
+//! (`attributed_fraction`; the committed `BENCH_prof.json` baseline
+//! must attribute ≥ 90%). Setup and execute are timed *inside* a
+//! spawned worker, exactly like the real thread path runs them, so the
+//! decomposition reconstructs the whole sharded run and the residual is
+//! pure measurement noise.
+
+use doma_algorithms::multi::Placement;
+use doma_core::ObjectId;
+use doma_protocol::{ProtocolConfig, ProtocolSim, ShardOutcome, ShardedSim};
+use doma_testkit::bench::{Bench, BenchId};
+use doma_workload::{MultiScheduleGen, MultiUniformWorkload};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+const N: usize = 8;
+const OBJECTS: u64 = 64;
+const SEED: u64 = 42;
+const READ_FRACTION: f64 = 0.8;
+const REQUESTS: usize = 5_000;
+
+/// The shard-scaling catalog: 64 objects alternating SA and DA
+/// configurations around an 8-node ring.
+fn catalog() -> BTreeMap<ObjectId, ProtocolConfig> {
+    (0..OBJECTS)
+        .map(|o| {
+            let base = (o as usize) % (N - 1);
+            let config = if o % 2 == 0 {
+                ProtocolConfig::Sa {
+                    q: [base, base + 1].into_iter().collect(),
+                }
+            } else {
+                ProtocolConfig::Da {
+                    f: [base].into_iter().collect(),
+                    p: doma_core::ProcessorId::new(base + 1),
+                }
+            };
+            (ObjectId(o), config)
+        })
+        .collect()
+}
+
+fn median_ns(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn bench(c: &mut Bench) {
+    let configs = catalog();
+    let schedule = MultiUniformWorkload::new(OBJECTS, N, READ_FRACTION)
+        .expect("valid")
+        .generate_multi(REQUESTS, SEED);
+
+    // The two perf-gated endpoints, as sampled benchmarks.
+    let mut group = c.group("shard_prof");
+    group.throughput_elements(REQUESTS as u64);
+    group.bench_with_input(BenchId::new("sequential", "64obj"), &schedule, |b, s| {
+        b.iter(|| {
+            let mut sim = ProtocolSim::new_catalog(N, catalog()).expect("valid");
+            sim.execute_multi(s).expect("run")
+        })
+    });
+    group.bench_with_input(BenchId::new("sharded", 1usize), &schedule, |b, s| {
+        b.iter(|| {
+            ShardedSim::new(N, configs.clone(), 1, Placement::RoundRobin)
+                .expect("valid")
+                .execute_multi(s)
+                .expect("run")
+        })
+    });
+    group.finish();
+
+    // Phase decomposition of the K=1 sharded run, medians over `reps`
+    // repeats (fewer under `--test`, where only coverage matters).
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let reps = if test_mode { 3 } else { 25 };
+    let sharded = ShardedSim::new(N, configs.clone(), 1, Placement::RoundRobin).expect("valid");
+    let mut samples: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    let push = |map: &mut BTreeMap<&str, Vec<f64>>, phase: &'static str, start: Instant| {
+        map.entry(phase)
+            .or_default()
+            .push(start.elapsed().as_nanos() as f64);
+    };
+
+    for _ in 0..reps {
+        // Sequential endpoint, timed inline so the attribution below is
+        // self-consistent (same box, same moment, same measurement).
+        let start = Instant::now();
+        let mut sim = ProtocolSim::new_catalog(N, catalog()).expect("valid");
+        let expected = sim.execute_multi(&schedule).expect("run");
+        push(&mut samples, "sequential", start);
+
+        // The real thread path, for the delta being explained.
+        let start = Instant::now();
+        sharded.execute_multi(&schedule).expect("run");
+        push(&mut samples, "sharded1", start);
+
+        // Phase 1: object → shard assignment.
+        let start = Instant::now();
+        let assignment = sharded.partition(&schedule).expect("catalog is closed");
+        push(&mut samples, "partition", start);
+
+        // Phase 2: per-shard catalog + schedule projection (the copies).
+        let start = Instant::now();
+        let inputs = sharded.project(&schedule, &assignment);
+        push(&mut samples, "project", start);
+
+        // Phases 3 + 4, per shard: engine setup, then execution (holder
+        // collection rides in the execute phase). Both run inside a
+        // spawned worker thread, timed in-thread, so they are measured
+        // under the same conditions as the real `execute_multi` thread
+        // path; the scope time not covered by the in-thread stopwatches
+        // is the spawn/join overhead, recorded as its own phase.
+        let scope_start = Instant::now();
+        let timed: Vec<(f64, f64, ShardOutcome)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = inputs
+                .into_iter()
+                .map(|(shard_catalog, shard_schedule)| {
+                    scope.spawn(move || {
+                        let objects: Vec<ObjectId> = shard_catalog.keys().copied().collect();
+                        let start = Instant::now();
+                        let mut sim = ProtocolSim::new_catalog(N, shard_catalog).expect("valid");
+                        let setup_ns = start.elapsed().as_nanos() as f64;
+                        let start = Instant::now();
+                        let report = sim.execute_multi(&shard_schedule).expect("run");
+                        let holders = objects
+                            .into_iter()
+                            .map(|o| (o, sim.valid_holders_of(o)))
+                            .collect();
+                        let execute_ns = start.elapsed().as_nanos() as f64;
+                        (
+                            setup_ns,
+                            execute_ns,
+                            ShardOutcome {
+                                report,
+                                holders,
+                                obs: None,
+                            },
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        let scope_ns = scope_start.elapsed().as_nanos() as f64;
+        let setup_ns: f64 = timed.iter().map(|(s, _, _)| s).sum();
+        let execute_ns: f64 = timed.iter().map(|(_, e, _)| e).sum();
+        let outcomes: Vec<ShardOutcome> = timed.into_iter().map(|(_, _, o)| o).collect();
+        samples.entry("setup").or_default().push(setup_ns);
+        samples.entry("execute").or_default().push(execute_ns);
+        samples
+            .entry("spawn")
+            .or_default()
+            .push((scope_ns - setup_ns - execute_ns).max(0.0));
+
+        // Phase 5: fold the shard outcomes into the final run.
+        let start = Instant::now();
+        let run = sharded.merge_outcomes(assignment, outcomes);
+        push(&mut samples, "merge", start);
+        assert_eq!(
+            run.report, expected,
+            "phase decomposition must preserve sequential parity"
+        );
+    }
+
+    let med: BTreeMap<&str, f64> = samples
+        .iter_mut()
+        .map(|(phase, s)| (*phase, median_ns(s)))
+        .collect();
+    let phases_total: f64 = ["partition", "project", "spawn", "setup", "execute", "merge"]
+        .iter()
+        .map(|p| med[p])
+        .sum();
+    let overhead_delta = med["sharded1"] - med["sequential"];
+    let explained_delta = phases_total - med["sequential"];
+    let attributed_fraction = if overhead_delta > 0.0 {
+        explained_delta / overhead_delta
+    } else {
+        1.0
+    };
+    c.attach_json(
+        "shard_prof/phases",
+        format!(
+            "{{\"objects\": {OBJECTS}, \"requests\": {REQUESTS}, \"n\": {N}, \
+             \"seed\": {SEED}, \"read_fraction\": {READ_FRACTION}, \"shards\": 1, \
+             \"reps\": {reps}, \"phase_median_ns\": {{\
+             \"partition\": {partition:.0}, \"project\": {project:.0}, \
+             \"spawn\": {spawn:.0}, \"setup\": {setup:.0}, \
+             \"execute\": {execute:.0}, \"merge\": {merge:.0}}}, \
+             \"phases_total_ns\": {phases_total:.0}, \
+             \"sequential_median_ns\": {sequential:.0}, \
+             \"sharded1_median_ns\": {sharded1:.0}, \
+             \"overhead_delta_ns\": {overhead_delta:.0}, \
+             \"explained_delta_ns\": {explained_delta:.0}, \
+             \"attributed_fraction\": {attributed_fraction:.3}}}",
+            partition = med["partition"],
+            project = med["project"],
+            spawn = med["spawn"],
+            setup = med["setup"],
+            execute = med["execute"],
+            merge = med["merge"],
+            sequential = med["sequential"],
+            sharded1 = med["sharded1"],
+        ),
+    );
+}
+
+doma_testkit::bench_main!(bench);

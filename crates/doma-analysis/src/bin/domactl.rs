@@ -16,6 +16,13 @@
 //! domactl tournament [--n 6] [--len 40] [--seed 7] [--out BENCH_tournament.json]
 //!                  [--format table|json]
 //! domactl scenario <name|path|all|list> [--format table|json]
+//!                  [--diff <baseline.json>]
+//! domactl trace    <scenario|workload> [--format table|chrome] [--top 10]
+//!                  [--events N] [--algo sa|da] [--n 6] [--len 50] [--seed 0]
+//!                  [--read-fraction 0.7]
+//! domactl obs diff <a.json> <b.json> [--scenario NAME]
+//! domactl perf     <current.json> [--baseline BENCH_prof.json]
+//!                  [--threshold 0.25]
 //! domactl lint     [--root PATH] [--format table|json] [--rule <id>]
 //! ```
 //!
@@ -42,15 +49,29 @@ use std::time::Instant;
 #[derive(Debug, Default)]
 struct Opts {
     command: String,
-    /// One optional positional operand after the command (the scenario
-    /// name or path for `domactl scenario …`).
+    /// The first positional operand after the command (the scenario
+    /// name or path for `domactl scenario …`, the trace target, the
+    /// `diff` subcommand of `obs`, …).
     target: Option<String>,
+    /// Further positional operands, for the commands that take them
+    /// (`obs diff <a> <b>`).
+    extra: Vec<String>,
     flags: BTreeMap<String, String>,
     verbose: bool,
 }
 
+/// How many positional operands a command accepts after its name.
+fn positional_arity(command: &str) -> usize {
+    match command {
+        "scenario" | "trace" | "perf" => 1,
+        "obs" => 3, // bare `obs`, or `obs diff <a> <b>`
+        _ => 0,
+    }
+}
+
 fn parse_args(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts::default();
+    let mut positionals: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         if arg == "--verbose" {
@@ -62,18 +83,23 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             opts.flags.insert(key.to_string(), value.clone());
         } else if opts.command.is_empty() {
             opts.command = arg.clone();
-        } else if opts.target.is_none() {
-            opts.target = Some(arg.clone());
         } else {
-            return Err(format!("unexpected argument '{arg}'"));
+            positionals.push(arg.clone());
         }
     }
     if opts.command.is_empty() {
         return Err(
-            "missing command (cost | stats | simulate | obs | generate | shard | tournament | scenario)"
+            "missing command (cost | stats | simulate | obs | generate | shard | tournament | scenario | trace | perf | lint)"
                 .to_string(),
         );
     }
+    let arity = positional_arity(&opts.command);
+    if positionals.len() > arity {
+        return Err(format!("unexpected argument '{}'", positionals[arity]));
+    }
+    let mut it = positionals.into_iter();
+    opts.target = it.next();
+    opts.extra = it.collect();
     Ok(opts)
 }
 
@@ -261,6 +287,11 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
 /// same inputs), or the aligned metric table plus event log with
 /// `--format table`.
 fn cmd_obs(opts: &Opts) -> Result<(), String> {
+    match opts.target.as_deref() {
+        Some("diff") => return cmd_obs_diff(opts),
+        Some(other) => return Err(format!("unexpected argument '{other}'")),
+        None => {}
+    }
     let schedule = opts.schedule()?;
     let n = universe_for(&schedule, opts)?;
     let algo = opts.get("algo", "da");
@@ -288,6 +319,173 @@ fn cmd_obs(opts: &Opts) -> Result<(), String> {
         other => return Err(format!("--format must be json or table, got '{other}'")),
     }
     Ok(())
+}
+
+/// `domactl obs diff <a.json> <b.json>` — structural diff of two obs
+/// snapshots (raw, or wrapped in scenario reports / report arrays;
+/// `--scenario NAME` picks one report out of an array). Exits nonzero
+/// when the snapshots differ, so scripts can gate on it.
+fn cmd_obs_diff(opts: &Opts) -> Result<(), String> {
+    let [path_a, path_b] = opts.extra.as_slice() else {
+        return Err("usage: domactl obs diff <a.json> <b.json> [--scenario NAME]".to_string());
+    };
+    let text_a =
+        std::fs::read_to_string(path_a).map_err(|e| format!("cannot read {path_a}: {e}"))?;
+    let text_b =
+        std::fs::read_to_string(path_b).map_err(|e| format!("cannot read {path_b}: {e}"))?;
+    let which = opts.flags.get("scenario").map(String::as_str);
+    let diff = doma_analysis::obsdiff::diff_texts(&text_a, &text_b, which)?;
+    print!("{}", doma_analysis::obsdiff::render(&diff));
+    if diff.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("{path_a} and {path_b} differ"))
+    }
+}
+
+/// `domactl trace <scenario|workload>` — run the target with per-request
+/// causal spans enabled and print either the Chrome trace-event JSON
+/// (`--format chrome`, perfetto-loadable, byte-stable for a fixed seed)
+/// or the slowest-K critical-path report (`--format table`, default).
+/// The target is a builtin scenario name, a scenario `.toml` path, or a
+/// workload kind (`uniform|zipf|hotspot|chaotic|mobile|append`) run
+/// through a single-object SA/DA sim (`--algo`, `--n`, `--len`,
+/// `--seed`, `--read-fraction`).
+fn cmd_trace(opts: &Opts) -> Result<(), String> {
+    use doma_obs::trace::{chrome_trace, slowest_report, TraceModel};
+    let target = opts.target.clone().ok_or_else(|| {
+        format!(
+            "need a target: domactl trace <scenario|workload>\nbuiltins: {}\nworkloads: uniform, zipf, hotspot, chaotic, mobile, append",
+            doma_scenario::builtin::names().join(", ")
+        )
+    })?;
+    let format = opts.get("format", "table");
+    if !["table", "chrome"].contains(&format.as_str()) {
+        return Err(format!("--format must be table or chrome, got '{format}'"));
+    }
+    let top = opts.get_usize("top", 10)?;
+    let workloads = ["uniform", "zipf", "hotspot", "chaotic", "mobile", "append"];
+
+    let (model, header) = if target.ends_with(".toml")
+        || target.contains('/')
+        || doma_scenario::builtin::names().contains(&target.as_str())
+    {
+        let mut scenario = if target.ends_with(".toml") || target.contains('/') {
+            let text = std::fs::read_to_string(&target)
+                .map_err(|e| format!("cannot read {target}: {e}"))?;
+            doma_scenario::Scenario::parse(&text).map_err(|e| format!("{target}: {e}"))?
+        } else {
+            doma_scenario::builtin::load(&target).map_err(|e| e.to_string())?
+        };
+        if opts.flags.contains_key("events") {
+            scenario.events = opts.get_usize("events", scenario.events)?;
+        }
+        let (report, obs) =
+            doma_scenario::run_traced(&scenario).map_err(|e| format!("{}: {e}", scenario.name))?;
+        for violation in &report.violations {
+            eprintln!("warning: {}: {violation}", report.scenario);
+        }
+        let header = format!(
+            "trace: scenario {} ({} entrant, {} requests, cost {} control / {} data / {} I/O)",
+            report.scenario,
+            report.entrant,
+            report.requests,
+            report.cost.control,
+            report.cost.data,
+            report.cost.io
+        );
+        (TraceModel::from_obs(&obs), header)
+    } else if workloads.contains(&target.as_str()) {
+        let n = opts.get_usize("n", 6)?;
+        let len = opts.get_usize("len", 50)?;
+        let seed = opts.get_usize("seed", 0)? as u64;
+        let rf = opts.get_f64("read-fraction", 0.7)?;
+        let events = opts.get_usize("events", 65_536)?;
+        let err = |e: doma_core::DomaError| e.to_string();
+        let gen: Box<dyn ScheduleGen> = match target.as_str() {
+            "uniform" => Box::new(UniformWorkload::new(n, rf).map_err(err)?),
+            "zipf" => Box::new(ZipfWorkload::new(n, 1.0, rf).map_err(err)?),
+            "hotspot" => Box::new(HotspotWorkload::new(n, 20, rf).map_err(err)?),
+            "chaotic" => Box::new(ChaoticWorkload::new(n, 8).map_err(err)?),
+            "mobile" => Box::new(MobileWorkload::new(n / 2, n - n / 2 - 1, 0.3, rf).map_err(err)?),
+            "append" => Box::new(AppendOnlyWorkload::new(n, 2, 3.0).map_err(err)?),
+            _ => unreachable!("gated by the workloads list"),
+        };
+        let schedule = gen.generate(len, seed);
+        let algo = opts.get("algo", "da");
+        let mut sim = match algo.as_str() {
+            "sa" => ProtocolSim::new_sa(n, ProcSet::from_iter([0usize, 1])).map_err(err)?,
+            "da" => ProtocolSim::new_da(n, ProcSet::from_iter([0usize]), ProcessorId::new(1))
+                .map_err(err)?,
+            other => return Err(format!("--algo must be sa or da, got '{other}'")),
+        };
+        let obs = sim.attach_obs(events);
+        let _trace_handle = sim.attach_tracer_on(obs.events().clone());
+        sim.enable_request_spans();
+        let report = sim.execute(&schedule).map_err(err)?;
+        sim.obs_flush();
+        let header = format!(
+            "trace: {target} workload ({} on n={n}, {} requests, seed {seed}, cost {} control / {} data / {} I/O)",
+            algo.to_uppercase(),
+            schedule.len(),
+            report.cost.control,
+            report.cost.data,
+            report.cost.io
+        );
+        (TraceModel::from_obs(&obs), header)
+    } else {
+        return Err(format!(
+            "unknown trace target '{target}'\nbuiltins: {}\nworkloads: {}",
+            doma_scenario::builtin::names().join(", "),
+            workloads.join(", ")
+        ));
+    };
+
+    match format.as_str() {
+        "chrome" => println!("{}", chrome_trace(&model)),
+        _ => {
+            println!("{header}");
+            if model.truncated() {
+                println!(
+                    "  WARNING: event log truncated ({} dropped, {} orphan exits) — raise --events",
+                    model.dropped_events, model.orphan_exits
+                );
+            }
+            print!("{}", slowest_report(&model, top));
+        }
+    }
+    Ok(())
+}
+
+/// `domactl perf <current.json>` — the perf-regression gate: compares a
+/// fresh bench report against the committed baseline
+/// (`--baseline BENCH_prof.json`) and exits nonzero when any benchmark's
+/// median regressed beyond `--threshold` (default 0.25 = +25%) or a
+/// baselined benchmark disappeared.
+fn cmd_perf(opts: &Opts) -> Result<(), String> {
+    let current = opts.target.clone().ok_or(
+        "usage: domactl perf <current.json> [--baseline BENCH_prof.json] [--threshold 0.25]",
+    )?;
+    let baseline = opts.get("baseline", "BENCH_prof.json");
+    let threshold = opts.get_f64("threshold", 0.25)?;
+    if !(0.0..10.0).contains(&threshold) {
+        return Err(format!("--threshold {threshold} out of range [0, 10)"));
+    }
+    let baseline_text =
+        std::fs::read_to_string(&baseline).map_err(|e| format!("cannot read {baseline}: {e}"))?;
+    let current_text =
+        std::fs::read_to_string(&current).map_err(|e| format!("cannot read {current}: {e}"))?;
+    let cmp = doma_analysis::perfgate::compare(&baseline_text, &current_text, threshold)?;
+    print!("{}", doma_analysis::perfgate::render(&cmp));
+    if cmp.passed() {
+        Ok(())
+    } else {
+        Err(format!(
+            "perf regression vs {baseline} ({} regressed, {} missing)",
+            cmp.regressions().len(),
+            cmp.missing.len()
+        ))
+    }
 }
 
 fn cmd_generate(opts: &Opts) -> Result<(), String> {
@@ -485,13 +683,33 @@ fn cmd_scenario(opts: &Opts) -> Result<(), String> {
         vec![doma_scenario::builtin::load(&target).map_err(|e| e.to_string())?]
     };
 
+    let baseline = match opts.flags.get("diff") {
+        Some(path) => {
+            Some(std::fs::read_to_string(path).map_err(|e| format!("--diff {path}: {e}"))?)
+        }
+        None => None,
+    };
     let mut failed = Vec::new();
     let mut json_rows = Vec::new();
+    let mut diffs = Vec::new();
     for scenario in &scenarios {
         let report = doma_scenario::run(scenario).map_err(|e| format!("{}: {e}", scenario.name))?;
         match format.as_str() {
             "json" => json_rows.push(report.render_json()),
             _ => print!("{}", report.render_table()),
+        }
+        if let Some(baseline_text) = &baseline {
+            let d = doma_analysis::obsdiff::diff_texts(
+                baseline_text,
+                &report.snapshot_json,
+                Some(&report.scenario),
+            )
+            .map_err(|e| format!("--diff {}: {e}", report.scenario))?;
+            diffs.push(format!(
+                "{}: {}",
+                report.scenario,
+                doma_analysis::obsdiff::render(&d)
+            ));
         }
         if !report.passed() {
             failed.push(format!(
@@ -503,6 +721,9 @@ fn cmd_scenario(opts: &Opts) -> Result<(), String> {
     }
     if format == "json" {
         println!("[\n  {}\n]", json_rows.join(",\n  "));
+    }
+    for diff in &diffs {
+        print!("{diff}");
     }
     if !failed.is_empty() {
         return Err(format!(
@@ -536,9 +757,10 @@ fn cmd_lint(opts: &Opts) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: domactl <cost|stats|simulate|obs|generate|shard|tournament|scenario|lint> [--flags]\n\
+    "usage: domactl <cost|stats|simulate|obs|generate|shard|tournament|scenario|trace|perf|lint> [--flags]\n\
      try: domactl cost --schedule \"r1 r1 r2 w2 r2 r2 r2\" --cc 0.5 --cd 1.0\n\
      try: domactl scenario list\n\
+     try: domactl trace append-only-6-2 --format chrome\n\
      try: domactl lint --format json"
         .to_string()
 }
@@ -546,10 +768,6 @@ fn usage() -> String {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = parse_args(&args).and_then(|opts| match opts.command.as_str() {
-        cmd if cmd != "scenario" && opts.target.is_some() => Err(format!(
-            "unexpected argument '{}'",
-            opts.target.as_deref().unwrap_or_default()
-        )),
         "cost" => cmd_cost(&opts),
         "stats" => cmd_stats(&opts),
         "simulate" => cmd_simulate(&opts),
@@ -558,6 +776,8 @@ fn main() -> ExitCode {
         "shard" => cmd_shard(&opts),
         "tournament" => cmd_tournament(&opts),
         "scenario" => cmd_scenario(&opts),
+        "trace" => cmd_trace(&opts),
+        "perf" => cmd_perf(&opts),
         "lint" => cmd_lint(&opts),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     });
@@ -592,12 +812,30 @@ mod tests {
     fn parser_rejects_malformed_input() {
         assert!(parse_args(&args(&[])).is_err());
         assert!(parse_args(&args(&["cost", "--cc"])).is_err());
-        // One extra positional is the scenario operand; two is an error.
+        // Positional arity is per-command: `scenario` takes one operand,
+        // `cost` takes none, `obs diff` takes three.
         let o = parse_args(&args(&["scenario", "flash-crowd"])).unwrap();
         assert_eq!(o.target.as_deref(), Some("flash-crowd"));
         assert!(parse_args(&args(&["cost", "stray", "stray2"])).is_err());
+        assert!(parse_args(&args(&["cost", "stray"])).is_err());
+        assert!(parse_args(&args(&["scenario", "a", "b"])).is_err());
+        assert!(parse_args(&args(&["trace", "a", "b"])).is_err());
         let o = parse_args(&args(&["cost", "--cc", "abc"])).unwrap();
         assert!(o.get_f64("cc", 0.0).is_err());
+    }
+
+    #[test]
+    fn parser_accepts_multi_positional_obs_diff() {
+        let o = parse_args(&args(&["obs", "diff", "a.json", "b.json"])).unwrap();
+        assert_eq!(o.target.as_deref(), Some("diff"));
+        assert_eq!(o.extra, vec!["a.json".to_string(), "b.json".to_string()]);
+        assert!(parse_args(&args(&["obs", "diff", "a", "b", "c"])).is_err());
+        // `obs` with a non-diff positional is rejected by the command.
+        let o = parse_args(&args(&["obs", "bogus", "--schedule", "r1"])).unwrap();
+        assert!(cmd_obs(&o).unwrap_err().contains("unexpected argument"));
+        // `obs diff` with fewer than two files is a usage error.
+        let o = parse_args(&args(&["obs", "diff", "only-one"])).unwrap();
+        assert!(cmd_obs(&o).unwrap_err().contains("usage:"));
     }
 
     #[test]
@@ -722,6 +960,119 @@ mod tests {
     fn obs_rejects_bad_format() {
         let o = parse_args(&args(&["obs", "--schedule", "r1", "--format", "xml"])).unwrap();
         assert!(cmd_obs(&o).is_err());
+    }
+
+    fn temp_file(name: &str, contents: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("domactl-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn trace_runs_scenarios_and_workloads() {
+        let o = parse_args(&args(&["trace", "append-only-6-2"])).unwrap();
+        cmd_trace(&o).unwrap();
+        let o = parse_args(&args(&["trace", "append-only-6-2", "--format", "chrome"])).unwrap();
+        cmd_trace(&o).unwrap();
+        let o = parse_args(&args(&[
+            "trace", "uniform", "--len", "12", "--algo", "sa", "--top", "3",
+        ]))
+        .unwrap();
+        cmd_trace(&o).unwrap();
+        let o = parse_args(&args(&["trace", "no-such-target"])).unwrap();
+        assert!(cmd_trace(&o).unwrap_err().contains("unknown trace target"));
+        let o = parse_args(&args(&["trace", "uniform", "--format", "svg"])).unwrap();
+        assert!(cmd_trace(&o).unwrap_err().contains("--format"));
+        let o = parse_args(&args(&["trace"])).unwrap();
+        assert!(cmd_trace(&o).unwrap_err().contains("need a target"));
+    }
+
+    #[test]
+    fn obs_diff_detects_changes_and_clean_runs() {
+        let snap_a = "{\"dropped_events\": 0, \"events\": [], \"metrics\": \
+             [{\"component\": \"p\", \"name\": \"x\", \"labels\": {}, \
+             \"kind\": \"counter\", \"value\": 1}]}";
+        let snap_b = snap_a.replace("\"value\": 1", "\"value\": 2");
+        let a = temp_file("diff_a.json", snap_a);
+        let b = temp_file("diff_b.json", &snap_b);
+        let same = parse_args(&args(&[
+            "obs",
+            "diff",
+            a.to_str().unwrap(),
+            a.to_str().unwrap(),
+        ]))
+        .unwrap();
+        cmd_obs(&same).unwrap();
+        let differ = parse_args(&args(&[
+            "obs",
+            "diff",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(cmd_obs(&differ).unwrap_err().contains("differ"));
+    }
+
+    #[test]
+    fn scenario_diff_flag_compares_against_a_baseline() {
+        let scenario = doma_scenario::builtin::load("append-only-6-2").unwrap();
+        let report = doma_scenario::run(&scenario).unwrap();
+        let baseline = temp_file("scenario_baseline.json", &report.snapshot_json);
+        let o = parse_args(&args(&[
+            "scenario",
+            "append-only-6-2",
+            "--diff",
+            baseline.to_str().unwrap(),
+        ]))
+        .unwrap();
+        cmd_scenario(&o).unwrap();
+        let o = parse_args(&args(&[
+            "scenario",
+            "append-only-6-2",
+            "--diff",
+            "/no/such/baseline.json",
+        ]))
+        .unwrap();
+        assert!(cmd_scenario(&o).unwrap_err().contains("--diff"));
+    }
+
+    #[test]
+    fn perf_gate_passes_and_fails_on_medians() {
+        let base = temp_file(
+            "perf_base.json",
+            "[{\"group\": \"g\", \"name\": \"a\", \"samples\": 3, \
+             \"iters_per_sample\": 1, \"mean_ns\": 100.0, \"median_ns\": 100.0, \
+             \"stddev_ns\": 0.0, \"min_ns\": 100.0, \"max_ns\": 100.0}]",
+        );
+        let ok = temp_file("perf_ok.json", &std::fs::read_to_string(&base).unwrap());
+        let slow = temp_file(
+            "perf_slow.json",
+            &std::fs::read_to_string(&base)
+                .unwrap()
+                .replace("\"median_ns\": 100.0", "\"median_ns\": 200.0"),
+        );
+        let o = parse_args(&args(&[
+            "perf",
+            ok.to_str().unwrap(),
+            "--baseline",
+            base.to_str().unwrap(),
+        ]))
+        .unwrap();
+        cmd_perf(&o).unwrap();
+        let o = parse_args(&args(&[
+            "perf",
+            slow.to_str().unwrap(),
+            "--baseline",
+            base.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(cmd_perf(&o).unwrap_err().contains("perf regression"));
+        let o = parse_args(&args(&["perf"])).unwrap();
+        assert!(cmd_perf(&o).unwrap_err().contains("usage:"));
+        let o = parse_args(&args(&["perf", "x", "--threshold", "99"])).unwrap();
+        assert!(cmd_perf(&o).unwrap_err().contains("--threshold"));
     }
 
     #[test]

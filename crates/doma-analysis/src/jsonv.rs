@@ -1,0 +1,331 @@
+//! A minimal JSON value parser for the harness's own artifacts.
+//!
+//! The workspace is zero-dependency, and everything it *emits* is
+//! hand-rolled byte-stable JSON (obs snapshots, bench reports, scenario
+//! exports). The diff and perf-gate commands need to read those
+//! artifacts back, so this module provides the inverse: a small
+//! recursive-descent parser into a [`Jv`] tree. Object members keep
+//! their textual order (a `Vec` of pairs, not a map), so a rendered
+//! diff walks fields in the same order the snapshot printed them.
+//!
+//! This is a consumer for trusted, self-produced files — it accepts
+//! standard JSON and reports the byte offset on malformed input, but
+//! does not aim to be a hardened general-purpose parser.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Jv {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`; the harness's integers are
+    /// well inside the 2^53 exact range).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Jv>),
+    /// An object, members in textual order.
+    Obj(Vec<(String, Jv)>),
+}
+
+impl Jv {
+    /// Parses a complete JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Jv, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Object member lookup (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Jv> {
+        match self {
+            Jv::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Jv::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Jv::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an unsigned integer (truncating).
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_f64().map(|v| v.max(0.0) as u64)
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Jv]> {
+        match self {
+            Jv::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The member list, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Jv)]> {
+        match self {
+            Jv::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// A compact single-line rendering (diagnostics; not byte-stable
+    /// against the original text).
+    pub fn render(&self) -> String {
+        match self {
+            Jv::Null => "null".to_string(),
+            Jv::Bool(b) => b.to_string(),
+            Jv::Num(v) => {
+                if v.fract() == 0.0 && v.abs() < 9e15 {
+                    format!("{}", *v as i64)
+                } else {
+                    format!("{v}")
+                }
+            }
+            Jv::Str(s) => format!("{s:?}"),
+            Jv::Arr(items) => {
+                let inner: Vec<String> = items.iter().map(Jv::render).collect();
+                format!("[{}]", inner.join(", "))
+            }
+            Jv::Obj(members) => {
+                let inner: Vec<String> = members
+                    .iter()
+                    .map(|(k, v)| format!("{k}: {}", v.render()))
+                    .collect();
+                format!("{{{}}}", inner.join(", "))
+            }
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {}, found {:?}",
+            b as char,
+            *pos,
+            bytes.get(*pos).map(|&c| c as char)
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Jv, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Jv::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", Jv::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Jv::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Jv::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, value: Jv) -> Result<Jv, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Jv, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Jv::Num)
+        .map_err(|_| format!("bad number '{text}' at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {}", *pos))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?} at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy one UTF-8 scalar (snapshots are valid UTF-8).
+                let s = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = s.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Jv, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Jv::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Jv::Arr(items));
+            }
+            other => {
+                return Err(format!(
+                    "expected ',' or ']' at byte {}, got {other:?}",
+                    *pos
+                ))
+            }
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Jv, String> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Jv::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Jv::Obj(members));
+            }
+            other => {
+                return Err(format!(
+                    "expected ',' or '}}' at byte {}, got {other:?}",
+                    *pos
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_harness_shapes() {
+        let v = Jv::parse(
+            "{\"dropped_events\": 0, \"events\": [{\"index\": 1, \"name\": \"a.b\", \
+             \"fields\": {\"k\": \"v\"}}], \"metrics\": [], \"ok\": true, \"x\": null, \
+             \"f\": -2.5e1}",
+        )
+        .unwrap();
+        assert_eq!(v.get("dropped_events").and_then(Jv::as_u64), Some(0));
+        assert_eq!(v.get("f").and_then(Jv::as_f64), Some(-25.0));
+        assert_eq!(v.get("ok"), Some(&Jv::Bool(true)));
+        assert_eq!(v.get("x"), Some(&Jv::Null));
+        let events = v.get("events").and_then(Jv::as_array).unwrap();
+        assert_eq!(
+            events[0]
+                .get("fields")
+                .and_then(|f| f.get("k"))
+                .and_then(Jv::as_str),
+            Some("v")
+        );
+    }
+
+    #[test]
+    fn unescapes_strings() {
+        let v = Jv::parse("\"a\\\"b\\\\c\\n\\u0041\"").unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\nA"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Jv::parse("").is_err());
+        assert!(Jv::parse("{").is_err());
+        assert!(Jv::parse("[1,]").is_err());
+        assert!(Jv::parse("{\"a\" 1}").is_err());
+        assert!(Jv::parse("12 34").is_err());
+        assert!(Jv::parse("tru").is_err());
+    }
+
+    #[test]
+    fn object_member_order_is_preserved() {
+        let v = Jv::parse("{\"z\": 1, \"a\": 2}").unwrap();
+        let members = v.as_object().unwrap();
+        assert_eq!(members[0].0, "z");
+        assert_eq!(members[1].0, "a");
+        assert_eq!(v.render(), "{z: 1, a: 2}");
+    }
+}

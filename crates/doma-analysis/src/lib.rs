@@ -23,6 +23,13 @@
 //! * [`report`] — markdown/CSV table rendering.
 //! * [`stats`] — summary statistics (means, deviations, percentiles,
 //!   confidence intervals) for the latency and sweep reports.
+//! * [`jsonv`] — a minimal JSON value parser for reading back the
+//!   harness's own byte-stable artifacts (obs snapshots, bench reports).
+//! * [`obsdiff`] — structural diff of two obs snapshots
+//!   (`domactl obs diff`).
+//! * [`perfgate`] — the perf-regression gate comparing a fresh bench
+//!   report against the committed `BENCH_prof.json` baseline
+//!   (`domactl perf`).
 //!
 //! Two binaries ship with the crate: `repro` (regenerates every paper
 //! artifact) and `domactl` (a CLI for costing, simulating, generating and
@@ -33,6 +40,9 @@
 
 pub mod battery;
 pub mod experiments;
+pub mod jsonv;
+pub mod obsdiff;
+pub mod perfgate;
 pub mod ratio;
 pub mod region;
 pub mod report;

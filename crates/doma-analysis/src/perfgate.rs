@@ -1,0 +1,221 @@
+//! Perf-regression gate (`domactl perf`): compares a fresh bench report
+//! against a committed baseline and fails on a median regression.
+//!
+//! Both inputs are the flat JSON array the `doma-testkit` bench harness
+//! writes (`target/doma-bench/<binary>.json`): `Record` objects keyed by
+//! `group`/`name` with a `median_ns`, plus `attachment` entries that are
+//! skipped. The gate compares **medians** — the harness's most
+//! wobble-resistant statistic — and fails when
+//! `current > baseline * (1 + threshold)` for any benchmark present in
+//! the baseline, or when a baseline benchmark is missing from the
+//! current report (a silently-deleted bench must not pass the wall).
+//! Benchmarks that are new in the current report ride through freely.
+
+use crate::jsonv::Jv;
+use std::collections::BTreeMap;
+
+/// One benchmark present in both reports.
+#[derive(Debug, Clone)]
+pub struct PerfRow {
+    /// `group/name` identity.
+    pub key: String,
+    /// Baseline median (ns/iter).
+    pub baseline_ns: f64,
+    /// Current median (ns/iter).
+    pub current_ns: f64,
+    /// `current / baseline` (1.0 when the baseline median is zero).
+    pub ratio: f64,
+}
+
+impl PerfRow {
+    /// Whether this row breaches the given regression threshold.
+    pub fn regressed(&self, threshold: f64) -> bool {
+        self.ratio > 1.0 + threshold
+    }
+}
+
+/// The outcome of comparing a current bench report to its baseline.
+#[derive(Debug, Clone)]
+pub struct PerfComparison {
+    /// Every benchmark in both reports, in key order.
+    pub rows: Vec<PerfRow>,
+    /// Baseline benchmarks absent from the current report.
+    pub missing: Vec<String>,
+    /// The regression threshold the gate was run with (0.25 = +25%).
+    pub threshold: f64,
+}
+
+impl PerfComparison {
+    /// The rows that breach the threshold.
+    pub fn regressions(&self) -> Vec<&PerfRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.regressed(self.threshold))
+            .collect()
+    }
+
+    /// Whether the gate passes: no regressions and no missing benches.
+    pub fn passed(&self) -> bool {
+        self.missing.is_empty() && self.regressions().is_empty()
+    }
+}
+
+/// Indexes a bench report: `group/name` → `median_ns`. Attachment
+/// entries (no `"group"` member) are skipped.
+pub fn index(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let doc = Jv::parse(text)?;
+    let items = doc.as_array().ok_or("bench report is not a JSON array")?;
+    let mut out = BTreeMap::new();
+    for item in items {
+        let Some(group) = item.get("group").and_then(Jv::as_str) else {
+            continue; // attachment entry
+        };
+        let name = item
+            .get("name")
+            .and_then(Jv::as_str)
+            .ok_or_else(|| format!("record in group '{group}' has no name"))?;
+        let median = item
+            .get("median_ns")
+            .and_then(Jv::as_f64)
+            .ok_or_else(|| format!("record '{group}/{name}' has no median_ns"))?;
+        out.insert(format!("{group}/{name}"), median);
+    }
+    if out.is_empty() {
+        return Err("bench report contains no benchmark records".to_string());
+    }
+    Ok(out)
+}
+
+/// Compares a current report against a baseline at the given threshold.
+pub fn compare(baseline: &str, current: &str, threshold: f64) -> Result<PerfComparison, String> {
+    let base = index(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cur = index(current).map_err(|e| format!("current: {e}"))?;
+    let mut rows = Vec::new();
+    let mut missing = Vec::new();
+    for (key, baseline_ns) in &base {
+        match cur.get(key) {
+            Some(current_ns) => {
+                let ratio = if *baseline_ns > 0.0 {
+                    current_ns / baseline_ns
+                } else {
+                    1.0
+                };
+                rows.push(PerfRow {
+                    key: key.clone(),
+                    baseline_ns: *baseline_ns,
+                    current_ns: *current_ns,
+                    ratio,
+                });
+            }
+            None => missing.push(key.clone()),
+        }
+    }
+    Ok(PerfComparison {
+        rows,
+        missing,
+        threshold,
+    })
+}
+
+/// Renders the comparison as a stable text report: one line per bench
+/// with the baseline/current medians and the ratio, flagged rows
+/// marked, and a PASS/FAIL verdict line last.
+pub fn render(cmp: &PerfComparison) -> String {
+    let mut out = format!(
+        "perf gate: {} benchmark(s) vs baseline, threshold +{:.0}%\n",
+        cmp.rows.len(),
+        cmp.threshold * 100.0
+    );
+    for row in &cmp.rows {
+        let flag = if row.regressed(cmp.threshold) {
+            "  <-- REGRESSION"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "  {:<44} {:>12} -> {:>12}  ({:+.1}%){flag}\n",
+            row.key,
+            doma_testkit::bench::human_ns(row.baseline_ns),
+            doma_testkit::bench::human_ns(row.current_ns),
+            (row.ratio - 1.0) * 100.0
+        ));
+    }
+    for key in &cmp.missing {
+        out.push_str(&format!("  {key:<44} missing from current report\n"));
+    }
+    let regressed = cmp.regressions().len();
+    if cmp.passed() {
+        out.push_str("perf gate: PASS\n");
+    } else {
+        out.push_str(&format!(
+            "perf gate: FAIL ({regressed} regression(s), {} missing)\n",
+            cmp.missing.len()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rows: &[(&str, &str, f64)]) -> String {
+        let body: Vec<String> = rows
+            .iter()
+            .map(|(g, n, m)| {
+                format!(
+                    "{{\"group\": \"{g}\", \"name\": \"{n}\", \"samples\": 5, \
+                     \"iters_per_sample\": 1, \"mean_ns\": {m}, \"median_ns\": {m}, \
+                     \"stddev_ns\": 0.0, \"min_ns\": {m}, \"max_ns\": {m}}}"
+                )
+            })
+            .collect();
+        format!("[{}]", body.join(", "))
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let base = report(&[("g", "a", 100.0), ("g", "b", 200.0)]);
+        let cur = report(&[("g", "a", 120.0), ("g", "b", 190.0)]);
+        let cmp = compare(&base, &cur, 0.25).unwrap();
+        assert!(cmp.passed());
+        assert_eq!(cmp.rows.len(), 2);
+        assert!(render(&cmp).contains("perf gate: PASS"));
+    }
+
+    #[test]
+    fn regression_beyond_threshold_fails() {
+        let base = report(&[("g", "a", 100.0)]);
+        let cur = report(&[("g", "a", 126.0)]);
+        let cmp = compare(&base, &cur, 0.25).unwrap();
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions().len(), 1);
+        let text = render(&cmp);
+        assert!(text.contains("REGRESSION"), "{text}");
+        assert!(text.contains("perf gate: FAIL (1 regression(s), 0 missing)"));
+    }
+
+    #[test]
+    fn missing_baseline_bench_fails_but_new_bench_passes() {
+        let base = report(&[("g", "a", 100.0)]);
+        let cur = report(&[("g", "b", 50.0)]);
+        let cmp = compare(&base, &cur, 0.25).unwrap();
+        assert!(!cmp.passed());
+        assert_eq!(cmp.missing, vec!["g/a".to_string()]);
+        // New bench alongside the baselined one is fine.
+        let cur2 = report(&[("g", "a", 90.0), ("g", "new", 5.0)]);
+        assert!(compare(&base, &cur2, 0.25).unwrap().passed());
+    }
+
+    #[test]
+    fn attachments_are_skipped_and_empty_reports_rejected() {
+        let base = report(&[("g", "a", 100.0)]);
+        let with_attachment = format!(
+            "[{}, {{\"attachment\": \"prof\", \"payload\": {{\"x\": 1}}}}]",
+            report(&[("g", "a", 100.0)]).trim_matches(['[', ']'])
+        );
+        assert!(compare(&base, &with_attachment, 0.25).unwrap().passed());
+        assert!(compare("[]", &base, 0.25).is_err());
+        assert!(compare(&base, "not json", 0.25).is_err());
+    }
+}

@@ -37,7 +37,8 @@ pub const NO_PRINT_CRATES: &[&str] = &[
 pub const DETERMINISM_CRATES: &[&str] = &["doma-sim", "doma-protocol", "doma-obs", "doma-scenario"];
 /// Crates audited by the static lock-acquisition-order graph.
 pub const LOCK_ORDER_CRATES: &[&str] = &["doma-sim"];
-/// Crates whose metric registrations must match the DESIGN §8 catalog.
+/// Crates whose metric registrations must match the DESIGN §8 catalog
+/// and whose literal span names must match the DESIGN §13 span catalog.
 pub const OBS_CATALOG_CRATES: &[&str] = &[
     "doma-obs",
     "doma-sim",
@@ -48,11 +49,14 @@ pub const OBS_CATALOG_CRATES: &[&str] = &[
 ];
 /// The only modules allowed to touch `std::thread`: the audited fan-out
 /// points. Everything else — every crate, benches and tests included —
-/// must stay single-threaded or route through `doma_sim::shard`.
+/// must stay single-threaded or route through `doma_sim::shard`. The
+/// phase profiler is on the list because it re-times the spawn path
+/// itself (the `spawn` phase of `BENCH_prof.json` *is* that overhead).
 pub const THREAD_MODULES: &[&str] = &[
     "doma-analysis/src/sweep.rs",
     "doma-sim/src/shard.rs",
     "doma-fault/src/torture.rs",
+    "bench/benches/shard_prof.rs",
 ];
 /// The enum audited by the `message-flow` rule.
 pub const MESSAGE_ENUM: &str = "DomMsg";
@@ -81,7 +85,8 @@ pub struct Workspace {
     pub files: Vec<SourceFile>,
     /// Builtin scenario files: `(path, text)`.
     pub scenarios: Vec<(String, String)>,
-    /// `DESIGN.md` contents (source of the §8 metric catalog).
+    /// `DESIGN.md` contents (source of the §8 metric catalog and the
+    /// §13 span catalog).
     pub design: String,
     /// `lint-allow.list` contents, if the file exists.
     pub allowlist: Option<String>,
@@ -175,6 +180,11 @@ pub fn run(ws: &Workspace) -> Result<LintReport, String> {
     findings.extend(rules::check_obs_catalog(
         &cross(OBS_CATALOG_CRATES),
         &catalog,
+    ));
+    let spans = rules::design_span_catalog(&ws.design);
+    findings.extend(rules::check_span_catalog(
+        &cross(OBS_CATALOG_CRATES),
+        &spans,
     ));
 
     for (path, text) in &ws.scenarios {

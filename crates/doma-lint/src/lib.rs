@@ -58,6 +58,10 @@
 //!   `(component, name)` arguments must appear in the DESIGN §8
 //!   catalog, and literal label keys must be sorted; name drift breaks
 //!   obs JSON diffing silently.
+//! * **span-catalog** — every span opened with a literal name
+//!   (`.span_enter(…)` call sites and `span!` macro invocations) must
+//!   appear in the DESIGN §13 span catalog; the trace exporter and the
+//!   critical-path report key on span names.
 //! * **stale-allowlist** — every `lint-allow.list` entry must still
 //!   match a real finding (see [`allow`]).
 //!
@@ -79,7 +83,8 @@ pub use engine::{load_workspace, render_json, render_table, run, LintReport, Wor
 pub use rules::{
     check_determinism, check_dispatch_exhaustive, check_lint_headers, check_lock_order,
     check_message_flow, check_no_adhoc_prints, check_no_panics, check_obs_catalog,
-    check_scenario_file, check_thread_containment, design_metric_catalog,
+    check_scenario_file, check_span_catalog, check_thread_containment, design_metric_catalog,
+    design_span_catalog,
 };
 
 /// A single lint violation.

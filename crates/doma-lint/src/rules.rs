@@ -1015,6 +1015,100 @@ pub fn check_obs_catalog(
 }
 
 // ---------------------------------------------------------------------------
+// span-catalog
+// ---------------------------------------------------------------------------
+
+/// Extracts the span catalog from DESIGN.md §13: every backticked
+/// `component.name` token (lowercase identifiers joined by dots) between
+/// the `## 13.` heading and the next `## ` heading.
+pub fn design_span_catalog(design: &str) -> BTreeSet<String> {
+    let mut catalog = BTreeSet::new();
+    let mut in_section = false;
+    for line in design.lines() {
+        if line.starts_with("## ") {
+            in_section = line.starts_with("## 13");
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        for span in line.split('`').skip(1).step_by(2) {
+            let ok = span.contains('.')
+                && span.starts_with(|c: char| c.is_ascii_lowercase())
+                && span
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.');
+            if ok {
+                catalog.insert(span.to_string());
+            }
+        }
+    }
+    catalog
+}
+
+/// The `span-catalog` rule: every span opened with a literal name —
+/// `.span_enter(time, "name", …)` call sites and `span!(log, time,
+/// "name", …)` macro invocations — must appear backticked in the DESIGN
+/// §13 span catalog, mirroring `obs-catalog`'s §8 discipline. The
+/// Chrome trace exporter, the critical-path report and perfetto queries
+/// all key on span names, so an undocumented name drifts silently.
+pub fn check_span_catalog(
+    files: &[(&str, &[Tree<'_>])],
+    catalog: &BTreeSet<String>,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (file, trees) in files {
+        walk_levels(trees, &mut |level| {
+            for i in 0..level.len() {
+                // `.span_enter(time, "name", fields)` method calls: the
+                // name is the second argument.
+                let method = level[i].is_punct('.')
+                    && level
+                        .get(i + 1)
+                        .and_then(|t| t.leaf())
+                        .is_some_and(|t| t.text == "span_enter");
+                // `span!(log, time, "name", k = v, …)` macro
+                // invocations: the name is the third operand.
+                let mac =
+                    level[i].is_ident("span") && level.get(i + 1).is_some_and(|t| t.is_punct('!'));
+                let (group_at, name_arg) = if method {
+                    (i + 2, 1)
+                } else if mac {
+                    (i + 2, 2)
+                } else {
+                    continue;
+                };
+                let Some(args) = level.get(group_at).and_then(|t| t.group_with(Delim::Paren))
+                else {
+                    continue;
+                };
+                let args = split_args(&args.children);
+                let Some(name) = args
+                    .get(name_arg)
+                    .filter(|a| a.len() == 1)
+                    .and_then(|a| str_leaf(&a[0]))
+                else {
+                    continue;
+                };
+                if !catalog.contains(name) {
+                    out.push(finding(
+                        file,
+                        args[name_arg][0].anchor(),
+                        "span-catalog",
+                        format!(
+                            "span `{name}` is not in the DESIGN §13 span catalog — the \
+                             trace exporter and critical-path report key on span names; \
+                             add it to the table or fix the call site"
+                        ),
+                    ));
+                }
+            }
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // lint-headers & scenario-digest (text-level, ported unchanged)
 // ---------------------------------------------------------------------------
 

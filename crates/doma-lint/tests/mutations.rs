@@ -371,7 +371,10 @@ const DESIGN_STUB: &str = "## 7. Other\n\
                            `not.a_metric_section`\n\
                            ## 8. Observability\n\
                            | `proto.good` | a metric |\n\
-                           ## 9. After\n";
+                           ## 9. After\n\
+                           ## 13. Causal tracing\n\
+                           | `proto.span_ok` | a span |\n\
+                           ## 14. After\n";
 
 #[test]
 fn obs_catalog_catches_uncataloged_metrics_and_unsorted_labels() {
@@ -407,6 +410,56 @@ fn obs_catalog_only_reads_section_eight() {
         "crates/doma-protocol/src/o.rs",
         1,
         "obs-catalog",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// span-catalog
+// ---------------------------------------------------------------------------
+
+#[test]
+fn span_catalog_catches_uncataloged_span_names() {
+    let src = "fn f(log: &EventLog) {\n\
+               \x20   let a = log.span_enter(5, \"proto.span_ok\", Vec::new());\n\
+               \x20   let b = log.span_enter(6, \"proto.rogue\", Vec::new());\n\
+               \x20   let c = span!(log, 7, \"proto.rogue2\", node = 1);\n\
+               }\n";
+    let mut w = ws(vec![sf("crates/doma-sim/src/s.rs", src)]);
+    w.design = DESIGN_STUB.to_string();
+    let report = run(&w).unwrap();
+    let sc: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "span-catalog")
+        .collect();
+    assert_eq!(sc.len(), 2, "{report:?}");
+    assert_eq!(
+        (sc[0].file.as_str(), sc[0].line),
+        ("crates/doma-sim/src/s.rs", 3),
+        "rogue span_enter name literal"
+    );
+    assert!(sc[0].message.contains("proto.rogue"));
+    assert_eq!(
+        (sc[1].file.as_str(), sc[1].line),
+        ("crates/doma-sim/src/s.rs", 4),
+        "rogue span! macro name literal"
+    );
+    assert!(sc[1].message.contains("proto.rogue2"));
+}
+
+#[test]
+fn span_catalog_only_reads_section_thirteen() {
+    // `proto.good` lives in the §8 metric catalog, not §13 — a span
+    // named after a metric still needs its own §13 row.
+    let src = "fn f(log: &EventLog) { log.span_enter(1, \"proto.good\", Vec::new()); }\n";
+    let mut w = ws(vec![sf("crates/doma-sim/src/s.rs", src)]);
+    w.design = DESIGN_STUB.to_string();
+    let report = run(&w).unwrap();
+    assert_finding(
+        &report.findings,
+        "crates/doma-sim/src/s.rs",
+        1,
+        "span-catalog",
     );
 }
 

@@ -18,6 +18,10 @@
 //!   deterministic human table ([`std::fmt::Display`]) and a stable
 //!   JSON snapshot ([`Obs::snapshot_json`]) consumed by `domactl obs`
 //!   and appended to bench reports.
+//! * [`trace`] — the causal layer over the log: per-request spans with
+//!   message-level happens-before edges, a deterministic critical-path
+//!   analyzer, a byte-stable Chrome trace-event exporter and the
+//!   slowest-K text report behind `domactl trace`.
 //!
 //! # Determinism contract
 //!
@@ -37,11 +41,13 @@ pub mod console;
 pub mod event;
 pub mod json;
 pub mod registry;
+pub mod trace;
 
 pub use event::{EventLog, EventPhase, EventRecord, SpanId};
 pub use registry::{
     Counter, Gauge, Histogram, MetricKey, MetricValue, MetricsRegistry, MetricsSnapshot,
 };
+pub use trace::{MsgEdge, RequestTrace, TraceModel};
 
 use std::fmt;
 

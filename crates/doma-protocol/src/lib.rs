@@ -55,5 +55,5 @@ mod sim;
 
 pub use msg::{DomMsg, ReadPlan, WritePlan};
 pub use node::{AdaptiveAlgo, BugSwitches, CompletedRead, DomNode, ProtocolConfig};
-pub use sharded::{ShardedRun, ShardedSim};
+pub use sharded::{ShardInput, ShardOutcome, ShardedRun, ShardedSim};
 pub use sim::{BurstReport, OpenLoopReport, PlanOracle, ProtocolSim, SimReport};

@@ -49,7 +49,10 @@ const _: () = doma_sim::shard::assert_send::<DomNode>();
 const _: () = doma_sim::shard::assert_send::<DomMsg>();
 
 /// One shard's input: its catalog slice and its projected sub-schedule.
-type ShardInput = (BTreeMap<ObjectId, ProtocolConfig>, MultiSchedule);
+/// Public so the bench harness's phase profiler can drive the same
+/// partition → project → setup → execute → merge pipeline
+/// [`ShardedSim::execute_multi`] composes, timing each phase.
+pub type ShardInput = (BTreeMap<ObjectId, ProtocolConfig>, MultiSchedule);
 
 /// The outcome of one sharded execution.
 #[derive(Debug, Clone)]
@@ -67,11 +70,17 @@ pub struct ShardedRun {
     pub obs: Option<Obs>,
 }
 
-/// What one worker hands back across the thread boundary.
-struct ShardOutcome {
-    report: SimReport,
-    holders: BTreeMap<ObjectId, ProcSet>,
-    obs: Option<Obs>,
+/// What one worker hands back across the thread boundary. Public (with
+/// public fields) so the phase profiler can run shards inline and feed
+/// the results to [`ShardedSim::merge_outcomes`].
+#[derive(Debug)]
+pub struct ShardOutcome {
+    /// The shard cluster's exact tallies.
+    pub report: SimReport,
+    /// Final valid-replica holders of the shard's objects.
+    pub holders: BTreeMap<ObjectId, ProcSet>,
+    /// The shard's obs bundle, when observability was requested.
+    pub obs: Option<Obs>,
 }
 
 /// A sharded driver over the same catalog a sequential
@@ -90,6 +99,7 @@ pub struct ShardedSim {
     shards: usize,
     placement: Placement,
     event_capacity: Option<usize>,
+    traced: bool,
 }
 
 impl ShardedSim {
@@ -112,6 +122,7 @@ impl ShardedSim {
             shards,
             placement,
             event_capacity: None,
+            traced: false,
         })
     }
 
@@ -120,6 +131,20 @@ impl ShardedSim {
     /// [`ShardedRun::obs`] carries the deterministic merge.
     pub fn with_obs(mut self, event_capacity: usize) -> Self {
         self.event_capacity = Some(event_capacity);
+        self
+    }
+
+    /// Requests causal tracing on top of observability: every shard
+    /// cluster additionally records message deliveries
+    /// ([`ProtocolSim::attach_tracer_on`]) and per-request spans
+    /// ([`ProtocolSim::enable_request_spans`]) into its obs event log.
+    /// The merged log's records carry shard labels and interleave by the
+    /// existing `(time, shard, index)` order, so
+    /// [`doma_obs::trace::TraceModel`] reconstructs per-shard request
+    /// windows from [`ShardedRun::obs`] directly.
+    pub fn with_trace(mut self, event_capacity: usize) -> Self {
+        self.event_capacity = Some(event_capacity);
+        self.traced = true;
         self
     }
 
@@ -133,22 +158,16 @@ impl ShardedSim {
         self.placement
     }
 
-    /// Splits the schedule and catalog into per-shard pieces.
-    ///
-    /// Schedule objects are assigned on first touch (so `LoadAware`
-    /// sees traffic as it accrues, one request per attribution, exactly
-    /// like the analytic partitioner); catalog objects the schedule
-    /// never touches are then assigned in ascending id order, so *every*
-    /// object — and therefore every initial-scheme replica holder —
-    /// lands in exactly one shard.
-    fn split(
-        &self,
-        schedule: &MultiSchedule,
-    ) -> Result<(BTreeMap<ObjectId, usize>, Vec<ShardInput>)> {
+    /// Phase 1, shard partition: assigns every catalog object to a
+    /// shard. Schedule objects are assigned on first touch (so
+    /// `LoadAware` sees traffic as it accrues, one request per
+    /// attribution, exactly like the analytic partitioner); catalog
+    /// objects the schedule never touches are then assigned in ascending
+    /// id order, so *every* object — and therefore every initial-scheme
+    /// replica holder — lands in exactly one shard.
+    pub fn partition(&self, schedule: &MultiSchedule) -> Result<BTreeMap<ObjectId, usize>> {
         let mut partitioner = ShardPartitioner::new(self.shards, self.placement)?;
-        let mut schedules: Vec<MultiSchedule> = Vec::new();
-        schedules.resize_with(self.shards, MultiSchedule::default);
-        for &MultiRequest { object, request } in schedule.requests() {
+        for &MultiRequest { object, .. } in schedule.requests() {
             if !self.configs.contains_key(&object) {
                 return Err(DomaError::InvalidConfig(format!(
                     "{object} not in the cluster's catalog"
@@ -156,14 +175,29 @@ impl ShardedSim {
             }
             let shard = partitioner.assign(object);
             partitioner.attribute(shard, 1);
-            if let Some(s) = schedules.get_mut(shard) {
-                s.push(object, request);
-            }
         }
         for object in self.configs.keys() {
             partitioner.assign(*object);
         }
-        let assignment = partitioner.assignment().clone();
+        Ok(partitioner.assignment().clone())
+    }
+
+    /// Phase 2, projection copy: materializes each shard's catalog slice
+    /// and projected sub-schedule from a [`ShardedSim::partition`]
+    /// assignment. Requests keep their relative order within a shard.
+    pub fn project(
+        &self,
+        schedule: &MultiSchedule,
+        assignment: &BTreeMap<ObjectId, usize>,
+    ) -> Vec<ShardInput> {
+        let mut schedules: Vec<MultiSchedule> = Vec::new();
+        schedules.resize_with(self.shards, MultiSchedule::default);
+        for &MultiRequest { object, request } in schedule.requests() {
+            let shard = assignment.get(&object).copied().unwrap_or(0);
+            if let Some(s) = schedules.get_mut(shard) {
+                s.push(object, request);
+            }
+        }
         let mut catalogs: Vec<BTreeMap<ObjectId, ProtocolConfig>> =
             vec![BTreeMap::new(); self.shards];
         for (object, config) in &self.configs {
@@ -172,7 +206,17 @@ impl ShardedSim {
                 catalog.insert(*object, config.clone());
             }
         }
-        Ok((assignment, catalogs.into_iter().zip(schedules).collect()))
+        catalogs.into_iter().zip(schedules).collect()
+    }
+
+    /// Phases 1+2 together, as the worker fan-out consumes them.
+    fn split(
+        &self,
+        schedule: &MultiSchedule,
+    ) -> Result<(BTreeMap<ObjectId, usize>, Vec<ShardInput>)> {
+        let assignment = self.partition(schedule)?;
+        let inputs = self.project(schedule, &assignment);
+        Ok((assignment, inputs))
     }
 
     /// Executes an interleaved multi-object schedule across the shards
@@ -183,10 +227,32 @@ impl ShardedSim {
         let (assignment, inputs) = self.split(schedule)?;
         let n = self.n;
         let event_capacity = self.event_capacity;
+        let traced = self.traced;
         let outcomes = run_shards(inputs, |_, (catalog, shard_schedule)| {
-            Self::run_shard(n, event_capacity, catalog, &shard_schedule)
+            Self::run_shard(n, event_capacity, traced, catalog, &shard_schedule)
         });
+        let mut collected = Vec::new();
+        for outcome in outcomes {
+            collected.push(outcome?);
+        }
+        Ok(self.merge_outcomes(assignment, collected))
+    }
 
+    /// Phases 3+4 for one shard, inline (no worker thread): builds the
+    /// shard cluster and runs its sub-schedule. The phase profiler times
+    /// this against [`ShardedSim::merge_outcomes`] to attribute the
+    /// sharded-vs-sequential wall-clock delta.
+    pub fn run_shard_inline(&self, input: ShardInput) -> Result<ShardOutcome> {
+        Self::run_shard(self.n, self.event_capacity, self.traced, input.0, &input.1)
+    }
+
+    /// Phase 5, report/obs merge: folds per-shard outcomes into the
+    /// final [`ShardedRun`]. Outcomes must be given in shard order.
+    pub fn merge_outcomes(
+        &self,
+        assignment: BTreeMap<ObjectId, usize>,
+        outcomes: Vec<ShardOutcome>,
+    ) -> ShardedRun {
         let mut report = SimReport {
             cost: CostVector::ZERO,
             final_holders: ProcSet::EMPTY,
@@ -197,8 +263,7 @@ impl ShardedSim {
         };
         let mut holders = BTreeMap::new();
         let mut bundles = Vec::new();
-        for outcome in outcomes {
-            let shard = outcome?;
+        for shard in outcomes {
             report.cost += shard.report.cost;
             for holder in shard.report.final_holders.iter() {
                 report.final_holders.insert(holder);
@@ -217,7 +282,7 @@ impl ShardedSim {
         } else {
             0.0
         };
-        let obs = match event_capacity {
+        let obs = match self.event_capacity {
             Some(capacity) => {
                 let master = Obs::new(capacity);
                 let shard_bundles: Vec<Obs> =
@@ -227,12 +292,12 @@ impl ShardedSim {
             }
             None => None,
         };
-        Ok(ShardedRun {
+        ShardedRun {
             report,
             holders,
             assignment,
             obs,
-        })
+        }
     }
 
     /// One worker: builds the shard's cluster, runs its sub-schedule to
@@ -243,6 +308,7 @@ impl ShardedSim {
     fn run_shard(
         n: usize,
         event_capacity: Option<usize>,
+        traced: bool,
         catalog: BTreeMap<ObjectId, ProtocolConfig>,
         schedule: &MultiSchedule,
     ) -> Result<ShardOutcome> {
@@ -262,6 +328,12 @@ impl ShardedSim {
         }
         let mut sim = ProtocolSim::new_catalog(n, catalog)?;
         let obs = event_capacity.map(|capacity| sim.attach_obs(capacity));
+        if traced {
+            if let Some(obs) = &obs {
+                sim.attach_tracer_on(obs.events().clone());
+                sim.enable_request_spans();
+            }
+        }
         let report = sim.execute_multi(schedule)?;
         let holders = sim
             .catalog()

@@ -108,6 +108,16 @@ pub struct ProtocolSim {
     /// decision with [`scheme_after`] — the `Y` the write plans'
     /// invalidation sets are computed from.
     oracle_scheme: BTreeMap<ObjectId, ProcSet>,
+    /// The attached obs bundle (set by [`ProtocolSim::attach_obs`]),
+    /// kept so request-span tracing can write into its event log.
+    obs: Option<doma_obs::Obs>,
+    /// Whether [`ProtocolSim::execute_request_on`] brackets each request
+    /// in a `protocol.request` span with its exact cost delta — opt-in,
+    /// because span records change obs snapshots (and therefore golden
+    /// digests). See [`ProtocolSim::enable_request_spans`].
+    request_spans: bool,
+    /// Monotone per-driver request counter, stamped on request spans.
+    request_seq: u64,
 }
 
 impl ProtocolSim {
@@ -310,6 +320,9 @@ impl ProtocolSim {
             next_version,
             oracles: BTreeMap::new(),
             oracle_scheme: BTreeMap::new(),
+            obs: None,
+            request_spans: false,
+            request_seq: 0,
         })
     }
 
@@ -369,7 +382,88 @@ impl ProtocolSim {
         for i in 0..self.n {
             self.engine.actor_mut(NodeId(i)).set_obs(obs.clone());
         }
+        self.obs = Some(obs.clone());
         obs
+    }
+
+    /// Turns on per-request causal spans: every subsequent
+    /// [`ProtocolSim::execute_request_on`] call brackets its work between
+    /// a `protocol.request` span enter/exit pair in the attached obs
+    /// event log, records the adaptive oracle's decision as a
+    /// `protocol.plan` point event, and emits one `protocol.request_cost`
+    /// point event carrying the request's *exact* control/data/io delta
+    /// (execution is strictly one-request-at-a-time, so the deltas
+    /// telescope to the schedule total). Combine with
+    /// [`ProtocolSim::attach_tracer_on`] over the same log so message
+    /// deliveries land inside the span window —
+    /// [`doma_obs::trace::TraceModel`] then reconstructs per-request
+    /// critical paths. No-op until [`ProtocolSim::attach_obs`] is called.
+    /// Opt-in because span records change obs snapshots (and therefore
+    /// scenario golden digests).
+    pub fn enable_request_spans(&mut self) {
+        self.request_spans = true;
+    }
+
+    /// Opens the per-request span and captures the pre-request cost
+    /// tallies; `None` unless spans are enabled and obs is attached.
+    fn request_span_enter(
+        &mut self,
+        object: ObjectId,
+        request: Request,
+    ) -> Option<(doma_obs::SpanId, u64, CostVector)> {
+        if !self.request_spans {
+            return None;
+        }
+        let before = self.report().cost;
+        let seq = self.request_seq;
+        self.request_seq += 1;
+        let obs = self.obs.as_ref()?;
+        let id = obs.events().span_enter(
+            self.engine.now().ticks(),
+            "protocol.request",
+            vec![
+                ("issuer".to_string(), request.issuer.to_string()),
+                ("object".to_string(), object.to_string()),
+                (
+                    "op".to_string(),
+                    if request.is_read() { "read" } else { "write" }.to_string(),
+                ),
+                ("req".to_string(), seq.to_string()),
+            ],
+        );
+        Some((id, seq, before))
+    }
+
+    /// Emits the request's exact cost delta and closes its span.
+    fn request_span_exit(&mut self, span: Option<(doma_obs::SpanId, u64, CostVector)>) {
+        let Some((id, seq, before)) = span else {
+            return;
+        };
+        let after = self.report().cost;
+        let Some(obs) = self.obs.as_ref() else {
+            return;
+        };
+        let now = self.engine.now().ticks();
+        obs.events().record(
+            now,
+            "protocol.request_cost",
+            vec![
+                (
+                    "control".to_string(),
+                    after.control.saturating_sub(before.control).to_string(),
+                ),
+                (
+                    "data".to_string(),
+                    after.data.saturating_sub(before.data).to_string(),
+                ),
+                (
+                    "io".to_string(),
+                    after.io.saturating_sub(before.io).to_string(),
+                ),
+                ("req".to_string(), seq.to_string()),
+            ],
+        );
+        obs.events().span_exit(id, now);
     }
 
     /// Flushes per-node observability cursors: I/O performed outside
@@ -388,11 +482,16 @@ impl ProtocolSim {
         self.execute_request_on(OBJECT, request)
     }
 
-    /// Executes one request against `object` to quiescence.
+    /// Executes one request against `object` to quiescence. With
+    /// [`ProtocolSim::enable_request_spans`] on, the work is bracketed
+    /// in a `protocol.request` span carrying the exact cost delta.
     pub fn execute_request_on(&mut self, object: ObjectId, request: Request) -> Result<()> {
-        self.inject_request_on(object, request)?;
-        self.run_settle()?;
-        Ok(())
+        let span = self.request_span_enter(object, request);
+        let result = self
+            .inject_request_on(object, request)
+            .and_then(|_| self.run_settle());
+        self.request_span_exit(span);
+        result.map(|_| ())
     }
 
     /// Injects one request against object 0 *without* running the cluster
@@ -450,6 +549,25 @@ impl ProtocolSim {
         let oracle = self.oracles.get_mut(&object)?;
         let scheme = *self.oracle_scheme.get(&object)?;
         let decision = oracle.decide(request);
+        if self.request_spans {
+            if let Some(obs) = self.obs.as_ref() {
+                obs.events().record(
+                    self.engine.now().ticks(),
+                    "protocol.plan",
+                    vec![
+                        (
+                            "decision".to_string(),
+                            format!("exec={} saving={}", decision.exec, decision.saving),
+                        ),
+                        ("object".to_string(), object.to_string()),
+                        (
+                            "op".to_string(),
+                            if request.is_read() { "read" } else { "write" }.to_string(),
+                        ),
+                    ],
+                );
+            }
+        }
         let i = request.issuer;
         let pair = if request.is_read() {
             let server = if decision.exec.contains(i) {
@@ -537,6 +655,12 @@ impl ProtocolSim {
                 .map(|(object, oracle)| (*object, oracle.clone_box()))
                 .collect(),
             oracle_scheme: self.oracle_scheme.clone(),
+            // Forks don't carry the obs attachment (see above); span
+            // tracing restarts disabled, but the sequence continues so
+            // fork-recorded spans (if re-enabled) stay distinguishable.
+            obs: None,
+            request_spans: false,
+            request_seq: self.request_seq,
         }
     }
 

@@ -1,0 +1,132 @@
+//! Trace-determinism test (ISSUE 9 satellite): the same seeded workload
+//! traced twice exports **byte-identical** Chrome trace-event JSON — at
+//! every shard count K ∈ {1, 2, 4, 8}. The exporter is a pure function
+//! of the merged event log, the log a pure function of the execution,
+//! and the sharded merge a deterministic `(time, shard, index)`
+//! interleave, so any wobble (map iteration order, clock leakage,
+//! thread scheduling) shows up as a byte diff here.
+
+use doma_algorithms::multi::Placement;
+use doma_core::{MultiSchedule, ObjectId, ProcessorId, Request};
+use doma_obs::trace::{chrome_trace, slowest_report, TraceModel};
+use doma_protocol::{ProtocolConfig, ProtocolSim, ShardedSim};
+use std::collections::BTreeMap;
+
+const N: usize = 8;
+const OBJECTS: u64 = 12;
+
+/// Alternating SA/DA catalog around the ring — the shard-scaling bench's
+/// shape, shrunk.
+fn catalog() -> BTreeMap<ObjectId, ProtocolConfig> {
+    (0..OBJECTS)
+        .map(|o| {
+            let base = (o as usize) % (N - 1);
+            let config = if o % 2 == 0 {
+                ProtocolConfig::Sa {
+                    q: [base, base + 1].into_iter().collect(),
+                }
+            } else {
+                ProtocolConfig::Da {
+                    f: [base].into_iter().collect(),
+                    p: ProcessorId::new(base + 1),
+                }
+            };
+            (ObjectId(o), config)
+        })
+        .collect()
+}
+
+/// A fixed deterministic mixed workload (no RNG: pure arithmetic).
+fn traffic(requests: usize) -> MultiSchedule {
+    let mut s = MultiSchedule::default();
+    for k in 0..requests {
+        let object = ObjectId((k as u64 * 7 + 3) % OBJECTS);
+        let issuer = (k * 5 + 1) % N;
+        let request = if k % 3 == 0 {
+            Request::write(issuer)
+        } else {
+            Request::read(issuer)
+        };
+        s.push(object, request);
+    }
+    s
+}
+
+fn sharded_chrome(shards: usize, schedule: &MultiSchedule) -> String {
+    let run = ShardedSim::new(N, catalog(), shards, Placement::RoundRobin)
+        .unwrap()
+        .with_trace(1 << 16)
+        .execute_multi(schedule)
+        .unwrap();
+    let obs = run.obs.expect("tracing implies obs");
+    let model = TraceModel::from_obs(&obs);
+    assert!(!model.truncated(), "capacity was ample at K={shards}");
+    assert_eq!(
+        model.requests.len(),
+        schedule.len(),
+        "every request gets a window at K={shards}"
+    );
+    chrome_trace(&model)
+}
+
+#[test]
+fn chrome_json_is_byte_identical_across_reruns_at_every_shard_count() {
+    let schedule = traffic(120);
+    for shards in [1usize, 2, 4, 8] {
+        let a = sharded_chrome(shards, &schedule);
+        let b = sharded_chrome(shards, &schedule);
+        assert_eq!(a, b, "K={shards} export wobbled between runs");
+        assert!(a.starts_with("{\"displayTimeUnit\": \"ms\", \"traceEvents\": ["));
+        assert!(
+            a.contains("\"ph\": \"X\""),
+            "K={shards}: no request windows"
+        );
+    }
+}
+
+#[test]
+fn sharded_windows_carry_shard_labels_and_sum_to_sequential_cost() {
+    let schedule = traffic(90);
+    let mut sequential = ProtocolSim::new_catalog(N, catalog()).unwrap();
+    let expected = sequential.execute_multi(&schedule).unwrap();
+    for shards in [2usize, 4] {
+        let run = ShardedSim::new(N, catalog(), shards, Placement::RoundRobin)
+            .unwrap()
+            .with_trace(1 << 16)
+            .execute_multi(&schedule)
+            .unwrap();
+        let model = TraceModel::from_obs(&run.obs.expect("tracing implies obs"));
+        let mut seen = std::collections::BTreeSet::new();
+        for req in &model.requests {
+            let shard = req.shard.expect("merged records carry shard labels");
+            assert!(shard < shards);
+            seen.insert(shard);
+        }
+        assert!(seen.len() > 1, "K={shards}: traffic landed on one shard");
+        // The per-request deltas telescope per shard, and shards are
+        // disjoint — so the model total equals the sequential total.
+        assert_eq!(
+            model.total_cost(),
+            (expected.cost.control, expected.cost.data, expected.cost.io),
+            "K={shards}"
+        );
+    }
+}
+
+#[test]
+fn slowest_report_is_deterministic_too() {
+    let schedule = traffic(60);
+    let a = sharded_chrome(2, &schedule);
+    let run = ShardedSim::new(N, catalog(), 2, Placement::RoundRobin)
+        .unwrap()
+        .with_trace(1 << 16)
+        .execute_multi(&schedule)
+        .unwrap();
+    let model = TraceModel::from_obs(&run.obs.unwrap());
+    let r1 = slowest_report(&model, 5);
+    let r2 = slowest_report(&model, 5);
+    assert_eq!(r1, r2);
+    assert!(r1.contains("slowest 5 of 60 requests"), "{r1}");
+    // And the chrome export from this run matches the helper's.
+    assert_eq!(chrome_trace(&model), a);
+}

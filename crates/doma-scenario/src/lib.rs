@@ -34,7 +34,7 @@ pub mod runner;
 pub mod toml;
 
 pub use model::{Entrant, Expect, FaultKind, FaultSpec, MsgFilter, Phase, Scenario, WorkloadSpec};
-pub use runner::{run, RunReport};
+pub use runner::{run, run_traced, RunReport};
 
 use std::fmt;
 

@@ -287,10 +287,30 @@ pub fn build_model(scenario: &Scenario) -> Result<CostModel, ScenarioError> {
 /// Returns `Ok` even when expectations fail — inspect
 /// [`RunReport::passed`]; `Err` means the scenario could not execute.
 pub fn run(scenario: &Scenario) -> Result<RunReport, ScenarioError> {
+    run_impl(scenario, false).map(|(report, _)| report)
+}
+
+/// Runs the scenario with per-request causal spans enabled
+/// ([`ProtocolSim::enable_request_spans`]) and returns the obs bundle
+/// alongside the report, so `domactl trace` can feed the event log to
+/// [`doma_obs::trace::TraceModel`]. Span records change the obs
+/// snapshot, so the golden-digest audit is skipped (every other audit —
+/// obs parity included — still runs; spans are events, not metrics).
+pub fn run_traced(scenario: &Scenario) -> Result<(RunReport, doma_obs::Obs), ScenarioError> {
+    run_impl(scenario, true)
+}
+
+fn run_impl(
+    scenario: &Scenario,
+    traced: bool,
+) -> Result<(RunReport, doma_obs::Obs), ScenarioError> {
     let schedule = build_schedule(scenario)?;
     let mut sim = build_sim(scenario)?;
     let obs = sim.attach_obs(scenario.events);
     let _tracer = sim.attach_tracer_on(obs.events().clone());
+    if traced {
+        sim.enable_request_spans();
+    }
     let plan = build_fault_plan(scenario);
     if !plan.is_empty() {
         sim.engine_mut().install_faults(plan);
@@ -370,12 +390,13 @@ pub fn run(scenario: &Scenario) -> Result<RunReport, ScenarioError> {
         }
     }
     if let Some(golden) = &scenario.golden {
-        if *golden != digest {
+        // Span records change the snapshot; goldens pin the untraced run.
+        if !traced && *golden != digest {
             violations.push(format!("digest {digest} != pinned golden {golden}"));
         }
     }
 
-    Ok(RunReport {
+    let report = RunReport {
         scenario: scenario.name.clone(),
         entrant: scenario.entrant.as_str(),
         requests: schedule.len(),
@@ -390,7 +411,8 @@ pub fn run(scenario: &Scenario) -> Result<RunReport, ScenarioError> {
         digest,
         snapshot_json,
         violations,
-    })
+    };
+    Ok((report, obs))
 }
 
 #[cfg(test)]

@@ -207,4 +207,53 @@ if ! DOMA_FAULT_SEEDS=32 cargo test -q --offline --test fault_torture; then
     exit 1
 fi
 
+# ---------------------------------------------------------------------------
+# Trace-determinism gate: `domactl trace` must export byte-identical
+# Chrome trace-event JSON across two invocations of the same seeded
+# scenario — the doma-trace contract (virtual-tick timestamps, stable
+# span/message ordering), checked end to end through the CLI.
+# ---------------------------------------------------------------------------
+./target/release/domactl trace append-only-6-2 --format chrome > "$obs_dir/trace1.json"
+./target/release/domactl trace append-only-6-2 --format chrome > "$obs_dir/trace2.json"
+if ! cmp -s "$obs_dir/trace1.json" "$obs_dir/trace2.json"; then
+    echo "verify: FAILED (domactl trace Chrome JSON differs across identical runs)" >&2
+    exit 1
+fi
+for key in '"traceEvents"' '"ph": "X"' '"protocol.request"' '"cp": "1"'; do
+    if ! grep -qF "$key" "$obs_dir/trace1.json"; then
+        echo "verify: FAILED (domactl trace Chrome JSON missing $key)" >&2
+        exit 1
+    fi
+done
+if ! ./target/release/domactl trace append-only-6-2 --top 5 > "$obs_dir/trace_table.txt"; then
+    echo "verify: FAILED (domactl trace table report)" >&2
+    exit 1
+fi
+if ! grep -q "slowest 5 of" "$obs_dir/trace_table.txt"; then
+    echo "verify: FAILED (domactl trace table missing the slowest-K report)" >&2
+    exit 1
+fi
+
+# ---------------------------------------------------------------------------
+# Perf-regression gate: re-run the phase profiler bench and compare its
+# medians against the committed BENCH_prof.json baseline; any benchmark
+# whose median regressed by more than 25% (or disappeared) fails the
+# wall. The committed baseline itself must attribute at least 90% of the
+# sharded/1 − sequential delta to named phases.
+# ---------------------------------------------------------------------------
+frac=$(grep -o '"attributed_fraction": [0-9.]*' BENCH_prof.json | awk '{print $2}')
+if [ -z "$frac" ] || ! awk -v f="$frac" 'BEGIN { exit !(f >= 0.9) }'; then
+    echo "verify: FAILED (BENCH_prof.json attributed_fraction '$frac' < 0.9)" >&2
+    exit 1
+fi
+if ! DOMA_BENCH_JSON="$obs_dir/prof.json" cargo bench -q --offline -p doma-bench --bench shard_prof > "$obs_dir/prof.log" 2>&1; then
+    cat "$obs_dir/prof.log" >&2
+    echo "verify: FAILED (shard_prof bench run)" >&2
+    exit 1
+fi
+if ! ./target/release/domactl perf "$obs_dir/prof.json" --baseline BENCH_prof.json --threshold 0.25; then
+    echo "verify: FAILED (perf regression vs committed BENCH_prof.json baseline)" >&2
+    exit 1
+fi
+
 echo "verify: OK"
