@@ -16,7 +16,10 @@
 //! domactl tournament [--n 6] [--len 40] [--seed 7] [--out BENCH_tournament.json]
 //!                  [--format table|json]
 //! domactl scenario <name|path|all|list> [--format table|json]
-//!                  [--diff <baseline.json>]
+//!                  [--diff <baseline.json>] [--transport sim|tcp|uds]
+//! domactl cluster  <scenario|workload> --nodes N [--transport tcp|uds]
+//!                  [--entrant sa|da|...] [--len 40] [--seed 7]
+//!                  [--read-fraction 0.7]
 //! domactl trace    <scenario|workload> [--format table|chrome] [--top 10]
 //!                  [--events N] [--algo sa|da] [--n 6] [--len 50] [--seed 0]
 //!                  [--read-fraction 0.7]
@@ -63,7 +66,7 @@ struct Opts {
 /// How many positional operands a command accepts after its name.
 fn positional_arity(command: &str) -> usize {
     match command {
-        "scenario" | "trace" | "perf" => 1,
+        "scenario" | "trace" | "perf" | "cluster" => 1,
         "obs" => 3, // bare `obs`, or `obs diff <a> <b>`
         _ => 0,
     }
@@ -89,7 +92,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
     }
     if opts.command.is_empty() {
         return Err(
-            "missing command (cost | stats | simulate | obs | generate | shard | tournament | scenario | trace | perf | lint)"
+            "missing command (cost | stats | simulate | obs | generate | shard | tournament | scenario | cluster | trace | perf | lint)"
                 .to_string(),
         );
     }
@@ -648,6 +651,112 @@ fn cmd_tournament(opts: &Opts) -> Result<(), String> {
 /// expected-invariant block, and prints the report. `scenario list`
 /// prints the builtin roster; `scenario all` replays every builtin and
 /// fails if any expectation (golden digest included) is violated.
+/// Parses a `--transport` value for the socket runtime commands.
+fn socket_transport(value: &str) -> Result<doma_net::TransportKind, String> {
+    doma_net::TransportKind::parse(value)
+        .ok_or_else(|| format!("--transport must be tcp or uds, got '{value}'"))
+}
+
+/// The ad-hoc workload names `domactl cluster` accepts in place of a
+/// scenario, mirroring `domactl trace`.
+const CLUSTER_WORKLOADS: &[&str] = &["uniform", "zipf", "hotspot", "chaotic", "mobile", "append"];
+
+/// Synthesizes a one-phase scenario for an ad-hoc cluster workload, so
+/// the twin harness needs only one input shape.
+fn synth_workload_scenario(opts: &Opts, workload: &str) -> Result<doma_scenario::Scenario, String> {
+    let n = opts.get_usize("n", 6)?;
+    let len = opts.get_usize("len", 40)?;
+    let seed = opts.get_usize("seed", 7)?;
+    let entrant = opts.get("entrant", "sa");
+    let rf = opts.get_f64("read-fraction", 0.7)?;
+    let phase = match workload {
+        "uniform" => format!("read_fraction = {rf}"),
+        "zipf" => format!("theta = 1.0\nread_fraction = {rf}"),
+        "hotspot" => format!("phase_len = 20\nhot_prob = {rf}"),
+        "chaotic" => "redraw_every = 8".to_string(),
+        "mobile" => format!(
+            "cells = {}\ncallers = {}\nmove_prob = 0.3\nread_fraction = {rf}",
+            n / 2,
+            n - n / 2 - 1
+        ),
+        "append" => "generators = 2\nreads_per_write = 3.0".to_string(),
+        _ => unreachable!("gated by CLUSTER_WORKLOADS"),
+    };
+    let workload = if workload == "append" {
+        "append-only"
+    } else {
+        workload
+    };
+    doma_scenario::Scenario::parse(&format!(
+        "[scenario]\n\
+         name = \"adhoc-{workload}\"\n\
+         description = \"ad-hoc cluster workload\"\n\
+         n = {n}\n\
+         seed = {seed}\n\
+         entrant = \"{entrant}\"\n\
+         [model]\n\
+         environment = \"sc\"\n\
+         cc = 0.25\n\
+         cd = 1.0\n\
+         [[phase]]\n\
+         name = \"main\"\n\
+         workload = \"{workload}\"\n\
+         len = {len}\n\
+         {phase}\n\
+         [expect]\n\
+         max_dropped_messages = 0\n"
+    ))
+    .map_err(|e| e.to_string())
+}
+
+/// `domactl cluster <scenario|workload>` — spawn N protocol nodes over
+/// real sockets, drive the scenario's schedule through them, and
+/// cross-check the run against the deterministic sim twin: same seed,
+/// same request schedule, therefore (if the transport layer is correct)
+/// the same allocation-scheme trajectory and the same obs cost totals.
+fn cmd_cluster(opts: &Opts) -> Result<(), String> {
+    let target = opts.target.clone().ok_or_else(|| {
+        format!(
+            "need a target: domactl cluster <scenario|workload> --nodes N [--transport tcp|uds]\n\
+             builtins: {}\nworkloads: {}",
+            doma_scenario::builtin::names().join(", "),
+            CLUSTER_WORKLOADS.join(", ")
+        )
+    })?;
+    let kind = socket_transport(&opts.get("transport", "uds"))?;
+    let scenario = if CLUSTER_WORKLOADS.contains(&target.as_str()) {
+        synth_workload_scenario(opts, &target)?
+    } else if target.ends_with(".toml") || target.contains('/') {
+        let text =
+            std::fs::read_to_string(&target).map_err(|e| format!("cannot read {target}: {e}"))?;
+        doma_scenario::Scenario::parse(&text).map_err(|e| format!("{target}: {e}"))?
+    } else {
+        doma_scenario::builtin::load(&target).map_err(|e| e.to_string())?
+    };
+    let nodes = match opts.flags.get("nodes") {
+        Some(_) => Some(opts.get_usize("nodes", scenario.n)?),
+        None => None,
+    };
+    match doma_analysis::cluster::run_twin(&scenario, kind, nodes) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.matches() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "cluster diverged from the sim twin ({} difference(s))",
+                    report.diffs.len()
+                ))
+            }
+        }
+        Err(e) if e.starts_with("sockets unavailable") => {
+            println!("notice: {e}; cluster run skipped");
+            Ok(())
+        }
+        Err(e) => Err(e),
+    }
+}
+
 fn cmd_scenario(opts: &Opts) -> Result<(), String> {
     let target = opts
         .target
@@ -662,6 +771,12 @@ fn cmd_scenario(opts: &Opts) -> Result<(), String> {
     let format = opts.get("format", "table");
     if !["table", "json"].contains(&format.as_str()) {
         return Err(format!("--format must be table or json, got '{format}'"));
+    }
+    let transport = opts.get("transport", "sim");
+    if !["sim", "tcp", "uds"].contains(&transport.as_str()) {
+        return Err(format!(
+            "--transport must be sim, tcp or uds, got '{transport}'"
+        ));
     }
     if target == "list" {
         for name in doma_scenario::builtin::names() {
@@ -718,6 +833,44 @@ fn cmd_scenario(opts: &Opts) -> Result<(), String> {
                 report.violations.join("; ")
             ));
         }
+        // `--transport tcp|uds`: replay the scenario over real sockets
+        // and hold the cluster to the sim run the golden digest pinned.
+        if transport != "sim" {
+            let note = |msg: &str| {
+                if format != "json" {
+                    println!("{msg}");
+                }
+            };
+            if !scenario.faults.is_empty() {
+                note(&format!(
+                    "  transport {transport}: skipped (scenario injects faults; \
+                     the real runtime is failure-free)"
+                ));
+                continue;
+            }
+            match doma_analysis::cluster::run_twin(scenario, socket_transport(&transport)?, None) {
+                Ok(twin) if twin.matches() => note(&format!(
+                    "  transport {transport}: MATCH — cluster reproduced the sim twin \
+                     ({} requests)",
+                    twin.requests
+                )),
+                Ok(twin) => {
+                    for d in &twin.diffs {
+                        note(&format!("  transport {transport}: DIVERGED — {d}"));
+                    }
+                    failed.push(format!(
+                        "{}: cluster diverged from the sim twin over {transport} \
+                         ({} difference(s))",
+                        report.scenario,
+                        twin.diffs.len()
+                    ));
+                }
+                Err(e) if e.starts_with("sockets unavailable") => {
+                    note(&format!("notice: {e}; cluster replay skipped"));
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
     if format == "json" {
         println!("[\n  {}\n]", json_rows.join(",\n  "));
@@ -757,9 +910,10 @@ fn cmd_lint(opts: &Opts) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: domactl <cost|stats|simulate|obs|generate|shard|tournament|scenario|trace|perf|lint> [--flags]\n\
+    "usage: domactl <cost|stats|simulate|obs|generate|shard|tournament|scenario|cluster|trace|perf|lint> [--flags]\n\
      try: domactl cost --schedule \"r1 r1 r2 w2 r2 r2 r2\" --cc 0.5 --cd 1.0\n\
      try: domactl scenario list\n\
+     try: domactl cluster append-only-6-2 --nodes 3 --transport uds\n\
      try: domactl trace append-only-6-2 --format chrome\n\
      try: domactl lint --format json"
         .to_string()
@@ -776,6 +930,7 @@ fn main() -> ExitCode {
         "shard" => cmd_shard(&opts),
         "tournament" => cmd_tournament(&opts),
         "scenario" => cmd_scenario(&opts),
+        "cluster" => cmd_cluster(&opts),
         "trace" => cmd_trace(&opts),
         "perf" => cmd_perf(&opts),
         "lint" => cmd_lint(&opts),

@@ -27,6 +27,9 @@
 //!   harness's own byte-stable artifacts (obs snapshots, bench reports).
 //! * [`obsdiff`] — structural diff of two obs snapshots
 //!   (`domactl obs diff`).
+//! * [`cluster`] — the real-runtime twin harness: a scenario replayed
+//!   over the socket cluster (`doma-net`) and diffed against the
+//!   deterministic simulator (`domactl cluster`).
 //! * [`perfgate`] — the perf-regression gate comparing a fresh bench
 //!   report against the committed `BENCH_prof.json` baseline
 //!   (`domactl perf`).
@@ -39,6 +42,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod battery;
+pub mod cluster;
 pub mod experiments;
 pub mod jsonv;
 pub mod obsdiff;

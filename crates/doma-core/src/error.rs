@@ -53,6 +53,33 @@ pub enum DomaError {
         /// Events dispatched when the budget tripped.
         dispatched: u64,
     },
+    /// Wire decoding ran out of bytes: the frame or a field inside it was
+    /// cut short. Incremental decoders treat this as "wait for more
+    /// bytes" at the frame boundary and as corruption inside a complete
+    /// frame.
+    WireTruncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// Wire decoding met structurally invalid bytes (bad tag, oversized
+    /// length prefix, out-of-range id, trailing garbage).
+    WireCorrupt {
+        /// What the decoder was reading when it gave up.
+        context: &'static str,
+    },
+    /// A socket-level failure in the real-runtime transport (message
+    /// explains what; the OS error is flattened to text so the variant
+    /// stays `Clone + PartialEq`).
+    Net(String),
+    /// A real-runtime cluster failed to reach quiescence within the
+    /// driver's poll budget — a hung node, or a genuinely runaway
+    /// protocol.
+    ClusterStalled {
+        /// Poll rounds issued before giving up.
+        polls: usize,
+    },
 }
 
 impl fmt::Display for DomaError {
@@ -90,6 +117,23 @@ impl fmt::Display for DomaError {
                      events — runaway protocol?"
                 )
             }
+            DomaError::WireTruncated { needed, have } => {
+                write!(
+                    f,
+                    "wire data truncated: needed {needed} byte(s), have {have}"
+                )
+            }
+            DomaError::WireCorrupt { context } => {
+                write!(f, "corrupt wire data while reading {context}")
+            }
+            DomaError::Net(msg) => write!(f, "network transport failure: {msg}"),
+            DomaError::ClusterStalled { polls } => {
+                write!(
+                    f,
+                    "cluster failed to quiesce after {polls} poll round(s) — \
+                     hung node or runaway protocol?"
+                )
+            }
         }
     }
 }
@@ -121,5 +165,23 @@ mod tests {
 
         let e = DomaError::InvalidConfig("F must not contain p".into());
         assert!(e.to_string().contains("F must not contain p"));
+    }
+
+    #[test]
+    fn wire_and_net_messages_are_informative() {
+        let e = DomaError::WireTruncated { needed: 8, have: 3 };
+        assert!(e.to_string().contains("needed 8"));
+        assert!(e.to_string().contains("have 3"));
+
+        let e = DomaError::WireCorrupt {
+            context: "DomMsg tag",
+        };
+        assert!(e.to_string().contains("DomMsg tag"));
+
+        let e = DomaError::Net("connection refused".into());
+        assert!(e.to_string().contains("connection refused"));
+
+        let e = DomaError::ClusterStalled { polls: 42 };
+        assert!(e.to_string().contains("42 poll"));
     }
 }

@@ -57,7 +57,16 @@ pub const THREAD_MODULES: &[&str] = &[
     "doma-sim/src/shard.rs",
     "doma-fault/src/torture.rs",
     "bench/benches/shard_prof.rs",
+    // The real runtime: one thread per node plus per-connection readers,
+    // and the driver's quiescence barrier sleeps between poll rounds.
+    "doma-net/src/runtime.rs",
+    "doma-net/src/cluster.rs",
 ];
+/// The only crate allowed to touch real sockets (`std::net`, Unix domain
+/// sockets): the transport runtime. Everywhere else — tests and benches
+/// included — protocol traffic flows through `doma_protocol::Transport`,
+/// keeping the deterministic twin authoritative.
+pub const NET_CRATE: &str = "doma-net";
 /// The enum audited by the `message-flow` rule.
 pub const MESSAGE_ENUM: &str = "DomMsg";
 /// The allowlist's workspace-relative path.
@@ -145,6 +154,9 @@ pub fn run(ws: &Workspace) -> Result<LintReport, String> {
         }
         if !THREAD_MODULES.iter().any(|m| f.path.ends_with(m)) {
             findings.extend(rules::check_thread_containment(&f.path, &p.raw));
+        }
+        if name != NET_CRATE {
+            findings.extend(rules::check_net_containment(&f.path, &p.raw));
         }
         if !f.in_src {
             continue;

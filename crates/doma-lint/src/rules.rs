@@ -233,6 +233,59 @@ pub fn check_thread_containment(file: &str, trees: &[Tree<'_>]) -> Vec<Finding> 
 }
 
 // ---------------------------------------------------------------------------
+// net-containment
+// ---------------------------------------------------------------------------
+
+/// Socket type names that must not appear outside `doma-net`: naming one
+/// is either a direct use or an aliased import of a real socket.
+const SOCKET_TYPES: &[&str] = &[
+    "TcpListener",
+    "TcpStream",
+    "UdpSocket",
+    "UnixListener",
+    "UnixStream",
+];
+
+/// The `net-containment` rule: flags `std::net`, `std::os::unix::net`
+/// and the socket type names outside `doma-net`. Real I/O lives behind
+/// the [`Transport`] abstraction in exactly one crate — anywhere else,
+/// a socket breaks deterministic replay and escapes the sim's fault
+/// injection, so the protocol/sim/analysis layers must stay socket-free
+/// (tests and benches included).
+///
+/// [`Transport`]: ../doma_protocol/trait.Transport.html
+pub fn check_net_containment(file: &str, trees: &[Tree<'_>]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    walk_levels(trees, &mut |level| {
+        for i in 0..level.len() {
+            let std_net = level[i].is_ident("std")
+                && path_sep(level, i + 1)
+                && (level.get(i + 3).is_some_and(|t| t.is_ident("net"))
+                    || (level.get(i + 3).is_some_and(|t| t.is_ident("os"))
+                        && path_sep(level, i + 4)
+                        && level.get(i + 6).is_some_and(|t| t.is_ident("unix"))
+                        && path_sep(level, i + 7)
+                        && level.get(i + 9).is_some_and(|t| t.is_ident("net"))));
+            let socket_type = level[i]
+                .leaf()
+                .is_some_and(|tok| tok.kind == TokKind::Ident && SOCKET_TYPES.contains(&tok.text));
+            if std_net || socket_type {
+                out.push(finding(
+                    file,
+                    level[i].anchor(),
+                    "net-containment",
+                    "socket API outside doma-net — real I/O is confined to the \
+                     doma-net runtime; everything else talks through the \
+                     doma_protocol::Transport abstraction"
+                        .to_string(),
+                ));
+            }
+        }
+    });
+    out
+}
+
+// ---------------------------------------------------------------------------
 // determinism
 // ---------------------------------------------------------------------------
 

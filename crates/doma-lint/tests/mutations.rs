@@ -146,6 +146,65 @@ fn thread_containment_catches_spawn_outside_fanout_modules() {
 }
 
 #[test]
+fn net_containment_confines_sockets_to_doma_net() {
+    let src = "use std::net::TcpListener;\n\
+               fn f() {\n\
+               \x20   let s = std::os::unix::net::UnixStream::connect(\"p\");\n\
+               \x20   let _ = s;\n\
+               }\n";
+    let report = run(&ws(vec![sf("crates/doma-protocol/src/a.rs", src)])).unwrap();
+    // Line 1 trips twice (the `std::net` path and the `TcpListener`
+    // type); line 3 likewise. The pinned triples are what matter.
+    assert_finding(
+        &report.findings,
+        "crates/doma-protocol/src/a.rs",
+        1,
+        "net-containment",
+    );
+    assert_finding(
+        &report.findings,
+        "crates/doma-protocol/src/a.rs",
+        3,
+        "net-containment",
+    );
+    assert!(report.findings.iter().all(|f| f.rule == "net-containment"));
+    // Tests are NOT exempt: a socket in a test still escapes the sim.
+    let test_src = "#[cfg(test)]\n\
+                    mod tests {\n\
+                    \x20   fn t() { let _ = std::net::UdpSocket::bind(\"x\"); }\n\
+                    }\n";
+    let report = run(&ws(vec![sf("crates/doma-core/src/b.rs", test_src)])).unwrap();
+    assert_finding(
+        &report.findings,
+        "crates/doma-core/src/b.rs",
+        3,
+        "net-containment",
+    );
+    // The sanctioned crate is exempt, its tests included.
+    let report = run(&ws(vec![
+        sf("crates/doma-net/src/runtime.rs", src),
+        sf("crates/doma-net/tests/t.rs", test_src),
+    ]))
+    .unwrap();
+    assert_clean(&report.findings);
+    // `std::os::unix::fs` and a local ident `net` stay clean.
+    let benign = "fn g() {\n\
+                  \x20   use std::os::unix::fs::PermissionsExt;\n\
+                  \x20   let net = 3;\n\
+                  \x20   let _ = (net, std::net::IpAddr::V4);\n\
+                  }\n";
+    let report = run(&ws(vec![sf("crates/doma-core/src/c.rs", benign)])).unwrap();
+    // Only the std::net path on line 4 trips — the rest is benign.
+    assert_eq!(report.findings.len(), 1);
+    assert_finding(
+        &report.findings,
+        "crates/doma-core/src/c.rs",
+        4,
+        "net-containment",
+    );
+}
+
+#[test]
 fn lint_headers_catch_missing_pragmas() {
     let report = run(&ws(vec![sf(
         "crates/doma-core/src/lib.rs",

@@ -1,0 +1,42 @@
+//! # doma-net
+//!
+//! The real-runtime twin of the deterministic simulator: SA/DA protocol
+//! nodes running over actual sockets (TCP on loopback, or Unix domain
+//! sockets), exchanging the same [`doma_protocol::DomMsg`]s through a
+//! length-prefixed wire codec instead of the sim engine's event queue.
+//!
+//! The crate is deliberately thin — all protocol logic stays in
+//! `doma-protocol` behind the [`doma_protocol::Transport`] trait, and all
+//! request planning in [`doma_protocol::ClientPlanner`]. What lives here:
+//!
+//! * [`codec`] — the wire format: `u32`-LE length prefix, tagged bodies,
+//!   typed [`doma_core::DomaError`]s for truncation and corruption, an
+//!   incremental [`codec::Decoder`] for split reads. Never panics on
+//!   hostile bytes.
+//! * [`NetTransport`] — the socket-side [`doma_protocol::Transport`]
+//!   impl: buffered sends, a logical per-node delivery tick for
+//!   timestamps, per-class send counters.
+//! * [`runtime`] — per-node event loop: a listener + per-connection
+//!   reader threads feeding one inbox, full-mesh outgoing connections
+//!   with connect-retry and a node-id handshake.
+//! * [`Cluster`] — the loopback cluster driver: spawns N node threads,
+//!   plans and injects client requests, reaches quiescence with a
+//!   double-poll barrier, and collects per-node tallies. Its results are
+//!   cross-checked against the sim twin by `domactl cluster`.
+//!
+//! Failure injection is *not* supported here — the real runtime executes
+//! healthy, closed-loop workloads only (the fault harness and model
+//! checker live on the deterministic side, where interleavings can be
+//! controlled and replayed). The cluster driver enforces this.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod cluster;
+pub mod codec;
+pub mod runtime;
+mod transport;
+
+pub use cluster::{Cluster, ClusterReport, NodeReport};
+pub use runtime::TransportKind;
+pub use transport::NetTransport;

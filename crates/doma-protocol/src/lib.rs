@@ -50,10 +50,14 @@ pub mod failover;
 mod msg;
 mod node;
 mod obs;
+mod planner;
 mod sharded;
 mod sim;
+mod transport;
 
 pub use msg::{DomMsg, ReadPlan, WritePlan};
 pub use node::{AdaptiveAlgo, BugSwitches, CompletedRead, DomNode, ProtocolConfig};
+pub use planner::{ClientPlanner, PlannedRequest};
 pub use sharded::{ShardInput, ShardOutcome, ShardedRun, ShardedSim};
 pub use sim::{BurstReport, OpenLoopReport, PlanOracle, ProtocolSim, SimReport};
+pub use transport::Transport;

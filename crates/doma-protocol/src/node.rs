@@ -1,6 +1,7 @@
 //! The per-processor protocol state machine.
 
 use crate::obs::{algo_label, object_of, op_of, NodeObs};
+use crate::transport::Transport;
 use crate::{DomMsg, ReadPlan, WritePlan};
 use doma_core::{DomaError, ObjectId, ProcSet, ProcessorId};
 use doma_sim::{Actor, Context, MsgKind, NodeId, SimTime};
@@ -399,7 +400,12 @@ impl DomNode {
     /// buffered is counted under the *sent* message's own op class (so
     /// e.g. the invalidations a write fans out land under
     /// `op=invalidate` while the propagation lands under `op=write`).
-    fn obs_account(&mut self, ctx: &Context<DomMsg>, op: &'static str, object: Option<ObjectId>) {
+    fn obs_account<T: Transport + ?Sized>(
+        &mut self,
+        ctx: &T,
+        op: &'static str,
+        object: Option<ObjectId>,
+    ) {
         if self.obs.is_none() {
             return;
         }
@@ -752,9 +758,9 @@ impl DomNode {
         self.n / 2 + 1
     }
 
-    fn start_quorum_read(
+    fn start_quorum_read<T: Transport + ?Sized>(
         &mut self,
-        ctx: &mut Context<DomMsg>,
+        ctx: &mut T,
         object: ObjectId,
         store_result: bool,
     ) {
@@ -807,9 +813,9 @@ impl DomNode {
         self.maybe_finish_quorum(ctx, object);
     }
 
-    fn handle_client_read(
+    fn handle_client_read<T: Transport + ?Sized>(
         &mut self,
-        ctx: &mut Context<DomMsg>,
+        ctx: &mut T,
         object: ObjectId,
         plan: Option<ReadPlan>,
     ) {
@@ -923,9 +929,9 @@ impl DomNode {
         }
     }
 
-    fn handle_client_write(
+    fn handle_client_write<T: Transport + ?Sized>(
         &mut self,
-        ctx: &mut Context<DomMsg>,
+        ctx: &mut T,
         object: ObjectId,
         version: Version,
         payload: Vec<u8>,
@@ -1044,9 +1050,9 @@ impl DomNode {
     /// A core member's duties when it learns of the write of `version` by
     /// `writer`: invalidate its join-list outside the new execution set,
     /// and (primary only) invalidate and re-track the "extra" member.
-    fn da_invalidate_duties(
+    fn da_invalidate_duties<T: Transport + ?Sized>(
         &mut self,
-        ctx: &mut Context<DomMsg>,
+        ctx: &mut T,
         object: ObjectId,
         version: Version,
         writer: ProcessorId,
@@ -1098,9 +1104,9 @@ impl DomNode {
         }
     }
 
-    fn handle_quorum_reply(
+    fn handle_quorum_reply<T: Transport + ?Sized>(
         &mut self,
-        ctx: &mut Context<DomMsg>,
+        ctx: &mut T,
         from: NodeId,
         object: ObjectId,
         round: u64,
@@ -1138,7 +1144,7 @@ impl DomNode {
         self.maybe_finish_quorum(ctx, object);
     }
 
-    fn maybe_finish_quorum(&mut self, ctx: &mut Context<DomMsg>, object: ObjectId) {
+    fn maybe_finish_quorum<T: Transport + ?Sized>(&mut self, ctx: &mut T, object: ObjectId) {
         let Some(slot) = self.catalog.slot(object) else {
             return;
         };
@@ -1193,7 +1199,27 @@ fn preload(mut store: LocalStore, object: ObjectId) -> LocalStore {
 }
 
 impl DomNode {
-    fn handle_message(&mut self, ctx: &mut Context<DomMsg>, from: NodeId, msg: DomMsg) {
+    /// Deliver one inbound message through any [`Transport`]: classify it,
+    /// run the state machine, then account the step's I/O and buffered
+    /// sends to observability. This is the single entry point both
+    /// runtimes share — the sim engine's [`Actor::on_message`] delegates
+    /// here, and `doma-net`'s event loop calls it directly, so the two
+    /// execute literally the same code path.
+    ///
+    /// The transport's send buffer must hold only this delivery's sends
+    /// when the call returns (flush it *after* `deliver`, never during).
+    pub fn deliver<T: Transport + ?Sized>(&mut self, t: &mut T, from: NodeId, msg: DomMsg) {
+        // Classify before handling (the handler consumes the message),
+        // account after: the transport's send buffer then holds exactly
+        // this dispatch's sends and the I/O cursor delta exactly its
+        // I/O.
+        let op = op_of(&msg);
+        let object = object_of(&msg);
+        self.handle_message(t, from, msg);
+        self.obs_account(t, op, object);
+    }
+
+    fn handle_message<T: Transport + ?Sized>(&mut self, ctx: &mut T, from: NodeId, msg: DomMsg) {
         match msg {
             DomMsg::ClientRead { object, plan } => self.handle_client_read(ctx, object, plan),
             DomMsg::ClientWrite {
@@ -1432,14 +1458,7 @@ impl DomNode {
 
 impl Actor<DomMsg> for DomNode {
     fn on_message(&mut self, ctx: &mut Context<DomMsg>, from: NodeId, _kind: MsgKind, msg: DomMsg) {
-        // Classify before handling (the handler consumes the message),
-        // account after: the context's send buffer then holds exactly
-        // this dispatch's sends and the I/O cursor delta exactly its
-        // I/O.
-        let op = op_of(&msg);
-        let object = object_of(&msg);
-        self.handle_message(ctx, from, msg);
-        self.obs_account(ctx, op, object);
+        self.deliver(ctx, from, msg);
     }
 
     fn on_crash(&mut self) {

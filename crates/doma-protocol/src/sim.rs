@@ -1,10 +1,11 @@
 //! The protocol driver: executes a schedule on a simulated cluster.
 
 use crate::node::{AdaptiveAlgo, OBJECT};
-use crate::{DomMsg, DomNode, ProtocolConfig, ReadPlan, WritePlan};
+use crate::planner::ClientPlanner;
+use crate::{DomMsg, DomNode, ProtocolConfig};
 use doma_core::{
-    scheme_after, AllocatedRequest, CostVector, DomaError, MultiRequest, MultiSchedule, ObjectId,
-    OnlineDom, ProcSet, ProcessorId, Request, Result, Schedule,
+    CostVector, Decision, DomaError, MultiRequest, MultiSchedule, ObjectId, OnlineDom, ProcSet,
+    ProcessorId, Request, Result, Schedule,
 };
 use doma_sim::{Engine, EngineConfig, NodeId};
 use doma_storage::Version;
@@ -96,18 +97,14 @@ pub struct ProtocolSim {
     engine: Engine<DomMsg, DomNode>,
     configs: BTreeMap<ObjectId, ProtocolConfig>,
     n: usize,
-    next_version: BTreeMap<ObjectId, Version>,
-    /// Live decision oracles for [`ProtocolConfig::Adaptive`] objects:
-    /// every injected request is decided here and the decision shipped in
-    /// the client message as a plan. Deterministic: the oracle state is a
+    /// Driver-side planning state: write-version counters, the adaptive
+    /// [`PlanOracle`]s, and the oracle-tracked schemes. Deterministic: a
     /// pure function of the injected request sequence, so it is excluded
     /// from [`ProtocolSim::fingerprint`] (the model checker varies only
-    /// delivery orders of already-planned messages).
-    oracles: BTreeMap<ObjectId, Box<dyn PlanOracle>>,
-    /// The allocation scheme each oracle believes is current, folded per
-    /// decision with [`scheme_after`] — the `Y` the write plans'
-    /// invalidation sets are computed from.
-    oracle_scheme: BTreeMap<ObjectId, ProcSet>,
+    /// delivery orders of already-planned messages). Shared with the real
+    /// runtime via [`crate::ClientPlanner`] — both drivers plan requests
+    /// identically by construction.
+    planner: ClientPlanner,
     /// The attached obs bundle (set by [`ProtocolSim::attach_obs`]),
     /// kept so request-span tracing can write into its event log.
     obs: Option<doma_obs::Obs>,
@@ -166,7 +163,7 @@ impl ProtocolSim {
     /// by it, and the nodes execute the shipped plans exactly. The
     /// oracle's `t`/initial scheme/name must describe a valid deployment
     /// ([`AdaptiveAlgo::from_name`] must recognize the name).
-    pub fn new_adaptive(n: usize, mut oracle: Box<dyn PlanOracle>) -> Result<Self> {
+    pub fn new_adaptive(n: usize, oracle: Box<dyn PlanOracle>) -> Result<Self> {
         let Some(algo) = AdaptiveAlgo::from_name(oracle.name()) else {
             return Err(DomaError::InvalidConfig(format!(
                 "unknown adaptive algorithm {:?}",
@@ -175,11 +172,9 @@ impl ProtocolSim {
         };
         let t = oracle.t();
         let initial = oracle.initial_scheme();
-        oracle.reset();
         let config = ProtocolConfig::Adaptive { t, initial, algo };
         let mut sim = Self::build(n, config, doma_sim::NetworkConfig::default())?;
-        sim.oracle_scheme.insert(OBJECT, initial);
-        sim.oracles.insert(OBJECT, oracle);
+        sim.planner.install_oracle(OBJECT, oracle);
         Ok(sim)
     }
 
@@ -189,16 +184,13 @@ impl ProtocolSim {
     /// back to the initial scheme on that transition, and the oracles
     /// must agree.
     pub fn reset_adaptive_oracles(&mut self) {
-        for (object, oracle) in self.oracles.iter_mut() {
-            oracle.reset();
-            self.oracle_scheme.insert(*object, oracle.initial_scheme());
-        }
+        self.planner.reset_oracles();
     }
 
     /// Whether any object in the catalog is governed by an adaptive
     /// oracle.
     pub fn has_adaptive(&self) -> bool {
-        !self.oracles.is_empty()
+        self.planner.has_oracles()
     }
 
     /// Builds an SA cluster whose nodes have a memory cache of
@@ -309,17 +301,12 @@ impl ProtocolSim {
                 cache_capacity,
             ));
         }
-        let next_version = configs
-            .keys()
-            .map(|object| (*object, Version::INITIAL.next()))
-            .collect();
+        let planner = ClientPlanner::new(n, configs.keys().copied());
         Ok(ProtocolSim {
             engine,
             configs,
             n,
-            next_version,
-            oracles: BTreeMap::new(),
-            oracle_scheme: BTreeMap::new(),
+            planner,
             obs: None,
             request_spans: false,
             request_seq: 0,
@@ -505,98 +492,35 @@ impl ProtocolSim {
     /// Injects one request against `object` without running the cluster.
     /// Returns the injected client event's engine sequence number.
     pub fn inject_request_on(&mut self, object: ObjectId, request: Request) -> Result<u64> {
-        if request.issuer.index() >= self.n {
-            return Err(DomaError::InvalidConfig(format!(
-                "request {request} outside cluster of {}",
-                self.n
-            )));
-        }
-        if !self.configs.contains_key(&object) {
-            return Err(DomaError::InvalidConfig(format!(
-                "{object} not in the cluster's catalog"
-            )));
-        }
-        let to = NodeId(request.issuer.index());
-        let plans = self.plan_for(object, request);
-        let msg = if request.is_read() {
-            DomMsg::ClientRead {
-                object,
-                plan: plans.and_then(|(r, _)| r),
-            }
-        } else {
-            let version = self.next_version[&object];
-            self.next_version.insert(object, version.next());
-            DomMsg::ClientWrite {
-                object,
-                version,
-                payload: format!("payload-{}-{}", object.0, version.0).into_bytes(),
-                plan: plans.and_then(|(_, w)| w),
-            }
-        };
-        Ok(self.engine.inject(to, 1, msg))
+        let planned = self.planner.plan(object, request)?;
+        self.record_plan_event(object, request, planned.decision);
+        Ok(self.engine.inject(planned.to, 1, planned.msg))
     }
 
-    /// Runs the object's adaptive oracle (if any) on `request`: advances
-    /// the oracle and its tracked scheme, and maps the decision to the
-    /// read/write plan the issuing node will execute. Returns `None` for
-    /// SA/DA objects.
-    #[allow(clippy::type_complexity)]
-    fn plan_for(
-        &mut self,
-        object: ObjectId,
-        request: Request,
-    ) -> Option<(Option<ReadPlan>, Option<WritePlan>)> {
-        let oracle = self.oracles.get_mut(&object)?;
-        let scheme = *self.oracle_scheme.get(&object)?;
-        let decision = oracle.decide(request);
-        if self.request_spans {
-            if let Some(obs) = self.obs.as_ref() {
-                obs.events().record(
-                    self.engine.now().ticks(),
-                    "protocol.plan",
-                    vec![
-                        (
-                            "decision".to_string(),
-                            format!("exec={} saving={}", decision.exec, decision.saving),
-                        ),
-                        ("object".to_string(), object.to_string()),
-                        (
-                            "op".to_string(),
-                            if request.is_read() { "read" } else { "write" }.to_string(),
-                        ),
-                    ],
-                );
-            }
+    /// Records an oracle's decision as a `protocol.plan` obs event —
+    /// request-span tracing only, because event records change obs
+    /// snapshots (and therefore scenario golden digests).
+    fn record_plan_event(&self, object: ObjectId, request: Request, decision: Option<Decision>) {
+        let Some(decision) = decision else { return };
+        if !self.request_spans {
+            return;
         }
-        let i = request.issuer;
-        let pair = if request.is_read() {
-            let server = if decision.exec.contains(i) {
-                None
-            } else {
-                decision.exec.any_member()
-            };
-            (
-                Some(ReadPlan {
-                    server,
-                    saving: decision.saving,
-                    fallback: scheme.without(i).any_member(),
-                }),
-                None,
-            )
-        } else {
-            (
-                None,
-                Some(WritePlan {
-                    exec: decision.exec,
-                    invalidate: scheme.difference(decision.exec).without(i),
-                    self_invalidate: scheme.contains(i) && !decision.exec.contains(i),
-                }),
-            )
-        };
-        let step = AllocatedRequest::new(request, decision);
-        self.oracle_scheme
-            .insert(object, scheme_after(scheme, &step));
-        Some(pair)
+        let Some(obs) = self.obs.as_ref() else { return };
+        obs.events().record(
+            self.engine.now().ticks(),
+            "protocol.plan",
+            vec![
+                (
+                    "decision".to_string(),
+                    format!("exec={} saving={}", decision.exec, decision.saving),
+                ),
+                ("object".to_string(), object.to_string()),
+                (
+                    "op".to_string(),
+                    if request.is_read() { "read" } else { "write" }.to_string(),
+                ),
+            ],
+        );
     }
 
     /// Drains the event queue, surfacing the engine's event-budget valve
@@ -648,13 +572,7 @@ impl ProtocolSim {
             engine,
             configs: self.configs.clone(),
             n: self.n,
-            next_version: self.next_version.clone(),
-            oracles: self
-                .oracles
-                .iter()
-                .map(|(object, oracle)| (*object, oracle.clone_box()))
-                .collect(),
-            oracle_scheme: self.oracle_scheme.clone(),
+            planner: self.planner.fork(),
             // Forks don't carry the obs attachment (see above); span
             // tracing restarts disabled, but the sequence continues so
             // fork-recorded spans (if re-enabled) stay distinguishable.
@@ -727,15 +645,9 @@ impl ProtocolSim {
             }
             if request.is_read() {
                 pending_offset += interval;
-                let plan = self.plan_for(OBJECT, request).and_then(|(r, _)| r);
-                self.engine.inject(
-                    NodeId(request.issuer.index()),
-                    pending_offset,
-                    DomMsg::ClientRead {
-                        object: OBJECT,
-                        plan,
-                    },
-                );
+                let planned = self.planner.plan(OBJECT, request)?;
+                self.record_plan_event(OBJECT, request, planned.decision);
+                self.engine.inject(planned.to, pending_offset, planned.msg);
             } else {
                 // Barrier: drain the in-flight reads, then the write.
                 self.run_settle()?;
@@ -804,14 +716,10 @@ impl ProtocolSim {
         let wait_before = self.engine.bus_queue_wait();
         let start = self.engine.now();
         for reader in readers {
-            let plan = self
-                .plan_for(object, Request::read(*reader))
-                .and_then(|(r, _)| r);
-            self.engine.inject(
-                NodeId(reader.index()),
-                1,
-                DomMsg::ClientRead { object, plan },
-            );
+            let request = Request::read(*reader);
+            let planned = self.planner.plan(object, request)?;
+            self.record_plan_event(object, request, planned.decision);
+            self.engine.inject(planned.to, 1, planned.msg);
         }
         self.run_settle()?;
         let after = self.report();
@@ -882,7 +790,7 @@ impl ProtocolSim {
 
     /// The highest version of object 0 written so far (INITIAL if none).
     pub fn latest_version(&self) -> Version {
-        Version(self.next_version[&OBJECT].0 - 1)
+        self.planner.latest_version(OBJECT)
     }
 
     /// The set of nodes whose stores hold the given version of object 0

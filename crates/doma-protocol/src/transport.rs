@@ -1,0 +1,123 @@
+//! The [`Transport`] trait: the narrow send/clock surface a [`DomNode`]
+//! needs from whatever is carrying its messages.
+//!
+//! The protocol state machine in [`node`](crate::DomNode) never talks to
+//! `doma-sim`'s `Engine` directly — every outbound message, every clock
+//! read, and every timer request goes through this trait. That makes the
+//! deterministic engine *one* implementation (the [`Context`] impl below,
+//! used by every sim, fault, check, shard, and scenario path, byte-for-byte
+//! unchanged) and leaves room for a second: `doma-net`'s socket-backed
+//! transport, which carries the same [`DomMsg`]s over TCP or Unix domain
+//! sockets and lets the real runtime be diffed against the sim oracle.
+//!
+//! Design constraints:
+//!
+//! * **Static dispatch.** Node methods are generic over `T: Transport +
+//!   ?Sized`, not `&mut dyn Transport`, so the sim hot path monomorphizes
+//!   to exactly the code it ran before the refactor (the `domactl perf`
+//!   wall enforces this stays within budget).
+//! * **Buffered sends.** `send` queues; `pending_sends` exposes the queue
+//!   so the node's observability layer can tally per-message costs after
+//!   a step (the engine drains the buffer after each dispatch, the socket
+//!   transport after each [`DomNode::deliver`](crate::DomNode::deliver)).
+//! * **Logical time.** `now` is the transport's logical clock. The engine
+//!   reports simulated time; the socket transport reports a per-node
+//!   delivery tick. Protocol behavior must not depend on the absolute
+//!   values (they only timestamp read-latency samples and obs events).
+
+use crate::msg::DomMsg;
+use doma_sim::{Context, MsgKind, NodeId, SimTime};
+
+/// The message-carrying surface a protocol node runs against.
+///
+/// Implementors buffer sends until the surrounding runtime flushes them:
+/// the deterministic engine converts the buffer into scheduled delivery
+/// events, the socket transport writes frames to peer connections. See the
+/// [module docs](self) for the full contract.
+pub trait Transport {
+    /// Current logical time at this node (timestamps latency samples and
+    /// obs events; never drives protocol decisions).
+    fn now(&self) -> SimTime;
+
+    /// Queue `msg` for delivery to `to`. `kind` classifies the message for
+    /// network accounting (control vs data, per §1.2 of the paper).
+    fn send(&mut self, to: NodeId, kind: MsgKind, msg: DomMsg);
+
+    /// The messages queued by `send` since the last flush, in send order.
+    /// The node's obs layer reads this to attribute per-message costs.
+    fn pending_sends(&self) -> &[(NodeId, MsgKind, DomMsg)];
+
+    /// Request a timer callback `delay` ticks from now, carrying `token`.
+    /// The failover layer uses timers for failure detection; transports
+    /// without a scheduler may ignore this (the real runtime runs only
+    /// failure-free workloads, enforced by the cluster driver).
+    fn set_timer(&mut self, delay: u64, token: u64);
+}
+
+impl Transport for Context<DomMsg> {
+    fn now(&self) -> SimTime {
+        Context::now(self)
+    }
+
+    fn send(&mut self, to: NodeId, kind: MsgKind, msg: DomMsg) {
+        Context::send(self, to, kind, msg);
+    }
+
+    fn pending_sends(&self) -> &[(NodeId, MsgKind, DomMsg)] {
+        Context::pending_sends(self)
+    }
+
+    fn set_timer(&mut self, delay: u64, token: u64) {
+        Context::set_timer(self, delay, token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doma_core::ObjectId;
+
+    /// A minimal in-memory transport proving the trait is implementable
+    /// outside the sim engine (the real implementation lives in doma-net).
+    struct Loopback {
+        tick: SimTime,
+        outbox: Vec<(NodeId, MsgKind, DomMsg)>,
+        timers: Vec<(u64, u64)>,
+    }
+
+    impl Transport for Loopback {
+        fn now(&self) -> SimTime {
+            self.tick
+        }
+        fn send(&mut self, to: NodeId, kind: MsgKind, msg: DomMsg) {
+            self.outbox.push((to, kind, msg));
+        }
+        fn pending_sends(&self) -> &[(NodeId, MsgKind, DomMsg)] {
+            &self.outbox
+        }
+        fn set_timer(&mut self, delay: u64, token: u64) {
+            self.timers.push((delay, token));
+        }
+    }
+
+    #[test]
+    fn trait_is_object_and_impl_safe() {
+        let mut t = Loopback {
+            tick: SimTime(7),
+            outbox: Vec::new(),
+            timers: Vec::new(),
+        };
+        assert_eq!(Transport::now(&t), SimTime(7));
+        t.send(
+            NodeId(2),
+            MsgKind::Control,
+            DomMsg::CatchUp {
+                object: ObjectId(1),
+            },
+        );
+        assert_eq!(t.pending_sends().len(), 1);
+        assert_eq!(t.pending_sends()[0].0, NodeId(2));
+        t.set_timer(5, 99);
+        assert_eq!(t.timers, vec![(5, 99)]);
+    }
+}

@@ -34,7 +34,7 @@ pub mod runner;
 pub mod toml;
 
 pub use model::{Entrant, Expect, FaultKind, FaultSpec, MsgFilter, Phase, Scenario, WorkloadSpec};
-pub use runner::{run, run_traced, RunReport};
+pub use runner::{build_schedule, build_sim, build_spec, run, run_traced, ClusterSpec, RunReport};
 
 use std::fmt;
 

@@ -17,7 +17,7 @@ use doma_algorithms::{
     WriteInvalidateCache,
 };
 use doma_core::{CostModel, CostVector, ProcSet, ProcessorId, Schedule};
-use doma_protocol::{PlanOracle, ProtocolSim};
+use doma_protocol::{AdaptiveAlgo, PlanOracle, ProtocolConfig, ProtocolSim};
 use doma_sim::{FaultAction, FaultPlan, FaultRule, LinkFilter, MsgKind, NodeId};
 use doma_testkit::rng::splitmix64;
 use doma_workload::{
@@ -239,39 +239,74 @@ pub fn build_fault_plan(scenario: &Scenario) -> FaultPlan {
     plan
 }
 
-/// Builds the protocol simulator for the scenario's entrant — the exact
-/// constructors the tournament roster uses.
-pub fn build_sim(scenario: &Scenario) -> Result<ProtocolSim, ScenarioError> {
-    let n = scenario.n;
-    let sim = match scenario.entrant {
-        Entrant::Sa => ProtocolSim::new_sa(n, pair()),
-        Entrant::Da => ProtocolSim::new_da(n, ProcSet::from_iter([0usize]), ProcessorId::new(1)),
-        Entrant::Convergent => oracle_sim(
-            n,
-            Box::new(SlidingWindowConvergent::new(n, 2, pair(), 8, 4).map_err(runtime)?),
-        ),
-        Entrant::WriteInvalidate => oracle_sim(
-            n,
-            Box::new(WriteInvalidateCache::new(pair()).map_err(runtime)?),
-        ),
-        Entrant::CostOblivious => oracle_sim(
-            n,
-            Box::new(CostOblivious::new(n, 2, pair(), 2).map_err(runtime)?),
-        ),
-        Entrant::MobileMirror => oracle_sim(
-            n,
-            Box::new(MobileMirror::new(n, 2, pair()).map_err(runtime)?),
-        ),
-        Entrant::Clustered => oracle_sim(
-            n,
-            Box::new(ClusteredAllocation::new(n, 2, pair()).map_err(runtime)?),
-        ),
-    };
-    sim.map_err(runtime)
+/// One entrant's deployment, decomposed so runtimes other than the
+/// simulator (the socket cluster) can stand it up: the node-side
+/// protocol configuration, and — for adaptive entrants — the driver-side
+/// plan oracle.
+pub struct ClusterSpec {
+    /// Cluster size.
+    pub n: usize,
+    /// What every node runs.
+    pub config: ProtocolConfig,
+    /// The driver-side planning oracle (adaptive entrants only).
+    pub oracle: Option<Box<dyn PlanOracle>>,
 }
 
-fn oracle_sim(n: usize, oracle: Box<dyn PlanOracle>) -> doma_core::Result<ProtocolSim> {
-    ProtocolSim::new_adaptive(n, oracle)
+/// Builds the entrant's deployment spec — the exact constructors the
+/// tournament roster uses, decomposed for transport-agnostic runtimes.
+pub fn build_spec(scenario: &Scenario) -> Result<ClusterSpec, ScenarioError> {
+    let n = scenario.n;
+    let oracle: Option<Box<dyn PlanOracle>> = match scenario.entrant {
+        Entrant::Sa | Entrant::Da => None,
+        Entrant::Convergent => Some(Box::new(
+            SlidingWindowConvergent::new(n, 2, pair(), 8, 4).map_err(runtime)?,
+        )),
+        Entrant::WriteInvalidate => Some(Box::new(
+            WriteInvalidateCache::new(pair()).map_err(runtime)?,
+        )),
+        Entrant::CostOblivious => Some(Box::new(
+            CostOblivious::new(n, 2, pair(), 2).map_err(runtime)?,
+        )),
+        Entrant::MobileMirror => Some(Box::new(MobileMirror::new(n, 2, pair()).map_err(runtime)?)),
+        Entrant::Clustered => Some(Box::new(
+            ClusteredAllocation::new(n, 2, pair()).map_err(runtime)?,
+        )),
+    };
+    let config = match (&scenario.entrant, &oracle) {
+        (Entrant::Sa, _) => ProtocolConfig::Sa { q: pair() },
+        (Entrant::Da, _) => ProtocolConfig::Da {
+            f: ProcSet::from_iter([0usize]),
+            p: ProcessorId::new(1),
+        },
+        (_, Some(o)) => {
+            let algo = AdaptiveAlgo::from_name(o.name()).ok_or_else(|| {
+                ScenarioError::msg(format!("unknown adaptive algorithm {:?}", o.name()))
+            })?;
+            ProtocolConfig::Adaptive {
+                t: o.t(),
+                initial: o.initial_scheme(),
+                algo,
+            }
+        }
+        _ => unreachable!("non-SA/DA entrants always carry an oracle"),
+    };
+    Ok(ClusterSpec { n, config, oracle })
+}
+
+/// Builds the protocol simulator for the scenario's entrant — the same
+/// deployment [`build_spec`] describes, stood up on the deterministic
+/// engine.
+pub fn build_sim(scenario: &Scenario) -> Result<ProtocolSim, ScenarioError> {
+    let spec = build_spec(scenario)?;
+    let sim = match (spec.config, spec.oracle) {
+        (_, Some(oracle)) => ProtocolSim::new_adaptive(spec.n, oracle),
+        (ProtocolConfig::Sa { q }, None) => ProtocolSim::new_sa(spec.n, q),
+        (ProtocolConfig::Da { f, p }, None) => ProtocolSim::new_da(spec.n, f, p),
+        (ProtocolConfig::Adaptive { .. }, None) => {
+            unreachable!("adaptive spec always carries its oracle")
+        }
+    };
+    sim.map_err(runtime)
 }
 
 /// The scenario's cost model.
